@@ -1,0 +1,164 @@
+"""Experiment C1 — the LSD claim: matching accuracy "in the 70%-90% range".
+
+Two sub-experiments:
+
+1. **LSD workflow** (the cited result): train the multi-strategy
+   ensemble on sources manually mapped to a mediated schema, predict
+   mappings for unseen sources; report accuracy per base learner alone
+   and for the meta-learner (the learner ablation of DESIGN.md §5).
+2. **Matcher shoot-out**: direct matchers (edit distance, Jaccard,
+   COMA-like, hybrid) and the corpus-based MATCHINGADVISOR across
+   perturbation levels.
+
+Expected shape: the multi-strategy ensemble lands in the paper's 70-90%
+band on moderately perturbed schemas and beats every single-strategy
+baseline.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, mean
+from repro.corpus.match import (
+    ComaLikeMatcher,
+    EditDistanceMatcher,
+    HybridMatcher,
+    JaccardTokenMatcher,
+    LSDMatcher,
+    MatchingAdvisor,
+    accuracy,
+    evaluate_matching,
+)
+from repro.corpus.match.learners import (
+    FormatLearner,
+    NaiveBayesLearner,
+    NameLearner,
+    StructureLearner,
+)
+from repro.corpus.model import CorpusSchema
+from repro.datasets.perturb import PerturbationConfig, matching_pair, perturb_schema
+from repro.datasets.university import make_university_corpus, university_schema_instance
+from repro.text import default_synonyms
+
+
+def full_source(seed: int, level: float, translate: bool = False):
+    """A perturbed full university source + its mapping to the mediated
+    schema.  ``translate=True`` renames into Italian vocabulary (the
+    Rome scenario), which the learners' synonym table does not cover."""
+    from repro.text.synonyms import italian_english_dictionary
+
+    reference = university_schema_instance("ref", seed=seed, courses=25)
+    config = PerturbationConfig(
+        rename_probability=level,
+        use_synonyms=not translate,
+        use_abbreviations=not translate,
+        translation=italian_english_dictionary() if translate else None,
+    )
+    variant, gold = perturb_schema(reference, f"src{seed}", seed=seed, config=config)
+    mapping = {new: old for old, new in gold.items() if "." in old}
+    return variant, mapping
+
+
+def lsd_accuracy(learners, trials=3, hard: bool = False) -> float:
+    """Train on three mapped sources, test a fourth.
+
+    ``hard``: training sources use English synonym/abbreviation renames,
+    the test source uses Italian vocabulary — the name learner's nearest
+    neighbours cover nothing, so the ensemble must lean on data values
+    and formats.
+    """
+    scores = []
+    for trial in range(trials):
+        mediated = university_schema_instance("mediated", seed=0, courses=0)
+        lsd = LSDMatcher(mediated, learners=learners(), synonyms=default_synonyms())
+        for seed in (trial * 10 + 1, trial * 10 + 2, trial * 10 + 3):
+            source, gold = full_source(seed, 0.5, translate=False)
+            lsd.add_training_source(source, gold)
+        test_source, test_gold = full_source(
+            trial * 10 + 7, 0.9 if hard else 0.5, translate=hard
+        )
+        result = lsd.match_source(test_source)
+        scores.append(accuracy(result, test_gold))
+    return mean(scores)
+
+
+class TestC1LsdAccuracy:
+    def test_learner_ablation(self, benchmark):
+        table = ResultTable(
+            "C1a: LSD workflow accuracy, per learner and multi-strategy",
+            ["learner", "same vocabulary", "cross vocabulary (Italian test)"],
+        )
+        configurations = {
+            "name only": lambda: [NameLearner(synonyms=default_synonyms())],
+            "naive bayes only": lambda: [NaiveBayesLearner()],
+            "format only": lambda: [FormatLearner()],
+            "structure only": lambda: [StructureLearner()],
+            "multi-strategy (all)": lambda: [
+                NameLearner(synonyms=default_synonyms()),
+                NaiveBayesLearner(),
+                FormatLearner(),
+                StructureLearner(),
+            ],
+        }
+        easy, hard = {}, {}
+        for label, learners in configurations.items():
+            easy[label] = lsd_accuracy(learners, hard=False)
+            hard[label] = lsd_accuracy(learners, hard=True)
+            table.add_row(label, easy[label], hard[label])
+        table.note(
+            "paper claim (Section 4.3.2): LSD matching accuracies in the "
+            "70%-90% range.  The multi-strategy ensemble reaches that band on "
+            "the hard cross-vocabulary sources and is never worse than its "
+            "best component."
+        )
+        table.show()
+        # The headline claim: multi-strategy accuracy in (or above) 70-90%.
+        assert hard["multi-strategy (all)"] >= 0.7
+        assert easy["multi-strategy (all)"] >= 0.9
+        # ... and at least as good as every single strategy.
+        for scores in (easy, hard):
+            singles = [v for k, v in scores.items() if k != "multi-strategy (all)"]
+            assert scores["multi-strategy (all)"] >= max(singles) - 0.05
+        benchmark(lsd_accuracy, configurations["multi-strategy (all)"], 1)
+
+
+class TestC1MatcherShootout:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return make_university_corpus(count=6, seed=21, courses=10)
+
+    def test_matchers_across_perturbation_levels(self, corpus, benchmark):
+        synonyms = default_synonyms()
+        matchers = {
+            "edit-distance": EditDistanceMatcher(),
+            "jaccard-tokens": JaccardTokenMatcher(),
+            "coma-like": ComaLikeMatcher(synonyms=synonyms),
+            "hybrid": HybridMatcher(synonyms=synonyms),
+        }
+        advisor = MatchingAdvisor(corpus, synonyms=synonyms)
+        table = ResultTable(
+            "C1b: matcher accuracy by perturbation level (university domain)",
+            ["matcher"] + [f"level={level}" for level in (0.2, 0.4, 0.6)],
+        )
+        reference = university_schema_instance(seed=31, courses=15)
+        per_matcher: dict[str, list[float]] = {name: [] for name in matchers}
+        per_matcher["matching-advisor"] = []
+        for level in (0.2, 0.4, 0.6):
+            left, right, gold = matching_pair(reference, seed=31, level=level)
+            for name, matcher in matchers.items():
+                result = matcher.match(left, right)
+                per_matcher[name].append(accuracy(result, gold))
+            result = advisor.match_by_correlation(left, right)
+            per_matcher["matching-advisor"].append(accuracy(result, gold))
+        for name, values in per_matcher.items():
+            table.add_row(name, *values)
+        table.note(
+            "shape check: learned/corpus matchers degrade gracefully with "
+            "perturbation; single-signal string baselines fall off fastest."
+        )
+        table.show()
+        # Shape assertions: at high perturbation the hybrid/advisor beat
+        # plain edit distance.
+        assert per_matcher["hybrid"][-1] >= per_matcher["edit-distance"][-1]
+        assert per_matcher["matching-advisor"][-1] >= per_matcher["edit-distance"][-1]
+        left, right, gold = matching_pair(reference, seed=31, level=0.4)
+        benchmark(matchers["hybrid"].match, left, right)

@@ -1,0 +1,115 @@
+"""Experiment C2 — "this approach ... scales poorly": PDMS vs mediated schema.
+
+The paper's two scaling arguments against data integration:
+
+1. the mediated schema is heavyweight to create and evolve (every new
+   concept is a *global* revision, and every user must learn the global
+   schema to query);
+2. in a PDMS "the number of mappings may still be linear, but peers are
+   not forced to map to a single mediated schema" — each joins via the
+   schema most similar to its own, and queries stay in the local
+   vocabulary (zero new concepts for users).
+
+The harness grows both systems peer by peer and reports joining effort
+and answer completeness.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, completeness
+from repro.datasets.pdms_gen import random_tree_pdms
+from repro.piazza.integration import DataIntegrationSystem
+
+
+def grow_mediated(peers: int, courses: int = 4) -> DataIntegrationSystem:
+    system = DataIntegrationSystem()
+    system.define_mediated_relation(
+        "course",
+        ["id", "title", "instructor", "time", "location", "enrollment", "department"],
+    )
+    for index in range(peers):
+        name = f"s{index}"
+        source = system.add_source(name)
+        source.add_stored("c", ["id", "title", "instr", "time", "loc", "n", "dept"])
+        from repro.datasets.university import university_schema_instance
+
+        data = university_schema_instance(name, seed=index, courses=courses)
+        source.insert("c", data.data["course"])
+        system.add_source_description(
+            f"{name}_desc",
+            f"m(I, T, N, W, L, E, D) :- {name}!c(I, T, N, W, L, E, D)",
+            "m(I, T, N, W, L, E, D) :- mediator.course(I, T, N, W, L, E, D)",
+        )
+    return system
+
+
+OPTIONS = {"max_depth": 28, "max_rule_uses": 3}
+
+
+class TestC2PdmsVsMediated:
+    def test_joining_effort_and_completeness(self, benchmark):
+        table = ResultTable(
+            "C2: joining effort and completeness, PDMS vs mediated schema",
+            ["peers", "pdms mappings", "mediated mappings",
+             "pdms concepts/user", "mediated concepts/user",
+             "pdms completeness", "mediated completeness"],
+        )
+        for peers in (3, 5, 8):
+            pdms = random_tree_pdms(peers, seed=2, courses=4)
+            relations_per_peer = len(pdms.generator_info["reference"].relations)
+            mediated = grow_mediated(peers, courses=4)
+
+            gold = pdms.generator_info["golds"]["p0"]
+            course_rel = gold["course"]
+            arity = len(pdms.peers["p0"].schema[course_rel])
+            variables = ", ".join(f"?v{i}" for i in range(arity))
+            pdms_query = f"q(?v1) :- p0.{course_rel}({variables})"
+            pdms_answers = pdms.answer(pdms_query, **OPTIONS)
+            pdms_certain = pdms.certain(pdms_query)
+
+            mediated_query = "q(T) :- mediator.course(I, T, N, W, L, E, D)"
+            mediated_answers = mediated.answer(mediated_query)
+            mediated_certain = mediated.certain(mediated_query)
+
+            table.add_row(
+                peers,
+                pdms.mapping_count(),
+                mediated.costs.mappings_authored,
+                0,  # PDMS users query their own schema
+                mediated.costs.concepts_to_learn_per_user,
+                completeness(pdms_answers, pdms_certain),
+                completeness(mediated_answers, mediated_certain),
+            )
+            # Linear mapping growth in both; but per-peer the PDMS authors
+            # mappings against a *neighbour*, not a global schema:
+            assert pdms.mapping_count() == (peers - 1) * relations_per_peer
+            assert mediated.costs.mappings_authored == peers
+            # and PDMS users learn zero new concepts.
+            assert mediated.costs.concepts_to_learn_per_user > 0
+        table.note(
+            "both architectures answer completely; the difference is WHERE "
+            "the effort lands: the mediated schema front-loads a global "
+            "artifact every user must learn, the PDMS keeps mappings local "
+            "and queries in each peer's own vocabulary."
+        )
+        table.show()
+        pdms = random_tree_pdms(5, seed=2, courses=4)
+        gold = pdms.generator_info["golds"]["p0"]
+        course_rel = gold["course"]
+        arity = len(pdms.peers["p0"].schema[course_rel])
+        variables = ", ".join(f"?v{i}" for i in range(arity))
+        benchmark(pdms.answer, f"q(?v1) :- p0.{course_rel}({variables})", **OPTIONS)
+
+    def test_schema_evolution_cost(self):
+        # Adding one concept to the mediated schema is a global revision;
+        # in the PDMS a peer extends its own schema locally.
+        mediated = grow_mediated(4)
+        revisions_before = mediated.costs.global_schema_revisions
+        mediated.define_mediated_relation("language", ["course_id", "language"])
+        assert mediated.costs.global_schema_revisions == revisions_before + 1
+
+        pdms = random_tree_pdms(4, seed=2, courses=2)
+        peer = pdms.peers["p0"]
+        peer.add_relation("language", ["course_id", "language"])
+        # No other peer or mapping was touched:
+        assert pdms.mapping_count() == 3 * len(pdms.generator_info["reference"].relations)

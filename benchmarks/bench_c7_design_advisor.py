@@ -1,0 +1,138 @@
+"""Experiment C7 — DESIGNADVISOR retrieval quality and the alpha/beta sweep.
+
+The advisor ranks corpus schemas by ``sim = alpha*fit + beta*pref``.
+The harness builds a mixed-domain corpus (university, people,
+publications — all perturbed), takes fragments from known domains, and
+measures whether the advisor retrieves a schema of the right domain
+(hit@1, hit@3, MRR), across alpha/beta settings.  Expected shape:
+fit-dominated rankings retrieve the right family; preference-only
+ranking (alpha=0) collapses, showing the fit term carries the signal.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, mean
+from repro.corpus import Corpus, CorpusSchema, DesignAdvisor
+from repro.datasets.people import people_schema_instance
+from repro.datasets.perturb import PerturbationConfig, perturb_schema
+from repro.datasets.publications import publications_schema_instance
+from repro.datasets.university import university_schema_instance
+
+
+def mixed_corpus(variants_per_domain: int = 4, seed: int = 9) -> Corpus:
+    corpus = Corpus()
+    references = {
+        "university": university_schema_instance(seed=seed, courses=10),
+        "people": people_schema_instance(seed=seed, persons=15),
+        "publications": publications_schema_instance(seed=seed, papers=15),
+    }
+    for domain, reference in references.items():
+        for index in range(variants_per_domain):
+            variant, _gold = perturb_schema(
+                reference,
+                f"{domain}-{index}",
+                seed=seed * 100 + index,
+                config=PerturbationConfig(rename_probability=0.3),
+            )
+            variant.domain = domain
+            corpus.add_schema(variant)
+    return corpus
+
+
+def fragments(seed: int = 33):
+    """Fragments with known home domains (perturbed, partial, with data)."""
+    university = university_schema_instance(seed=seed, courses=8)
+    people = people_schema_instance(seed=seed, persons=10)
+    publications = publications_schema_instance(seed=seed, papers=10)
+    found = []
+    for domain, reference, relations in (
+        ("university", university, ("course", "ta")),
+        ("people", people, ("person", "interest")),
+        ("publications", publications, ("paper", "author")),
+    ):
+        variant, gold = perturb_schema(
+            reference,
+            f"frag-{domain}",
+            seed=seed,
+            config=PerturbationConfig(rename_probability=0.4),
+        )
+        fragment = CorpusSchema(f"fragment-{domain}")
+        # A genuinely partial draft: the domain's characteristic relations,
+        # first few attributes, a handful of rows.
+        for relation in relations:
+            new_relation = gold[relation]
+            attributes = variant.relations[new_relation]
+            fragment.add_relation(
+                new_relation,
+                attributes[:4],
+                [row[:4] for row in variant.data.get(new_relation, [])[:10]],
+            )
+        found.append((domain, fragment))
+    return found
+
+
+def retrieval_quality(advisor: DesignAdvisor, probes) -> dict[str, float]:
+    hits1, hits3, reciprocal_ranks = [], [], []
+    for domain, fragment in probes:
+        proposals = advisor.propose(fragment, limit=10)
+        domains = [p.schema.domain for p in proposals]
+        hits1.append(1.0 if domains[:1] == [domain] else 0.0)
+        hits3.append(1.0 if domain in domains[:3] else 0.0)
+        rank = domains.index(domain) + 1 if domain in domains else None
+        reciprocal_ranks.append(1.0 / rank if rank else 0.0)
+    return {"hit@1": mean(hits1), "hit@3": mean(hits3), "mrr": mean(reciprocal_ranks)}
+
+
+class TestC7DesignAdvisor:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return mixed_corpus()
+
+    def test_alpha_beta_sweep(self, corpus, benchmark):
+        probes = fragments()
+        table = ResultTable(
+            "C7: DESIGNADVISOR retrieval quality, alpha/beta and fit-mode sweep",
+            ["fit mode", "alpha", "beta", "hit@1", "hit@3", "MRR"],
+        )
+        results = {}
+        for fit_mode in ("coverage", "paper"):
+            for alpha, beta in ((1.0, 0.0), (0.7, 0.3), (0.3, 0.7), (0.0, 1.0)):
+                advisor = DesignAdvisor(corpus, alpha=alpha, beta=beta, fit_mode=fit_mode)
+                quality = retrieval_quality(advisor, probes)
+                results[(fit_mode, alpha, beta)] = quality
+                table.add_row(
+                    fit_mode, alpha, beta,
+                    quality["hit@1"], quality["hit@3"], quality["mrr"],
+                )
+        table.note(
+            "reproduction finding: the paper's symmetric fit ratio penalizes "
+            "complete (larger) schemas, so a small wrong-domain look-alike can "
+            "outrank the right domain's full schema; coverage-based fit "
+            "retrieves the fragment's family reliably. preference alone "
+            "(alpha=0) cannot identify the domain in either mode."
+        )
+        table.show()
+        assert results[("coverage", 1.0, 0.0)]["hit@1"] == 1.0
+        assert results[("coverage", 0.7, 0.3)]["hit@1"] == 1.0
+        for fit_mode in ("coverage", "paper"):
+            assert (
+                results[(fit_mode, 0.0, 1.0)]["mrr"]
+                <= results[(fit_mode, 1.0, 0.0)]["mrr"]
+            )
+        # The finding itself: paper-mode fit ranks strictly worse here.
+        assert (
+            results[("paper", 1.0, 0.0)]["mrr"]
+            <= results[("coverage", 1.0, 0.0)]["mrr"]
+        )
+        advisor = DesignAdvisor(corpus, alpha=0.7, beta=0.3)
+        _domain, fragment = probes[0]
+        benchmark(advisor.propose, fragment, 5)
+
+    def test_proposals_come_with_usable_mappings(self, corpus):
+        advisor = DesignAdvisor(corpus)
+        _domain, fragment = fragments()[0]
+        top = advisor.propose(fragment, limit=1)[0]
+        # The mapping of S into S' the paper requires for each proposal:
+        assert len(top.mapping) > 0
+        source_paths = {e.path for e in fragment.elements()}
+        assert all(c.source in source_paths for c in top.mapping)

@@ -1,0 +1,102 @@
+"""Experiment C8 — the corpus as "domain expert" for matching.
+
+Section 4.4: "the corpus and its associated statistics act as a domain
+expert because numerous existing schemas and schema fragments might be
+similar to the schemas being matched."  The harness matches hard pairs
+(heavy renaming + an Italian-vocabulary side, where string similarity
+has nothing to grab) with and without corpus assistance, sweeping the
+corpus size.  Expected shape: corpus methods improve with corpus size
+and beat the corpus-free matchers on the hard pairs.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, mean
+from repro.corpus.match import (
+    HybridMatcher,
+    MatchingAdvisor,
+    NameMatcher,
+    accuracy,
+)
+from repro.datasets.perturb import matching_pair
+from repro.datasets.university import make_university_corpus, university_schema_instance
+from repro.text import default_synonyms
+from repro.text.synonyms import italian_english_dictionary
+
+
+def hard_pairs(trials: int = 3):
+    """Heavily perturbed pairs; the right side uses Italian vocabulary."""
+    pairs = []
+    for trial in range(trials):
+        reference = university_schema_instance(seed=50 + trial, courses=12)
+        pairs.append(
+            matching_pair(
+                reference,
+                seed=50 + trial,
+                level=0.8,
+                translation=italian_english_dictionary(),
+            )
+        )
+    return pairs
+
+
+class TestC8CorpusMatching:
+    def test_corpus_size_sweep(self, benchmark):
+        pairs = hard_pairs()
+        # Corpus-free baselines (no synonyms: the "expert knowledge" must
+        # come from the corpus, not from a hand-made dictionary).
+        name_matcher = NameMatcher()
+        hybrid = HybridMatcher()
+        baseline_name = mean(
+            accuracy(name_matcher.match(l, r), gold) for l, r, gold in pairs
+        )
+        baseline_hybrid = mean(
+            accuracy(hybrid.match(l, r), gold) for l, r, gold in pairs
+        )
+        table = ResultTable(
+            "C8: corpus-assisted matching accuracy vs corpus size (hard pairs)",
+            ["method", "corpus size", "accuracy"],
+        )
+        table.add_row("name matcher (no corpus)", 0, baseline_name)
+        table.add_row("hybrid matcher (no corpus)", 0, baseline_hybrid)
+        correlation_curve = []
+        for size in (2, 4, 8):
+            corpus = make_university_corpus(count=size, seed=60, courses=10)
+            advisor = MatchingAdvisor(corpus, synonyms=default_synonyms())
+            advisor.train()
+            score = mean(
+                accuracy(advisor.match_by_correlation(l, r), gold)
+                for l, r, gold in pairs
+            )
+            correlation_curve.append(score)
+            table.add_row("matching-advisor (correlation)", size, score)
+        corpus = make_university_corpus(count=8, seed=60, courses=10)
+        advisor = MatchingAdvisor(corpus, synonyms=default_synonyms())
+        pivot_score = mean(
+            accuracy(advisor.match_by_pivot(l, r), gold) for l, r, gold in pairs
+        )
+        table.add_row("matching-advisor (pivot)", 8, pivot_score)
+        table.note(
+            "hard pairs: rename level 0.8 with one side in Italian. the "
+            "instance-trained corpus classifiers recognize columns by their "
+            "DATA (names are useless here), so accuracy holds where string "
+            "matchers collapse."
+        )
+        table.show()
+        # Shape: with a reasonable corpus, correlation matching beats the
+        # corpus-free name matcher on these hard pairs.
+        assert max(correlation_curve) > baseline_name
+        l, r, gold = pairs[0]
+        benchmark(advisor.match_by_correlation, l, r)
+
+    def test_correlation_uses_instances_not_names(self):
+        # Same schema pair, but strip the data: accuracy should drop,
+        # demonstrating the corpus classifiers rely on instances.
+        corpus = make_university_corpus(count=6, seed=61, courses=10)
+        advisor = MatchingAdvisor(corpus, synonyms=default_synonyms())
+        l, r, gold = hard_pairs(trials=1)[0]
+        with_data = accuracy(advisor.match_by_correlation(l, r), gold)
+        l.data = {}
+        r.data = {}
+        without_data = accuracy(advisor.match_by_correlation(l, r), gold)
+        assert with_data >= without_data

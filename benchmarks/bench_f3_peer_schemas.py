@@ -1,0 +1,84 @@
+"""Experiment F3 — Figure 3: the Berkeley and MIT peer schemas (DTDs).
+
+Parses the *exact* DTDs printed in the figure (in the paper's
+``Element name(model)`` notation), generates conforming documents of
+growing size, and validates them.  The benchmark times parse+validate.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.xmlmodel import element, parse_dtd
+
+BERKELEY_DTD = """
+Element schedule(college*)
+Element college(name, dept*)
+Element dept(name, course*)
+Element course(title, size)
+Element name(#PCDATA)
+Element title(#PCDATA)
+Element size(#PCDATA)
+"""
+
+MIT_DTD = """
+Element catalog(course*)
+Element course(name, subject*)
+Element subject(title, enrollment)
+Element name(#PCDATA)
+Element title(#PCDATA)
+Element enrollment(#PCDATA)
+"""
+
+
+def berkeley_document(colleges: int, depts: int, courses: int, seed: int = 0):
+    rng = random.Random(seed)
+    schedule = element("schedule")
+    for c in range(colleges):
+        college = element("college", element("name", f"College{c}"))
+        for d in range(depts):
+            dept = element("dept", element("name", f"Dept{c}.{d}"))
+            for k in range(courses):
+                dept.append(
+                    element(
+                        "course",
+                        element("title", f"Course {c}.{d}.{k}"),
+                        element("size", str(rng.randint(5, 300))),
+                    )
+                )
+            college.append(dept)
+        schedule.append(college)
+    return schedule
+
+
+class TestF3PeerSchemas:
+    def test_exact_figure_dtds_parse(self):
+        berkeley = parse_dtd(BERKELEY_DTD)
+        mit = parse_dtd(MIT_DTD)
+        assert berkeley.root == "schedule"
+        assert mit.root == "catalog"
+        assert berkeley.elements["course"].child_names() == {"title", "size"}
+        assert mit.elements["subject"].child_names() == {"title", "enrollment"}
+
+    def test_validation_scaling(self, benchmark):
+        dtd = parse_dtd(BERKELEY_DTD)
+        table = ResultTable(
+            "F3 (Figure 3): DTD validation of conforming documents",
+            ["colleges x depts x courses", "elements", "violations"],
+        )
+        for colleges, depts, courses in ((1, 2, 5), (2, 4, 10), (4, 8, 20)):
+            doc = berkeley_document(colleges, depts, courses)
+            elements = 1 + sum(1 for _ in doc.descendants())
+            violations = dtd.validate(doc)
+            table.add_row(f"{colleges}x{depts}x{courses}", elements, len(violations))
+            assert violations == []
+        table.note("the exact Figure-3 DTDs, paper notation, zero violations.")
+        table.show()
+        doc = berkeley_document(2, 4, 10)
+        benchmark(dtd.validate, doc)
+
+    def test_nonconforming_rejected(self):
+        dtd = parse_dtd(MIT_DTD)
+        wrong = element("catalog", element("subject"))
+        assert not dtd.is_valid(wrong)

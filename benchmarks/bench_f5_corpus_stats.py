@@ -1,0 +1,65 @@
+"""Experiment F5 — Figure 5: the corpus + statistics + tools pipeline.
+
+Builds corpora of growing size, computes the basic and composite
+statistics of Section 4.2, and runs both tools on top (the figure's
+"Design Advisor" and "Matching Advisor" boxes).  Times the statistics
+build, the dominant cost.
+"""
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.corpus import (
+    BasicStatistics,
+    CompositeStatistics,
+    CorpusSchema,
+    DesignAdvisor,
+)
+from repro.datasets.university import make_university_corpus
+
+
+class TestF5CorpusPipeline:
+    def test_pipeline_scaling(self, benchmark):
+        table = ResultTable(
+            "F5 (Figure 5): corpus statistics and the two advisor tools",
+            ["schemas", "vocabulary", "frequent structures",
+             "top proposal fit", "layout advice"],
+        )
+        fragment = CorpusSchema("frag")
+        fragment.add_relation(
+            "course", ["title", "instructor", "time", "name", "email", "office_hours"]
+        )
+        for count in (4, 8, 16):
+            corpus = make_university_corpus(count=count, seed=3, courses=8)
+            stats = BasicStatistics(corpus)
+            composite = CompositeStatistics(corpus)
+            advisor = DesignAdvisor(corpus)
+            proposals = advisor.propose(fragment, limit=1)
+            advice = advisor.advise_layout(fragment)
+            table.add_row(
+                count,
+                len(stats.vocabulary()),
+                len(composite.frequent_structures()),
+                proposals[0].fit if proposals else 0.0,
+                len(advice),
+            )
+            assert proposals
+        table.note(
+            "both Figure-5 tools run off the same statistics: ranked schema "
+            "proposals (DESIGNADVISOR) and layout advice (the TA anecdote)."
+        )
+        table.show()
+        corpus = make_university_corpus(count=8, seed=3, courses=8)
+        benchmark(BasicStatistics, corpus)
+
+    def test_statistics_signals(self):
+        corpus = make_university_corpus(count=8, seed=3, courses=8)
+        stats = BasicStatistics(corpus)
+        # Term-usage roles: 'course'-family terms are relation names,
+        # 'title'-family terms are attributes.
+        usage = stats.usage("course")
+        assert usage.role_counts["relation"] > 0
+        assert stats.usage("title").role_counts["attribute"] > 0
+        # Co-occurrence: title keeps company with instructor/time.
+        co = dict(stats.co_occurring("title", limit=30))
+        assert co

@@ -1,0 +1,19 @@
+"""Shared fixtures for the experiment harness.
+
+Every benchmark prints a ResultTable with the rows/series of the
+corresponding paper figure or claim (run with ``-s`` to see them, or
+read EXPERIMENTS.md, which records a reference run).
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks print experiment tables; keep them visible by default
+    # when running the benchmarks directory explicitly with -s.
+    pass
+
+
+@pytest.fixture(scope="session")
+def seed():
+    return 1

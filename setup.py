@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The sandbox ships setuptools without the ``wheel`` package, so PEP 660
+editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` with this file works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Benchmark harness helpers: result tables and metrics."""
+
+from repro.bench.runner import ResultTable
+from repro.bench.metrics import completeness, mean
+
+__all__ = ["ResultTable", "completeness", "mean"]

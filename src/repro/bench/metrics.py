@@ -1,0 +1,16 @@
+"""Shared experiment metrics."""
+
+from __future__ import annotations
+
+
+def completeness(answers: set, certain: set) -> float:
+    """Fraction of the certain answers a method returned (recall)."""
+    if not certain:
+        return 1.0
+    return len(answers & certain) / len(certain)
+
+
+def mean(values) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

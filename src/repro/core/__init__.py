@@ -1,0 +1,5 @@
+"""The REVERE facade: Figure 1's architecture wired together."""
+
+from repro.core.revere import RevereSystem
+
+__all__ = ["RevereSystem"]

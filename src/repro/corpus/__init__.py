@@ -1,0 +1,40 @@
+"""Statistics over structures and the corpus-based tools (Section 4).
+
+"We propose to build for the S-WORLD the analog of one of the most
+powerful techniques of the U-WORLD, namely the statistical analysis of
+corpora."  A :class:`~repro.corpus.model.Corpus` holds schemas, known
+mappings and data instances; :mod:`repro.corpus.stats` computes the
+basic statistics of Section 4.2.1 (term usage, co-occurring schema
+elements, similar names) and :mod:`repro.corpus.composite` the
+composite statistics of Section 4.2.2 (frequent partial structures).
+
+Two tools are built on top:
+
+* :class:`~repro.corpus.design_advisor.DesignAdvisor` — ranked schema
+  proposals with ``sim = alpha*fit + beta*preference``, attribute
+  auto-complete and layout advice (the TA-table anecdote);
+* :class:`~repro.corpus.match.advisor.MatchingAdvisor` — corpus-assisted
+  schema matching via classifier-prediction correlation and via
+  DesignAdvisor pivoting, built over LSD-style multi-strategy learners.
+"""
+
+from repro.corpus.model import Corpus, CorpusSchema, MappingRecord
+from repro.corpus.stats import BasicStatistics, StatisticsOptions
+from repro.corpus.composite import CompositeStatistics, FrequentStructure
+from repro.corpus.design_advisor import DesignAdvisor, LayoutAdvice, SchemaProposal
+from repro.corpus.query_advisor import QueryAdvisor, QuerySuggestion
+
+__all__ = [
+    "BasicStatistics",
+    "CompositeStatistics",
+    "Corpus",
+    "CorpusSchema",
+    "DesignAdvisor",
+    "FrequentStructure",
+    "LayoutAdvice",
+    "MappingRecord",
+    "QueryAdvisor",
+    "QuerySuggestion",
+    "SchemaProposal",
+    "StatisticsOptions",
+]

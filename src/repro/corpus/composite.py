@@ -1,0 +1,144 @@
+"""Composite statistics: frequent partial structures (Section 4.2.2).
+
+"We will maintain only statistics on partial structures that appear
+frequently ... and estimate the statistics for other partial
+structures."  A *partial structure* here is a set of (normalized)
+attribute terms that appear together in a relation; frequent ones are
+mined with Apriori, and support for unseen sets is estimated from
+pairwise statistics (independence-style approximation).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.corpus.model import Corpus
+from repro.corpus.stats import StatisticsOptions
+
+
+@dataclass(frozen=True)
+class FrequentStructure:
+    """A frequently co-occurring attribute set, with its usual name."""
+
+    attributes: frozenset
+    support: int
+    typical_relation_names: tuple
+
+    def __contains__(self, term: str) -> bool:
+        return term in self.attributes
+
+
+class CompositeStatistics:
+    """Mined frequent attribute sets plus support estimation."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        options: StatisticsOptions | None = None,
+        min_support: int = 2,
+        max_size: int = 4,
+    ):  # noqa: D107
+        self.corpus = corpus
+        self.options = options or StatisticsOptions()
+        self.min_support = min_support
+        self.max_size = max_size
+        self._transactions: list[tuple[str, frozenset]] = []
+        self._support: dict[frozenset, int] = {}
+        self._mine()
+
+    # -- mining -----------------------------------------------------------------
+    def _mine(self) -> None:
+        normalize = self.options.normalize
+        for schema in self.corpus.schemas.values():
+            for relation, attributes in schema.relations.items():
+                signature = frozenset(normalize(a) for a in attributes)
+                if signature:
+                    self._transactions.append((normalize(relation), signature))
+        # Apriori over the attribute-set transactions.
+        singles: Counter = Counter()
+        for _name, signature in self._transactions:
+            for term in signature:
+                singles[frozenset([term])] += 1
+        level = {
+            itemset: count
+            for itemset, count in singles.items()
+            if count >= self.min_support
+        }
+        self._support.update(level)
+        size = 1
+        while level and size < self.max_size:
+            size += 1
+            candidates: set[frozenset] = set()
+            frequent_items = sorted({item for itemset in level for item in itemset})
+            for itemset in level:
+                for item in frequent_items:
+                    if item not in itemset:
+                        candidate = itemset | {item}
+                        if len(candidate) == size:
+                            candidates.add(candidate)
+            next_level: dict[frozenset, int] = {}
+            for candidate in candidates:
+                count = sum(
+                    1 for _name, signature in self._transactions if candidate <= signature
+                )
+                if count >= self.min_support:
+                    next_level[candidate] = count
+            self._support.update(next_level)
+            level = next_level
+
+    # -- access -------------------------------------------------------------------
+    def frequent_structures(self, min_size: int = 2) -> list[FrequentStructure]:
+        """All mined structures of at least ``min_size`` attributes."""
+        structures: list[FrequentStructure] = []
+        for itemset, support in self._support.items():
+            if len(itemset) < min_size:
+                continue
+            names: Counter = Counter()
+            for name, signature in self._transactions:
+                if itemset <= signature:
+                    names[name] += 1
+            structures.append(
+                FrequentStructure(itemset, support, tuple(n for n, _c in names.most_common(3)))
+            )
+        structures.sort(key=lambda s: (-s.support, -len(s.attributes), sorted(s.attributes)))
+        return structures
+
+    def support(self, attributes: frozenset | set) -> int:
+        """Exact support if mined; 0 otherwise (see :meth:`estimate_support`)."""
+        return self._support.get(frozenset(attributes), 0)
+
+    def estimate_support(self, attributes: frozenset | set) -> float:
+        """Estimated support for arbitrary (possibly unmined) sets.
+
+        Exact when mined; otherwise the geometric-mean chain estimate
+        from pairwise supports — the "estimate the statistics for other
+        partial structures" requirement.
+        """
+        attributes = frozenset(self.options.normalize(a) for a in attributes)
+        exact = self._support.get(attributes)
+        if exact is not None:
+            return float(exact)
+        if not attributes:
+            return 0.0
+        if len(attributes) == 1:
+            return 0.0  # below min_support, genuinely rare
+        total = max(len(self._transactions), 1)
+        pair_probabilities: list[float] = []
+        for pair in itertools.combinations(sorted(attributes), 2):
+            pair_support = self._support.get(frozenset(pair), 0)
+            pair_probabilities.append(pair_support / total)
+        if not pair_probabilities or all(p == 0.0 for p in pair_probabilities):
+            return 0.0
+        # Geometric mean of pairwise probabilities, scaled back to counts.
+        positive = [p for p in pair_probabilities if p > 0.0]
+        if len(positive) < len(pair_probabilities):
+            return 0.0  # some pair never co-occurs: the set cannot either
+        log_mean = sum(math.log(p) for p in positive) / len(positive)
+        return math.exp(log_mean) * total
+
+    def transaction_count(self) -> int:
+        """Number of relations mined over."""
+        return len(self._transactions)

@@ -1,0 +1,68 @@
+"""Schema matching: LSD-style learners, baselines and MATCHINGADVISOR.
+
+Section 4.3.2 sketches MATCHINGADVISOR as an extension of LSD [13] and
+GLUE [14]: multi-strategy learned classifiers whose correlated
+predictions on two unseen schemas suggest correspondences.  This
+package provides:
+
+* :mod:`~repro.corpus.match.base` — correspondences, match results and
+  precision/recall/F1/accuracy evaluation;
+* :mod:`~repro.corpus.match.learners` — the base learners (name, naive
+  Bayes over values, value formats, structural context);
+* :mod:`~repro.corpus.match.meta` — the multi-strategy meta-learner
+  (least-squares stacking, as in LSD);
+* :mod:`~repro.corpus.match.lsd` — the LSD workflow: train on sources
+  manually mapped to a mediated schema, predict mappings for new ones;
+* :mod:`~repro.corpus.match.matchers` — direct schema-to-schema
+  matchers and baselines (edit distance, Jaccard, COMA-like composite);
+* :mod:`~repro.corpus.match.advisor` — MATCHINGADVISOR: the
+  classifier-correlation method and the DesignAdvisor-pivot method.
+"""
+
+from repro.corpus.match.base import (
+    Correspondence,
+    MatchResult,
+    accuracy,
+    evaluate_matching,
+)
+from repro.corpus.match.learners import (
+    ElementSample,
+    FormatLearner,
+    NaiveBayesLearner,
+    NameLearner,
+    StructureLearner,
+    samples_of,
+)
+from repro.corpus.match.meta import MetaLearner
+from repro.corpus.match.lsd import LSDMatcher
+from repro.corpus.match.matchers import (
+    ComaLikeMatcher,
+    EditDistanceMatcher,
+    HybridMatcher,
+    InstanceMatcher,
+    JaccardTokenMatcher,
+    NameMatcher,
+)
+from repro.corpus.match.advisor import MatchingAdvisor
+
+__all__ = [
+    "ComaLikeMatcher",
+    "Correspondence",
+    "EditDistanceMatcher",
+    "ElementSample",
+    "FormatLearner",
+    "HybridMatcher",
+    "InstanceMatcher",
+    "JaccardTokenMatcher",
+    "LSDMatcher",
+    "MatchResult",
+    "MatchingAdvisor",
+    "MetaLearner",
+    "NaiveBayesLearner",
+    "NameLearner",
+    "NameMatcher",
+    "StructureLearner",
+    "accuracy",
+    "evaluate_matching",
+    "samples_of",
+]

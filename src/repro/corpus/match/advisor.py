@@ -1,0 +1,190 @@
+"""MATCHINGADVISOR: corpus-assisted matching of two unseen schemas.
+
+Section 4.3.2 sketches two ways to use the corpus:
+
+1. **Classifier correlation** — "Given two schemas S1 and S2, we apply
+   the classifiers in the corpus to their elements respectively, and
+   find correlations in the predictions ... if all (or most) of the
+   classifiers had the same prediction on element s1 and s2, then we
+   may hypothesize that s1 matches s2."  Corpus elements are grouped
+   into *concepts* (their normalized names); the LSD ensemble is
+   trained to recognize concepts; two elements match when their
+   predicted concept distributions correlate (cosine).
+
+2. **DesignAdvisor pivot** — "find two example schemas in the corpus
+   that are deemed ... similar to S1 and S2, and then use mappings
+   between those schemas within the corpus to map between S1 and S2."
+   When no stored mapping connects the pivots, both schemas are mapped
+   into the *same* best pivot and composed through it.
+"""
+
+from __future__ import annotations
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.corpus.match.base import MatchResult
+
+if typing.TYPE_CHECKING:  # deferred to avoid a circular import
+    from repro.corpus.design_advisor import DesignAdvisor
+from repro.corpus.match.learners import ElementSample, samples_of
+from repro.corpus.match.lsd import default_learners
+from repro.corpus.match.matchers import HybridMatcher, PairwiseMatcher
+from repro.corpus.match.meta import MetaLearner
+from repro.corpus.model import Corpus, CorpusSchema
+from repro.corpus.stats import StatisticsOptions
+from repro.text import SynonymTable
+
+
+class MatchingAdvisor:
+    """Corpus-backed matcher with correlation and pivot methods."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        synonyms: SynonymTable | None = None,
+        options: StatisticsOptions | None = None,
+        matcher: PairwiseMatcher | None = None,
+    ):  # noqa: D107
+        self.corpus = corpus
+        self.options = options or StatisticsOptions(synonyms=synonyms)
+        self.matcher = matcher or HybridMatcher(synonyms=synonyms)
+        self.meta = MetaLearner(default_learners(synonyms))
+        self._trained = False
+
+    # -- training over the corpus -----------------------------------------------
+    def _concept(self, sample: ElementSample) -> str:
+        return self.options.normalize(sample.name)
+
+    def train(self) -> None:
+        """Train the ensemble to recognize corpus concepts."""
+        samples: list[ElementSample] = []
+        labels: list[str] = []
+        for schema in self.corpus.schemas.values():
+            for sample in samples_of(schema):
+                samples.append(sample)
+                labels.append(self._concept(sample))
+        if not samples:
+            raise ValueError("corpus has no schemas to train on")
+        self.meta.fit(samples, labels)
+        self._trained = True
+
+    # -- method 1: classifier correlation --------------------------------------------
+    def match_by_correlation(
+        self,
+        schema_a: CorpusSchema,
+        schema_b: CorpusSchema,
+        threshold: float = 0.15,
+        one_to_one: bool = True,
+    ) -> MatchResult:
+        """Correlate ensemble predictions on both schemas' elements."""
+        if not self._trained:
+            self.train()
+        vectors_a = {
+            sample.path: self.meta.predict_vector(sample)
+            for sample in samples_of(schema_a)
+        }
+        vectors_b = {
+            sample.path: self.meta.predict_vector(sample)
+            for sample in samples_of(schema_b)
+        }
+        result = MatchResult()
+        for path_a, vector_a in vectors_a.items():
+            norm_a = np.linalg.norm(vector_a)
+            for path_b, vector_b in vectors_b.items():
+                norm_b = np.linalg.norm(vector_b)
+                if norm_a == 0.0 or norm_b == 0.0:
+                    continue
+                score = float(vector_a @ vector_b / (norm_a * norm_b))
+                if score >= threshold:
+                    result.add(path_a, path_b, score)
+        return result.one_to_one() if one_to_one else result.best_per_source()
+
+    # -- method 2: pivot through the corpus ----------------------------------------------
+    def match_by_pivot(
+        self,
+        schema_a: CorpusSchema,
+        schema_b: CorpusSchema,
+        advisor: "DesignAdvisor | None" = None,
+        threshold: float = 0.45,
+    ) -> MatchResult:
+        """Compose mappings through corpus pivot schema(s)."""
+        from repro.corpus.design_advisor import DesignAdvisor
+
+        advisor = advisor or DesignAdvisor(self.corpus, matcher=self.matcher)
+        proposals_a = advisor.propose(schema_a, limit=3)
+        proposals_b = advisor.propose(schema_b, limit=3)
+        if not proposals_a or not proposals_b:
+            return MatchResult()
+
+        # Prefer pivot pairs connected by a stored corpus mapping.
+        for proposal_a in proposals_a:
+            for proposal_b in proposals_b:
+                records = self.corpus.mappings_between(
+                    proposal_a.schema.name, proposal_b.schema.name
+                )
+                if not records:
+                    continue
+                record = records[0]
+                if record.source_schema == proposal_a.schema.name:
+                    pivot_map = record.forward()
+                else:
+                    pivot_map = record.backward()
+                return self._compose_three(
+                    proposal_a.mapping, pivot_map, proposal_b.mapping, threshold
+                )
+
+        # Fallback: both fragments into the same pivot, composed there.
+        pivot = proposals_a[0].schema
+        map_a = self.matcher.match(schema_a, pivot, one_to_one=True)
+        map_b = self.matcher.match(schema_b, pivot, one_to_one=True)
+        return self._compose_shared(map_a, map_b, threshold)
+
+    @staticmethod
+    def _compose_shared(
+        map_a: MatchResult, map_b: MatchResult, threshold: float
+    ) -> MatchResult:
+        """a -> pivot and b -> pivot composed into a -> b."""
+        by_pivot: dict[str, tuple[str, float]] = {}
+        for c in map_b:
+            if c.score >= threshold:
+                current = by_pivot.get(c.target)
+                if current is None or c.score > current[1]:
+                    by_pivot[c.target] = (c.source, c.score)
+        result = MatchResult()
+        for c in map_a:
+            if c.score < threshold:
+                continue
+            hit = by_pivot.get(c.target)
+            if hit is not None:
+                result.add(c.source, hit[0], c.score * hit[1])
+        return result.one_to_one()
+
+    @staticmethod
+    def _compose_three(
+        map_a: MatchResult,
+        pivot_map: dict[str, str],
+        map_b: MatchResult,
+        threshold: float,
+    ) -> MatchResult:
+        """a -> pivot1, pivot1 -> pivot2 (stored), b -> pivot2 composed."""
+        into_b: dict[str, tuple[str, float]] = {}
+        for c in map_b:
+            if c.score >= threshold:
+                current = into_b.get(c.target)
+                if current is None or c.score > current[1]:
+                    into_b[c.target] = (c.source, c.score)
+        result = MatchResult()
+        for c in map_a:
+            if c.score < threshold:
+                continue
+            pivot_target = pivot_map.get(c.target)
+            if pivot_target is None:
+                continue
+            hit = into_b.get(pivot_target)
+            if hit is not None:
+                result.add(c.source, hit[0], c.score * hit[1])
+        return result.one_to_one()

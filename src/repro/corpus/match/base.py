@@ -1,0 +1,96 @@
+"""Match results and evaluation metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Correspondence:
+    """One proposed element correspondence with a confidence score."""
+
+    source: str
+    target: str
+    score: float
+
+    def pair(self) -> tuple[str, str]:
+        """(source, target) without the score."""
+        return (self.source, self.target)
+
+
+@dataclass
+class MatchResult:
+    """A set of correspondences between two schemas."""
+
+    correspondences: list[Correspondence] = field(default_factory=list)
+
+    def add(self, source: str, target: str, score: float) -> None:
+        """Append one correspondence."""
+        self.correspondences.append(Correspondence(source, target, score))
+
+    def pairs(self) -> set[tuple[str, str]]:
+        """All (source, target) pairs."""
+        return {c.pair() for c in self.correspondences}
+
+    def filter(self, threshold: float) -> "MatchResult":
+        """Keep correspondences scoring at least ``threshold``."""
+        return MatchResult([c for c in self.correspondences if c.score >= threshold])
+
+    def best_per_source(self) -> "MatchResult":
+        """Keep only the top-scoring target for each source element."""
+        best: dict[str, Correspondence] = {}
+        for c in self.correspondences:
+            current = best.get(c.source)
+            if current is None or c.score > current.score:
+                best[c.source] = c
+        return MatchResult(sorted(best.values(), key=lambda c: c.source))
+
+    def one_to_one(self) -> "MatchResult":
+        """Greedy stable 1:1 assignment by descending score."""
+        chosen: list[Correspondence] = []
+        used_sources: set[str] = set()
+        used_targets: set[str] = set()
+        for c in sorted(self.correspondences, key=lambda c: (-c.score, c.source, c.target)):
+            if c.source in used_sources or c.target in used_targets:
+                continue
+            chosen.append(c)
+            used_sources.add(c.source)
+            used_targets.add(c.target)
+        return MatchResult(sorted(chosen, key=lambda c: c.source))
+
+    def mapping(self) -> dict[str, str]:
+        """source -> target dict (last write wins on duplicates)."""
+        return {c.source: c.target for c in self.correspondences}
+
+    def __len__(self) -> int:
+        return len(self.correspondences)
+
+    def __iter__(self):
+        return iter(self.correspondences)
+
+
+def evaluate_matching(
+    predicted: MatchResult, gold: set[tuple[str, str]]
+) -> dict[str, float]:
+    """Precision / recall / F1 of predicted pairs against gold pairs."""
+    predicted_pairs = predicted.pairs()
+    true_positives = len(predicted_pairs & gold)
+    precision = true_positives / len(predicted_pairs) if predicted_pairs else 0.0
+    recall = true_positives / len(gold) if gold else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def accuracy(predicted: MatchResult, gold: dict[str, str]) -> float:
+    """LSD-style matching accuracy: the fraction of source elements whose
+    single predicted target is the correct one.  This is the metric of
+    the paper's "accuracies in the 70%-90% range" claim."""
+    if not gold:
+        return 1.0
+    best = predicted.best_per_source().mapping()
+    correct = sum(1 for source, target in gold.items() if best.get(source) == target)
+    return correct / len(gold)

@@ -1,0 +1,314 @@
+"""The LSD base learners.
+
+"The system uses a multi-strategy learning method that can employ
+multiple learners, thereby having the ability to learn from different
+kinds of information in the input (e.g., values of the data instances,
+names of attributes, proximity of attributes, structure of the schema,
+etc)." (Section 4.3.2.)  Four learners cover those signals:
+
+* :class:`NameLearner` — attribute-name similarity (nearest neighbour
+  over string measures, synonym-aware);
+* :class:`NaiveBayesLearner` — multinomial naive Bayes over the word
+  tokens of data values (LSD's content learner);
+* :class:`FormatLearner` — naive Bayes over value *shape* features
+  (digits, separators, emails, dates...), which distinguishes e.g.
+  phone from office number even when vocabulary overlaps;
+* :class:`StructureLearner` — cosine over neighbouring-attribute token
+  profiles ("proximity of attributes").
+
+Every learner maps an :class:`ElementSample` to a score per label and
+normalizes scores into a distribution, so the meta-learner can combine
+them.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.corpus.model import CorpusSchema
+from repro.text import (
+    SynonymTable,
+    jaro_winkler,
+    token_set_similarity,
+    tokenize,
+    tokenize_identifier,
+)
+from repro.text.tfidf import cosine_similarity
+
+
+@dataclass
+class ElementSample:
+    """Everything the learners may look at for one attribute."""
+
+    path: str  # "relation.attribute"
+    name: str  # attribute name
+    values: list = field(default_factory=list)
+    neighbors: list = field(default_factory=list)
+    relation: str = ""
+
+
+def samples_of(schema: CorpusSchema, max_values: int = 50) -> list[ElementSample]:
+    """Build one sample per attribute of a schema."""
+    samples: list[ElementSample] = []
+    for path in schema.attribute_paths():
+        relation, _, attribute = path.partition(".")
+        values = schema.column_values(path)[:max_values]
+        samples.append(
+            ElementSample(
+                path=path,
+                name=attribute,
+                values=values,
+                neighbors=schema.neighbors(path),
+                relation=relation,
+            )
+        )
+    return samples
+
+
+def _normalize_scores(scores: dict[str, float]) -> dict[str, float]:
+    total = sum(scores.values())
+    if total <= 0:
+        count = len(scores)
+        return {label: 1.0 / count for label in scores} if count else {}
+    return {label: value / total for label, value in scores.items()}
+
+
+class BaseLearner:
+    """Interface: fit labeled samples, predict a score distribution."""
+
+    name = "base"
+
+    def fit(self, samples: list[ElementSample], labels: list[str]) -> None:
+        """Train from samples paired with their true labels."""
+        raise NotImplementedError
+
+    def predict(self, sample: ElementSample) -> dict[str, float]:
+        """Distribution over labels (higher = more likely)."""
+        raise NotImplementedError
+
+
+class NameLearner(BaseLearner):
+    """Nearest-neighbour over attribute-name similarity.
+
+    Scores combine the local attribute name with the *qualified* path
+    (relation + attribute), so ``faculty.name`` prefers the mediated
+    ``instructor.name`` over ``department.name`` — the relation context
+    disambiguates homonym attributes like ``id`` and ``name``.
+    """
+
+    name = "name"
+
+    def __init__(self, synonyms: SynonymTable | None = None, path_weight: float = 0.5):  # noqa: D107
+        self.synonyms = synonyms
+        self.path_weight = path_weight
+        self._exemplars_per_label: dict[str, set[tuple[str, str]]] = {}
+
+    def fit(self, samples: list[ElementSample], labels: list[str]) -> None:
+        self._exemplars_per_label = {}
+        for sample, label in zip(samples, labels):
+            exemplars = self._exemplars_per_label.setdefault(label, set())
+            exemplars.add((sample.name, sample.path))
+            # The label itself is also an exemplar (local part + path).
+            exemplars.add((label.rsplit(".", 1)[-1], label))
+
+    def _name_similarity(self, a: str, b: str) -> float:
+        score = max(jaro_winkler(a.lower(), b.lower()), token_set_similarity(a, b))
+        if self.synonyms is not None:
+            tokens_a = tokenize_identifier(a, expand_abbreviations=True)
+            tokens_b = tokenize_identifier(b, expand_abbreviations=True)
+            canon_a = {self.synonyms.canonical(t) for t in tokens_a}
+            canon_b = {self.synonyms.canonical(t) for t in tokens_b}
+            if canon_a and canon_a == canon_b:
+                score = max(score, 1.0)
+            elif canon_a & canon_b:
+                score = max(score, 0.8)
+        return score
+
+    def predict(self, sample: ElementSample) -> dict[str, float]:
+        sample_path = sample.path or sample.name
+        scores: dict[str, float] = {}
+        for label, exemplars in self._exemplars_per_label.items():
+            best = 0.0
+            for exemplar_name, exemplar_path in exemplars:
+                local = self._name_similarity(sample.name, exemplar_name)
+                path = self._name_similarity(sample_path, exemplar_path)
+                best = max(best, (1 - self.path_weight) * local + self.path_weight * path)
+            scores[label] = best
+        return _normalize_scores(scores)
+
+
+class NaiveBayesLearner(BaseLearner):
+    """Multinomial naive Bayes over the word tokens of data values."""
+
+    name = "naive-bayes"
+
+    def __init__(self, smoothing: float = 1.0):  # noqa: D107
+        self.smoothing = smoothing
+        self._token_counts: dict[str, Counter] = {}
+        self._label_totals: Counter = Counter()
+        self._label_priors: Counter = Counter()
+        self._vocabulary: set[str] = set()
+
+    @staticmethod
+    def _tokens(values: list) -> list[str]:
+        tokens: list[str] = []
+        for value in values:
+            if isinstance(value, (int, float)):
+                tokens.append("#number")
+                continue
+            tokens.extend(tokenize(str(value)))
+        return tokens
+
+    def fit(self, samples: list[ElementSample], labels: list[str]) -> None:
+        self._token_counts = {}
+        self._label_totals = Counter()
+        self._label_priors = Counter()
+        self._vocabulary = set()
+        for sample, label in zip(samples, labels):
+            counts = self._token_counts.setdefault(label, Counter())
+            tokens = self._tokens(sample.values)
+            counts.update(tokens)
+            self._label_totals[label] += len(tokens)
+            self._label_priors[label] += 1
+            self._vocabulary.update(tokens)
+
+    def predict(self, sample: ElementSample) -> dict[str, float]:
+        tokens = self._tokens(sample.values)
+        if not self._label_priors:
+            return {}
+        total_samples = sum(self._label_priors.values())
+        vocabulary_size = max(len(self._vocabulary), 1)
+        log_scores: dict[str, float] = {}
+        for label, prior in self._label_priors.items():
+            log_score = math.log(prior / total_samples)
+            counts = self._token_counts.get(label, Counter())
+            denominator = self._label_totals[label] + self.smoothing * vocabulary_size
+            for token in tokens[:200]:
+                numerator = counts.get(token, 0) + self.smoothing
+                log_score += math.log(numerator / denominator)
+            log_scores[label] = log_score
+        # Soften to a distribution (log-sum-exp).
+        peak = max(log_scores.values())
+        scores = {label: math.exp(value - peak) for label, value in log_scores.items()}
+        return _normalize_scores(scores)
+
+
+_FORMAT_PATTERNS: list[tuple[str, re.Pattern]] = [
+    ("email", re.compile(r"^[^@\s]+@[^@\s]+\.[^@\s]+$")),
+    ("phone", re.compile(r"^[+()\d][\d\s().-]{6,}$")),
+    ("date", re.compile(r"^\d{4}-\d{2}-\d{2}$|^\d{1,2}/\d{1,2}/\d{2,4}$")),
+    ("time", re.compile(r"^\d{1,2}:\d{2}\s*(am|pm)?$", re.IGNORECASE)),
+    ("url", re.compile(r"^https?://")),
+    ("integer", re.compile(r"^\d+$")),
+    ("decimal", re.compile(r"^\d+\.\d+$")),
+    ("code", re.compile(r"^[A-Z]{2,6}\s?\d{2,4}$")),
+]
+
+
+def format_features(value: object) -> list[str]:
+    """Shape features of one value."""
+    if isinstance(value, bool):
+        return ["boolean"]
+    if isinstance(value, int):
+        return ["integer", "numeric"]
+    if isinstance(value, float):
+        return ["decimal", "numeric"]
+    text = str(value).strip()
+    features: list[str] = []
+    for name, pattern in _FORMAT_PATTERNS:
+        if pattern.match(text):
+            features.append(name)
+    if not features:
+        words = len(text.split())
+        if words >= 8:
+            features.append("long-text")
+        elif words >= 2:
+            features.append("phrase")
+        else:
+            features.append("word")
+    if text[:1].isupper():
+        features.append("capitalized")
+    if any(ch.isdigit() for ch in text) and any(ch.isalpha() for ch in text):
+        features.append("alphanumeric")
+    features.append(f"len-{min(len(text) // 8, 4)}")
+    return features
+
+
+class FormatLearner(BaseLearner):
+    """Naive Bayes over value-shape features."""
+
+    name = "format"
+
+    def __init__(self, smoothing: float = 1.0):  # noqa: D107
+        self.smoothing = smoothing
+        self._feature_counts: dict[str, Counter] = {}
+        self._label_totals: Counter = Counter()
+        self._label_priors: Counter = Counter()
+        self._features: set[str] = set()
+
+    def fit(self, samples: list[ElementSample], labels: list[str]) -> None:
+        self._feature_counts = {}
+        self._label_totals = Counter()
+        self._label_priors = Counter()
+        self._features = set()
+        for sample, label in zip(samples, labels):
+            counts = self._feature_counts.setdefault(label, Counter())
+            for value in sample.values:
+                features = format_features(value)
+                counts.update(features)
+                self._label_totals[label] += len(features)
+                self._features.update(features)
+            self._label_priors[label] += 1
+
+    def predict(self, sample: ElementSample) -> dict[str, float]:
+        if not self._label_priors:
+            return {}
+        features: list[str] = []
+        for value in sample.values[:50]:
+            features.extend(format_features(value))
+        total_samples = sum(self._label_priors.values())
+        feature_count = max(len(self._features), 1)
+        log_scores: dict[str, float] = {}
+        for label, prior in self._label_priors.items():
+            log_score = math.log(prior / total_samples)
+            counts = self._feature_counts.get(label, Counter())
+            denominator = self._label_totals[label] + self.smoothing * feature_count
+            for feature in features:
+                log_score += math.log((counts.get(feature, 0) + self.smoothing) / denominator)
+            log_scores[label] = log_score
+        peak = max(log_scores.values())
+        scores = {label: math.exp(value - peak) for label, value in log_scores.items()}
+        return _normalize_scores(scores)
+
+
+class StructureLearner(BaseLearner):
+    """Match by the company an attribute keeps: its siblings' tokens."""
+
+    name = "structure"
+
+    def __init__(self):  # noqa: D107
+        self._profiles: dict[str, Counter] = {}
+
+    @staticmethod
+    def _profile(neighbors: list[str]) -> Counter:
+        tokens: Counter = Counter()
+        for neighbor in neighbors:
+            tokens.update(tokenize_identifier(neighbor, expand_abbreviations=True))
+        return tokens
+
+    def fit(self, samples: list[ElementSample], labels: list[str]) -> None:
+        self._profiles = {}
+        for sample, label in zip(samples, labels):
+            profile = self._profiles.setdefault(label, Counter())
+            profile.update(self._profile(sample.neighbors))
+
+    def predict(self, sample: ElementSample) -> dict[str, float]:
+        vector = dict(self._profile(sample.neighbors))
+        scores = {
+            label: cosine_similarity(vector, dict(profile))
+            for label, profile in self._profiles.items()
+        }
+        return _normalize_scores(scores)

@@ -1,0 +1,200 @@
+"""Direct schema-to-schema matchers and the baselines for benchmark C1.
+
+These do not use a corpus or training data; they compare two schemas'
+elements pairwise.  ``EditDistanceMatcher`` and ``JaccardTokenMatcher``
+are the naive baselines; ``ComaLikeMatcher`` is a composite matcher in
+the style of COMA (multiple similarity measures aggregated, then
+selected by threshold-and-delta); ``HybridMatcher`` adds instance and
+structure evidence, the strongest corpus-free configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.match.base import MatchResult
+from repro.corpus.match.learners import format_features
+from repro.corpus.model import CorpusSchema
+from repro.text import (
+    SynonymTable,
+    jaccard,
+    jaro_winkler,
+    levenshtein_ratio,
+    ngram_similarity,
+    token_set_similarity,
+    tokenize_identifier,
+)
+
+
+class PairwiseMatcher:
+    """Base: score every (source attribute, target attribute) pair."""
+
+    name = "pairwise"
+
+    def score(self, source: CorpusSchema, source_path: str, target: CorpusSchema, target_path: str) -> float:
+        """Similarity of one element pair in [0, 1]."""
+        raise NotImplementedError
+
+    def match(
+        self,
+        source: CorpusSchema,
+        target: CorpusSchema,
+        threshold: float = 0.0,
+        one_to_one: bool = True,
+    ) -> MatchResult:
+        """Full similarity matrix, then selection."""
+        result = MatchResult()
+        for source_path in source.attribute_paths():
+            for target_path in target.attribute_paths():
+                value = self.score(source, source_path, target, target_path)
+                if value >= threshold:
+                    result.add(source_path, target_path, value)
+        return result.one_to_one() if one_to_one else result.best_per_source()
+
+
+def _local(path: str) -> str:
+    return path.rsplit(".", 1)[-1]
+
+
+@dataclass
+class EditDistanceMatcher(PairwiseMatcher):
+    """Baseline: normalized Levenshtein over local attribute names."""
+
+    name = "edit-distance"
+
+    def score(self, source, source_path, target, target_path) -> float:
+        return levenshtein_ratio(_local(source_path).lower(), _local(target_path).lower())
+
+
+@dataclass
+class JaccardTokenMatcher(PairwiseMatcher):
+    """Baseline: Jaccard over identifier tokens (abbreviation-expanded)."""
+
+    name = "jaccard-tokens"
+
+    def score(self, source, source_path, target, target_path) -> float:
+        return token_set_similarity(_local(source_path), _local(target_path))
+
+
+@dataclass
+class NameMatcher(PairwiseMatcher):
+    """Name matcher combining several string measures + synonyms."""
+
+    name = "name"
+    synonyms: SynonymTable | None = None
+
+    def score(self, source, source_path, target, target_path) -> float:
+        a, b = _local(source_path), _local(target_path)
+        base = max(
+            jaro_winkler(a.lower(), b.lower()),
+            token_set_similarity(a, b),
+            ngram_similarity(a.lower(), b.lower()),
+        )
+        if self.synonyms is not None:
+            tokens_a = {self.synonyms.canonical(t) for t in tokenize_identifier(a, True)}
+            tokens_b = {self.synonyms.canonical(t) for t in tokenize_identifier(b, True)}
+            if tokens_a and tokens_a == tokens_b:
+                return 1.0
+            if tokens_a & tokens_b:
+                base = max(base, 0.8)
+        return base
+
+
+@dataclass
+class InstanceMatcher(PairwiseMatcher):
+    """Instance evidence: value overlap plus format-feature similarity."""
+
+    name = "instance"
+    max_values: int = 100
+
+    def score(self, source, source_path, target, target_path) -> float:
+        values_a = source.column_values(source_path)[: self.max_values]
+        values_b = target.column_values(target_path)[: self.max_values]
+        if not values_a or not values_b:
+            return 0.0
+        set_a = {str(v).lower() for v in values_a}
+        set_b = {str(v).lower() for v in values_b}
+        overlap = jaccard(set_a, set_b)
+        features_a = {f for v in values_a for f in format_features(v)}
+        features_b = {f for v in values_b for f in format_features(v)}
+        shape = jaccard(features_a, features_b)
+        return 0.6 * overlap + 0.4 * shape
+
+
+@dataclass
+class ComaLikeMatcher(PairwiseMatcher):
+    """COMA-style composite: aggregate several measures, pick by
+    threshold-and-delta within each source element's candidates."""
+
+    name = "coma"
+    aggregation: str = "avg"  # "avg" | "max"
+    delta: float = 0.02
+    synonyms: SynonymTable | None = None
+
+    def __post_init__(self):  # noqa: D105
+        self._measures = [
+            EditDistanceMatcher(),
+            JaccardTokenMatcher(),
+            NameMatcher(synonyms=self.synonyms),
+        ]
+
+    def score(self, source, source_path, target, target_path) -> float:
+        values = [
+            measure.score(source, source_path, target, target_path)
+            for measure in self._measures
+        ]
+        if self.aggregation == "max":
+            return max(values)
+        return sum(values) / len(values)
+
+    def match(self, source, target, threshold: float = 0.45, one_to_one: bool = True) -> MatchResult:
+        # Threshold + delta selection: keep candidates within `delta` of
+        # each source element's best, then resolve 1:1 globally.
+        raw = MatchResult()
+        for source_path in source.attribute_paths():
+            scored = [
+                (target_path, self.score(source, source_path, target, target_path))
+                for target_path in target.attribute_paths()
+            ]
+            if not scored:
+                continue
+            best = max(score for _t, score in scored)
+            for target_path, score in scored:
+                if score >= threshold and score >= best - self.delta:
+                    raw.add(source_path, target_path, score)
+        return raw.one_to_one() if one_to_one else raw.best_per_source()
+
+
+@dataclass
+class HybridMatcher(PairwiseMatcher):
+    """Name + instance + structural context, weighted.
+
+    The strongest corpus-free matcher; benchmark C1 compares it and the
+    LSD ensemble against the single-signal baselines.
+    """
+
+    name = "hybrid"
+    synonyms: SynonymTable | None = None
+    name_weight: float = 0.5
+    instance_weight: float = 0.35
+    structure_weight: float = 0.15
+
+    def __post_init__(self):  # noqa: D105
+        self._name = NameMatcher(synonyms=self.synonyms)
+        self._instance = InstanceMatcher()
+
+    def score(self, source, source_path, target, target_path) -> float:
+        name_score = self._name.score(source, source_path, target, target_path)
+        instance_score = self._instance.score(source, source_path, target, target_path)
+        neighbors_a = set()
+        for neighbor in source.neighbors(source_path):
+            neighbors_a.update(tokenize_identifier(neighbor, True))
+        neighbors_b = set()
+        for neighbor in target.neighbors(target_path):
+            neighbors_b.update(tokenize_identifier(neighbor, True))
+        structure_score = jaccard(neighbors_a, neighbors_b)
+        return (
+            self.name_weight * name_score
+            + self.instance_weight * instance_score
+            + self.structure_weight * structure_score
+        )

@@ -1,0 +1,147 @@
+"""The multi-strategy meta-learner (LSD's stacking combiner).
+
+LSD combines its base learners with regression-trained weights; here the
+weights are fit by non-negative least squares on a held-out fraction of
+the training data (numpy ``lstsq`` + clipping, which is ample at this
+scale).  If training data is too small to stack, weights fall back to
+uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.match.learners import BaseLearner, ElementSample
+
+_RRF_K = 1.0
+
+
+def _combine(weights, predictions, labels) -> dict[str, float]:
+    """Weighted reciprocal-rank fusion of the learners' score lists.
+
+    Base learners emit distributions on wildly different scales (naive
+    Bayes is near-one-hot, name similarity is diffuse), so combining raw
+    scores lets one overconfident learner veto the rest.  Rank fusion
+    (``1 / (k + rank)`` per learner, weighted) is scale-free: each
+    learner contributes its *ordering*, with influence set by its weight.
+    """
+    label_set = set(labels)
+    for scores in predictions:
+        label_set.update(scores)
+    combined: dict[str, float] = dict.fromkeys(label_set, 0.0)
+    for weight, scores in zip(weights, predictions):
+        if weight == 0.0 or not scores:
+            continue
+        ranked = sorted(scores.items(), key=lambda item: -item[1])
+        for rank, (label, _score) in enumerate(ranked, start=1):
+            combined[label] += float(weight) / (_RRF_K + rank)
+    total = sum(combined.values())
+    if total > 0:
+        combined = {label: score / total for label, score in combined.items()}
+    return combined
+
+
+class MetaLearner:
+    """Weighted combination of base learners."""
+
+    def __init__(self, learners: list[BaseLearner], stack_fraction: float = 0.33):  # noqa: D107
+        if not learners:
+            raise ValueError("MetaLearner needs at least one base learner")
+        self.learners = learners
+        self.stack_fraction = stack_fraction
+        self.weights = np.ones(len(learners)) / len(learners)
+        self.labels: list[str] = []
+
+    def fit(self, samples: list[ElementSample], labels: list[str]) -> None:
+        """Train base learners, then fit combination weights by stacking.
+
+        Two weighting candidates are fit on the held-out fraction —
+        non-negative least squares over the score matrix (LSD's
+        regression) and per-learner holdout accuracy (robust when some
+        learners emit peaked and others diffuse distributions) — and the
+        one with the higher holdout accuracy wins.
+        """
+        self.labels = sorted(set(labels))
+        holdout = max(1, int(len(samples) * self.stack_fraction))
+        if len(samples) <= len(self.learners) or len(samples) - holdout < 1:
+            for learner in self.learners:
+                learner.fit(samples, labels)
+            self.weights = np.ones(len(self.learners)) / len(self.learners)
+            return
+        train_samples, train_labels = samples[:-holdout], labels[:-holdout]
+        stack_samples, stack_labels = samples[-holdout:], labels[-holdout:]
+        for learner in self.learners:
+            learner.fit(train_samples, train_labels)
+        predictions_per_sample = [
+            [learner.predict(sample) for learner in self.learners]
+            for sample in stack_samples
+        ]
+
+        # Candidate 1: least-squares regression weights.
+        rows: list[list[float]] = []
+        targets: list[float] = []
+        for predictions, true_label in zip(predictions_per_sample, stack_labels):
+            for label in self.labels:
+                rows.append([p.get(label, 0.0) for p in predictions])
+                targets.append(1.0 if label == true_label else 0.0)
+        candidates: list[np.ndarray] = []
+        matrix = np.asarray(rows)
+        vector = np.asarray(targets)
+        if matrix.size and np.linalg.matrix_rank(matrix) > 0:
+            solution, *_ = np.linalg.lstsq(matrix, vector, rcond=None)
+            solution = np.clip(solution, 0.0, None)
+            if solution.sum() > 0:
+                candidates.append(solution / solution.sum())
+
+        # Candidate 2: per-learner holdout accuracy (squared to sharpen).
+        accuracies = np.zeros(len(self.learners))
+        for index in range(len(self.learners)):
+            correct = 0
+            for predictions, true_label in zip(predictions_per_sample, stack_labels):
+                scores = predictions[index]
+                if scores and max(scores, key=scores.get) == true_label:
+                    correct += 1
+            accuracies[index] = correct / max(len(stack_samples), 1)
+        if accuracies.sum() > 0:
+            sharpened = accuracies**2
+            candidates.append(sharpened / sharpened.sum())
+        candidates.append(np.ones(len(self.learners)) / len(self.learners))
+
+        def holdout_quality(weights: np.ndarray) -> tuple[float, float]:
+            """(accuracy, MRR of the true label) — MRR breaks ties."""
+            correct = 0
+            reciprocal_ranks = 0.0
+            for predictions, true_label in zip(predictions_per_sample, stack_labels):
+                combined = _combine(weights, predictions, self.labels)
+                if not combined:
+                    continue
+                ranked = sorted(combined.items(), key=lambda item: -item[1])
+                if ranked[0][0] == true_label:
+                    correct += 1
+                for rank, (label, _score) in enumerate(ranked, start=1):
+                    if label == true_label:
+                        reciprocal_ranks += 1.0 / rank
+                        break
+            count = max(len(stack_samples), 1)
+            return (correct / count, reciprocal_ranks / count)
+
+        self.weights = max(candidates, key=holdout_quality)
+        # Refit base learners on everything for final predictions.
+        for learner in self.learners:
+            learner.fit(samples, labels)
+
+    def predict(self, sample: ElementSample) -> dict[str, float]:
+        """Weighted product-of-experts over the base learners.
+
+        Geometric combination lets a confident learner *veto* a label
+        (e.g. the structure learner ruling out attributes of the wrong
+        relation) where an additive mixture would merely dilute it.
+        """
+        predictions = [learner.predict(sample) for learner in self.learners]
+        return _combine(self.weights, predictions, self.labels)
+
+    def predict_vector(self, sample: ElementSample) -> np.ndarray:
+        """Prediction as a dense vector over ``self.labels`` (for the
+        MATCHINGADVISOR correlation method)."""
+        scores = self.predict(sample)
+        return np.asarray([scores.get(label, 0.0) for label in self.labels])

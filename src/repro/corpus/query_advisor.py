@@ -1,0 +1,225 @@
+"""QUERYADVISOR: querying unfamiliar data with the corpus (Section 4.4).
+
+"A user should be able to access a database ... the schema of which she
+does not know, and pose a query using her own terminology.  One can
+imagine a tool that uses the corpus to propose reformulations of the
+user's query that are well formed w.r.t. the schema at hand.  The tool
+may propose a few such queries (possibly with example answers), and let
+the user choose among them or refine them."
+
+Two entry points:
+
+* :meth:`QueryAdvisor.suggest_from_keywords` — U-WORLD input ("history
+  instructor") to ranked, runnable conjunctive queries over the target
+  schema, each with example answers;
+* :meth:`QueryAdvisor.reformulate` — a query written in the *user's own*
+  vocabulary (own relation/attribute names) rewritten against the
+  target schema, using the same matching machinery that powers
+  MATCHINGADVISOR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.match.matchers import HybridMatcher, PairwiseMatcher
+from repro.corpus.model import Corpus, CorpusSchema
+from repro.corpus.stats import BasicStatistics, StatisticsOptions
+from repro.piazza.datalog import Atom, ConjunctiveQuery, Var, evaluate_query
+from repro.piazza.parse import parse_query
+from repro.text import default_synonyms, jaro_winkler, token_set_similarity
+
+
+@dataclass
+class QuerySuggestion:
+    """One proposed well-formed query with sample answers."""
+
+    query: ConjunctiveQuery
+    text: str
+    score: float
+    matched_terms: dict = field(default_factory=dict)  # keyword -> element path
+    examples: list = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"{self.text}   (score {self.score:.2f})"
+
+
+def _schema_instance(schema: CorpusSchema) -> dict:
+    """The schema's data as a datalog instance keyed by relation name."""
+    return {
+        relation: {tuple(row) for row in rows}
+        for relation, rows in schema.data.items()
+    }
+
+
+class QueryAdvisor:
+    """Propose well-formed queries over a schema the user does not know."""
+
+    def __init__(
+        self,
+        corpus: Corpus | None = None,
+        options: StatisticsOptions | None = None,
+        matcher: PairwiseMatcher | None = None,
+    ):  # noqa: D107
+        self.corpus = corpus
+        self.options = options or StatisticsOptions(synonyms=default_synonyms())
+        self.matcher = matcher or HybridMatcher(synonyms=default_synonyms())
+        self.stats = (
+            BasicStatistics(corpus, self.options) if corpus is not None else None
+        )
+
+    # -- keyword entry point ---------------------------------------------------
+    def _element_score(self, keyword: str, path: str) -> float:
+        """How well one keyword denotes one schema element."""
+        local = path.rsplit(".", 1)[-1]
+        score = max(
+            jaro_winkler(keyword.lower(), local.lower()),
+            token_set_similarity(keyword, local),
+        )
+        if self.options.normalize(keyword) == self.options.normalize(local):
+            score = 1.0
+        # Corpus help: terms whose usage profile resembles the keyword's
+        # also vote for the element (the "similar names" statistic).
+        if score < 0.95 and self.stats is not None:
+            for similar, similarity in self.stats.similar_names(keyword, limit=5):
+                if similar == self.options.normalize(local):
+                    score = max(score, 0.6 + 0.3 * similarity)
+        return score
+
+    def suggest_from_keywords(
+        self,
+        keywords: list[str] | str,
+        schema: CorpusSchema,
+        limit: int = 3,
+        min_score: float = 0.5,
+        examples: int = 3,
+    ) -> list[QuerySuggestion]:
+        """Ranked conjunctive queries covering the keywords.
+
+        Each suggestion selects one relation of ``schema`` (keywords
+        must not straddle relations — a deliberate simplification),
+        projects the attributes the keywords matched, and carries up to
+        ``examples`` sample answers evaluated over the schema's data.
+        """
+        if isinstance(keywords, str):
+            keywords = keywords.split()
+        suggestions: list[QuerySuggestion] = []
+        instance = _schema_instance(schema)
+        for relation, attributes in schema.relations.items():
+            matched: dict[str, tuple[str, float]] = {}
+            for keyword in keywords:
+                best_path, best_score = None, min_score
+                for attribute in attributes:
+                    path = f"{relation}.{attribute}"
+                    score = self._element_score(keyword, path)
+                    if score > best_score:
+                        best_path, best_score = path, score
+                # The relation name itself may be what the keyword means
+                # (slightly discounted: attribute evidence is more
+                # specific than naming the table).
+                relation_score = 0.85 * self._element_score(keyword, relation)
+                if relation_score > best_score:
+                    best_path, best_score = relation, relation_score
+                if best_path is not None:
+                    matched[keyword] = (best_path, best_score)
+            if not matched:
+                continue
+            coverage = len(matched) / len(keywords)
+            strength = sum(score for _p, score in matched.values()) / len(matched)
+            projected = [
+                path.rsplit(".", 1)[-1]
+                for path, _score in matched.values()
+                if "." in path
+            ] or attributes[:1]
+            variables = {
+                attribute: Var(f"v{index}") for index, attribute in enumerate(attributes)
+            }
+            head = Atom("q", tuple(variables[a] for a in projected))
+            body = (Atom(relation, tuple(variables[a] for a in attributes)),)
+            query = ConjunctiveQuery(head, body)
+            answers = sorted(evaluate_query(query, instance), key=str)[:examples]
+            text = (
+                f"q({', '.join(repr(variables[a]) for a in projected)}) :- "
+                f"{relation}({', '.join(repr(variables[a]) for a in attributes)})"
+            )
+            suggestions.append(
+                QuerySuggestion(
+                    query=query,
+                    text=text,
+                    score=0.7 * coverage + 0.3 * strength,
+                    matched_terms={k: p for k, (p, _s) in matched.items()},
+                    examples=answers,
+                )
+            )
+        suggestions.sort(key=lambda s: (-s.score, s.text))
+        return suggestions[:limit]
+
+    # -- own-vocabulary query entry point --------------------------------------------
+    def reformulate(
+        self,
+        user_query: str | ConjunctiveQuery,
+        user_schema: CorpusSchema,
+        target_schema: CorpusSchema,
+        min_score: float = 0.4,
+    ) -> QuerySuggestion | None:
+        """Rewrite a query phrased in the user's own schema vocabulary.
+
+        The user's schema (their mental model, possibly just the
+        relations referenced by the query) is matched against the target
+        schema; atoms are renamed and argument positions permuted
+        according to the attribute correspondences.  Returns None when
+        some referenced relation has no credible counterpart.
+        """
+        if isinstance(user_query, str):
+            user_query = parse_query(user_query)
+        correspondences = self.matcher.match(user_schema, target_schema).filter(min_score)
+        attribute_map = correspondences.mapping()
+        rewritten_atoms: list[Atom] = []
+        matched_terms: dict[str, str] = {}
+        total_score = 0.0
+        for atom in user_query.body:
+            relation = atom.predicate
+            attributes = user_schema.relations.get(relation)
+            if attributes is None or len(attributes) != len(atom.args):
+                return None
+            # Find the target relation most of this atom's attributes map to.
+            votes: dict[str, int] = {}
+            for attribute in attributes:
+                target_path = attribute_map.get(f"{relation}.{attribute}")
+                if target_path is not None:
+                    votes[target_path.split(".", 1)[0]] = (
+                        votes.get(target_path.split(".", 1)[0], 0) + 1
+                    )
+            if not votes:
+                return None
+            target_relation = max(votes, key=lambda r: votes[r])
+            target_attributes = target_schema.relations[target_relation]
+            # Place the user's arguments at the mapped positions; unmapped
+            # target positions become fresh variables.
+            args: list = [
+                Var(f"fresh_{target_relation}_{index}")
+                for index in range(len(target_attributes))
+            ]
+            for position, attribute in enumerate(attributes):
+                target_path = attribute_map.get(f"{relation}.{attribute}")
+                if target_path is None or not target_path.startswith(
+                    f"{target_relation}."
+                ):
+                    continue
+                target_attribute = target_path.split(".", 1)[1]
+                args[target_attributes.index(target_attribute)] = atom.args[position]
+                matched_terms[f"{relation}.{attribute}"] = target_path
+            rewritten_atoms.append(Atom(target_relation, tuple(args)))
+            total_score += votes[target_relation] / len(attributes)
+        rewritten = ConjunctiveQuery(user_query.head, tuple(rewritten_atoms))
+        if not rewritten.is_safe():
+            return None
+        instance = _schema_instance(target_schema)
+        answers = sorted(evaluate_query(rewritten, instance), key=str)[:3]
+        return QuerySuggestion(
+            query=rewritten,
+            text=repr(rewritten),
+            score=total_score / max(len(user_query.body), 1),
+            matched_terms=matched_terms,
+            examples=answers,
+        )

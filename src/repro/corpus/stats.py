@@ -1,0 +1,214 @@
+"""Basic statistics over the corpus (Section 4.2.1).
+
+Three families, exactly as the paper enumerates:
+
+* **Term usage** — "how frequently the term is used as a relation name,
+  attribute name, or in data (both as a percent of all of its uses and
+  as a percent of structures in the corpus)";
+* **Co-occurring schema elements** — which attribute terms appear
+  together in relations (scored with pointwise mutual information), and
+  attribute clusters;
+* **Similar names** — "which other words tend to be used with similar
+  statistical characteristics" (cosine over co-occurrence profiles).
+
+Every statistic respects :class:`StatisticsOptions`: "we maintain
+different versions, depending on whether we take into consideration
+word stemming, synonym tables, inter-language dictionaries, or any
+combination of these three."
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.corpus.model import Corpus
+from repro.text import SynonymTable, TranslationTable, porter_stem, tokenize_identifier
+from repro.text.tfidf import cosine_similarity
+
+ROLES = ("relation", "attribute", "data")
+
+
+@dataclass
+class StatisticsOptions:
+    """Normalization knobs for every statistic."""
+
+    stem: bool = True
+    synonyms: SynonymTable | None = None
+    translations: TranslationTable | None = None
+    expand_abbreviations: bool = True
+
+    def normalize(self, term: str) -> str:
+        """Canonical form of one term under the options."""
+        tokens = tokenize_identifier(term, expand_abbreviations=self.expand_abbreviations)
+        normalized: list[str] = []
+        for token in tokens:
+            if self.translations is not None:
+                token = self.translations.translate(token)
+            if self.synonyms is not None:
+                token = self.synonyms.canonical(token)
+            if self.stem:
+                token = porter_stem(token)
+            normalized.append(token)
+        return " ".join(normalized)
+
+
+@dataclass
+class TermUsage:
+    """Usage profile of one normalized term."""
+
+    term: str
+    role_counts: Counter = field(default_factory=Counter)
+    schemas: set = field(default_factory=set)
+
+    def total(self) -> int:
+        """Occurrences across all roles."""
+        return sum(self.role_counts.values())
+
+    def role_fraction(self, role: str) -> float:
+        """Fraction of this term's uses that are in ``role``."""
+        total = self.total()
+        return self.role_counts.get(role, 0) / total if total else 0.0
+
+
+class BasicStatistics:
+    """Compute and serve the Section 4.2.1 statistics for a corpus."""
+
+    def __init__(self, corpus: Corpus, options: StatisticsOptions | None = None):  # noqa: D107
+        self.corpus = corpus
+        self.options = options or StatisticsOptions()
+        self._usage: dict[str, TermUsage] = {}
+        self._cooccur: dict[str, Counter] = {}
+        self._attr_schema_count: Counter = Counter()
+        self._relation_signatures: list[tuple[str, frozenset]] = []
+        self._schema_count = 0
+        self._build()
+
+    # -- construction ---------------------------------------------------------
+    def _note(self, term: str, role: str, schema: str) -> None:
+        usage = self._usage.setdefault(term, TermUsage(term))
+        usage.role_counts[role] += 1
+        usage.schemas.add(schema)
+
+    def _build(self) -> None:
+        normalize = self.options.normalize
+        self._schema_count = len(self.corpus.schemas)
+        for schema in self.corpus.schemas.values():
+            for relation, attributes in schema.relations.items():
+                relation_term = normalize(relation)
+                self._note(relation_term, "relation", schema.name)
+                normalized_attrs = []
+                for attribute in attributes:
+                    term = normalize(attribute)
+                    normalized_attrs.append(term)
+                    self._note(term, "attribute", schema.name)
+                    self._attr_schema_count[term] += 1
+                signature = frozenset(normalized_attrs)
+                self._relation_signatures.append((relation_term, signature))
+                for term_a in signature:
+                    row = self._cooccur.setdefault(term_a, Counter())
+                    for term_b in signature:
+                        if term_a != term_b:
+                            row[term_b] += 1
+                for rows in (schema.data.get(relation, []),):
+                    for row in rows:
+                        for value in row:
+                            if isinstance(value, str) and value:
+                                self._note(normalize(value), "data", schema.name)
+
+    # -- term usage ---------------------------------------------------------------
+    def usage(self, term: str) -> TermUsage:
+        """Usage profile (zeros if the term never occurs)."""
+        return self._usage.get(self.options.normalize(term), TermUsage(term))
+
+    def role_distribution(self, term: str) -> dict[str, float]:
+        """Fractions per role for a term."""
+        profile = self.usage(term)
+        return {role: profile.role_fraction(role) for role in ROLES}
+
+    def schema_frequency(self, term: str) -> float:
+        """Fraction of corpus schemas in which the term occurs at all."""
+        if not self._schema_count:
+            return 0.0
+        return len(self.usage(term).schemas) / self._schema_count
+
+    def idf(self, term: str) -> float:
+        """Inverse schema frequency — the TF/IDF analogue over structures."""
+        df = len(self.usage(term).schemas)
+        return math.log((1 + self._schema_count) / (1 + df)) + 1.0
+
+    def vocabulary(self) -> set[str]:
+        """All normalized terms seen."""
+        return set(self._usage)
+
+    # -- co-occurrence --------------------------------------------------------------
+    def co_occurring(self, term: str, limit: int = 10) -> list[tuple[str, float]]:
+        """Attribute terms most associated with ``term``, by PMI."""
+        term = self.options.normalize(term)
+        row = self._cooccur.get(term)
+        if not row:
+            return []
+        total_relations = max(len(self._relation_signatures), 1)
+        count_term = self._attr_schema_count[term]
+        scored: list[tuple[str, float]] = []
+        for other, joint in row.items():
+            count_other = self._attr_schema_count[other]
+            pmi = math.log(
+                (joint * total_relations) / max(count_term * count_other, 1) + 1e-12
+            )
+            scored.append((other, pmi))
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:limit]
+
+    def co_occurrence_vector(self, term: str) -> dict[str, float]:
+        """The raw co-occurrence profile (counts) of a term."""
+        term = self.options.normalize(term)
+        return dict(self._cooccur.get(term, {}))
+
+    def mutually_exclusive(self, term_a: str, term_b: str) -> bool:
+        """Both terms appear as attributes, but never in the same relation
+        — the "mutually exclusive uses" signal of Section 4.2.1."""
+        a = self.options.normalize(term_a)
+        b = self.options.normalize(term_b)
+        if self._attr_schema_count[a] == 0 or self._attr_schema_count[b] == 0:
+            return False
+        return self._cooccur.get(a, Counter()).get(b, 0) == 0
+
+    # -- similar names -----------------------------------------------------------------
+    def similar_names(self, term: str, limit: int = 5) -> list[tuple[str, float]]:
+        """Terms whose co-occurrence profile resembles ``term``'s."""
+        target = self.options.normalize(term)
+        target_vector = self.co_occurrence_vector(target)
+        if not target_vector:
+            return []
+        scored: list[tuple[str, float]] = []
+        for other in self._cooccur:
+            if other == target:
+                continue
+            similarity = cosine_similarity(target_vector, self.co_occurrence_vector(other))
+            if similarity > 0.0:
+                scored.append((other, similarity))
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:limit]
+
+    # -- relation-level helpers -----------------------------------------------------------
+    def relation_signatures(self) -> list[tuple[str, frozenset]]:
+        """(normalized relation name, normalized attribute set) per corpus
+        relation — the raw material for layout advice."""
+        return list(self._relation_signatures)
+
+    def relation_name_for(self, attributes: frozenset) -> list[tuple[str, int]]:
+        """Relation names used in the corpus for similar attribute sets.
+
+        Returns (relation term, votes) sorted by votes — used by the
+        DesignAdvisor's layout advice.
+        """
+        votes: Counter = Counter()
+        for relation_term, signature in self._relation_signatures:
+            if not attributes or not signature:
+                continue
+            overlap = len(attributes & signature) / len(attributes | signature)
+            if overlap >= 0.5:
+                votes[relation_term] += 1
+        return votes.most_common()

@@ -1,0 +1,38 @@
+"""Synthetic data and workload generators.
+
+The paper's experiments would need real university web pages and real
+schema corpora; neither ships with a 2003 vision paper, so (per the
+substitution table in DESIGN.md) this package generates the closest
+synthetic equivalents with *known ground truth*:
+
+* :mod:`repro.datasets.university` / :mod:`people` / :mod:`publications`
+  -- three reference domains with seeded instance data;
+* :mod:`repro.datasets.perturb` -- schema perturbation operators
+  (synonyms, abbreviations, translation, restyling, splits, drops) that
+  produce matching pairs with gold correspondences;
+* :mod:`repro.datasets.html_gen` -- heterogeneous HTML page generation
+  plus simulated user annotation;
+* :mod:`repro.datasets.dirty` -- conflicting/malicious value injection
+  with a truth table, for the constraint-deferral experiment;
+* :mod:`repro.datasets.pdms_gen` -- PDMS topology builders (chain, star,
+  tree, the exact Figure-2 graph).
+"""
+
+from repro.datasets.university import university_schema_instance, make_university_corpus
+from repro.datasets.people import people_schema_instance
+from repro.datasets.publications import publications_schema_instance
+from repro.datasets.perturb import PerturbationConfig, perturb_schema
+from repro.datasets.pdms_gen import chain_pdms, figure2_pdms, random_tree_pdms, star_pdms
+
+__all__ = [
+    "PerturbationConfig",
+    "chain_pdms",
+    "figure2_pdms",
+    "make_university_corpus",
+    "people_schema_instance",
+    "perturb_schema",
+    "publications_schema_instance",
+    "random_tree_pdms",
+    "star_pdms",
+    "university_schema_instance",
+]

@@ -1,0 +1,90 @@
+"""Dirty-data injection for the constraint-deferral experiment (C4).
+
+Section 2.3 allows anyone to publish anything: values "may be
+inconsistent; certain attributes may have multiple values, where there
+should be only one; there may even be wrong data that was put on some
+web page maliciously."  :func:`inject_conflicts` adds exactly that kind
+of dirt — wrong values published from third-party pages — and returns
+the truth table so benchmark C4 can score each cleaning policy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.rdf import Triple, TripleStore
+
+
+@dataclass
+class DirtReport:
+    """What was injected and what the truth is."""
+
+    truth: dict = field(default_factory=dict)  # (subject, predicate) -> value
+    injected: int = 0
+
+
+def ground_truth(store: TripleStore, predicates: set[str]) -> dict:
+    """Current single values per (subject, predicate) before injection."""
+    truth: dict = {}
+    for triple in store.all_triples():
+        if triple.predicate in predicates:
+            truth[(triple.subject, triple.predicate)] = triple.object
+    return truth
+
+
+def inject_conflicts(
+    store: TripleStore,
+    predicates: set[str],
+    rate: float,
+    seed: int = 0,
+    wrong_value=lambda rng, value: f"WRONG-{rng.randint(100, 999)}",
+    malicious_sources: int = 3,
+) -> DirtReport:
+    """Add conflicting values from third-party pages.
+
+    For a ``rate`` fraction of (subject, predicate) facts, one or two
+    wrong values are published from external source URLs.  The original
+    value (from the subject's own page) stays — the store is now dirty,
+    exactly as deferred constraints permit.
+    """
+    rng = random.Random(seed)
+    report = DirtReport(truth=ground_truth(store, predicates))
+    sources = [f"http://elsewhere{i}.example.net/page" for i in range(malicious_sources)]
+    for (subject, predicate), value in sorted(report.truth.items(), key=str):
+        if rng.random() >= rate:
+            continue
+        copies = rng.choice((1, 2))
+        for _ in range(copies):
+            store.add(
+                Triple(subject, predicate, wrong_value(rng, value), rng.choice(sources)),
+                notify=False,
+            )
+            report.injected += 1
+    return report
+
+
+def score_policy(store: TripleStore, policy, truth: dict) -> dict[str, float]:
+    """Accuracy of a cleaning policy against the truth table.
+
+    Returns precision-style metrics: ``correct`` = chose the true value,
+    ``wrong`` = chose a false one, ``multi`` = refused to pick one.
+    """
+    correct = wrong = multi = 0
+    for (subject, predicate), value in truth.items():
+        chosen = policy.choose(store, subject, predicate)
+        if len(chosen) == 1:
+            if chosen[0] == value:
+                correct += 1
+            else:
+                wrong += 1
+        elif value in chosen:
+            multi += 1
+        else:
+            wrong += 1
+    total = max(len(truth), 1)
+    return {
+        "accuracy": correct / total,
+        "wrong": wrong / total,
+        "undecided": multi / total,
+    }

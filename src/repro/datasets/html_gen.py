@@ -1,0 +1,113 @@
+"""HTML page generation and simulated user annotation.
+
+The MANGROVE experiments need "many pages with very differing
+structures" (the reason the paper rejects wrapper induction).  Pages
+are generated from several distinct layout templates and then annotated
+programmatically — standing in for the human-with-GUI workflow, which
+is the substitution DESIGN.md documents for the F1/C5 experiments.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import vocab
+from repro.mangrove.annotation import AnnotatedDocument
+from repro.mangrove.schema import LightweightSchema, university_schema
+
+_COURSE_LAYOUTS = [
+    (
+        "<html><body><h1>{title}</h1>"
+        "<p>Instructor: {instructor}</p>"
+        "<p>Meets {time} in {location}.</p></body></html>"
+    ),
+    (
+        "<html><body><table><tr><td>Course</td><td>{title}</td></tr>"
+        "<tr><td>Taught by</td><td>{instructor}</td></tr>"
+        "<tr><td>When</td><td>{time}</td></tr>"
+        "<tr><td>Where</td><td>{location}</td></tr></table></body></html>"
+    ),
+    (
+        "<html><body><div class='hdr'>{title} ({time})</div>"
+        "<div>with {instructor}, room {location}</div></body></html>"
+    ),
+]
+
+_PERSON_LAYOUTS = [
+    (
+        "<html><body><h2>{name}</h2><p>{position}</p>"
+        "<p>Email: {email} Phone: {phone}</p><p>Office: {office}</p></body></html>"
+    ),
+    (
+        "<html><body><p>I am {name}, a {position}. Reach me at {email} "
+        "or {phone}. I sit in {office}.</p></body></html>"
+    ),
+]
+
+
+def generate_course_page(url: str, seed: int, schema: LightweightSchema | None = None):
+    """One course page with random layout + its field values.
+
+    Returns ``(AnnotatedDocument, fields)`` where fields holds the
+    ground-truth values rendered into the page.
+    """
+    rng = random.Random(seed)
+    fields = {
+        "title": vocab.course_title(rng),
+        "instructor": vocab.person_name(rng),
+        "time": vocab.course_time(rng),
+        "location": vocab.room(rng),
+    }
+    html = rng.choice(_COURSE_LAYOUTS).format(**fields)
+    return AnnotatedDocument(url, html, schema or university_schema()), fields
+
+
+def generate_person_page(url: str, seed: int, schema: LightweightSchema | None = None):
+    """One personal home page with random layout + its field values."""
+    rng = random.Random(seed)
+    name = vocab.person_name(rng)
+    fields = {
+        "name": name,
+        "position": rng.choice(vocab.POSITIONS),
+        "email": vocab.email(rng, name),
+        "phone": vocab.phone(rng),
+        "office": vocab.room(rng),
+    }
+    html = rng.choice(_PERSON_LAYOUTS).format(**fields)
+    return AnnotatedDocument(url, html, schema or university_schema()), fields
+
+
+def annotate_course_page(document: AnnotatedDocument, fields: dict) -> AnnotatedDocument:
+    """Simulate the user annotating a generated course page."""
+    body_start = document.html.index("<body>") + len("<body>")
+    body_end = document.html.index("</body>")
+    document.annotate_span(body_start, body_end, "course")
+    document.annotate_text(fields["title"], "course.title")
+    document.annotate_text(fields["instructor"], "course.instructor")
+    document.annotate_text(fields["time"], "course.time")
+    document.annotate_text(fields["location"], "course.location")
+    return document
+
+
+def annotate_person_page(document: AnnotatedDocument, fields: dict) -> AnnotatedDocument:
+    """Simulate the user annotating a generated person page."""
+    body_start = document.html.index("<body>") + len("<body>")
+    body_end = document.html.index("</body>")
+    document.annotate_span(body_start, body_end, "person")
+    for key in ("name", "position", "email", "phone", "office"):
+        document.annotate_text(fields[key], f"person.{key}")
+    return document
+
+
+def generate_department_site(
+    base_url: str, courses: int, people: int, seed: int = 0
+) -> list[tuple[AnnotatedDocument, dict]]:
+    """A whole department: annotated course and person pages."""
+    pages: list[tuple[AnnotatedDocument, dict]] = []
+    for i in range(courses):
+        doc, fields = generate_course_page(f"{base_url}/course{i}", seed * 1000 + i)
+        pages.append((annotate_course_page(doc, fields), fields))
+    for i in range(people):
+        doc, fields = generate_person_page(f"{base_url}/~person{i}", seed * 2000 + i)
+        pages.append((annotate_person_page(doc, fields), fields))
+    return pages

@@ -1,0 +1,170 @@
+"""PDMS topology builders for the Piazza experiments.
+
+Every builder creates peers whose schemas are independently perturbed
+(rename-only) variants of the reference university schema, loads
+per-peer data, and derives the pairwise mappings from the perturbation
+ground truth — i.e. the mappings a human coordinator would author, but
+generated.  Topologies: chain, star, random tree, and the exact
+Figure-2 graph (with Roma's schema in Italian, as in the example).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.model import CorpusSchema
+from repro.datasets.perturb import PerturbationConfig, perturb_schema
+from repro.datasets.university import university_schema_instance
+from repro.piazza.datalog import Atom, ConjunctiveQuery, Var
+from repro.piazza.peer import PDMS, Peer
+from repro.text.synonyms import italian_english_dictionary
+
+
+def _install_peer(pdms: PDMS, name: str, schema: CorpusSchema, with_data: bool = True) -> Peer:
+    """Create a peer from a CorpusSchema; stored relations mirror it."""
+    peer = pdms.add_peer(name)
+    for relation, attributes in schema.relations.items():
+        peer.add_relation(relation, attributes)
+        peer.add_stored(relation, attributes)
+        pdms.add_storage(name, relation, f"{name}.{relation}")
+        if with_data:
+            peer.insert(relation, schema.data.get(relation, []))
+    return peer
+
+
+def _variant(reference: CorpusSchema, name: str, seed: int, level: float,
+             translation=None) -> tuple[CorpusSchema, dict[str, str]]:
+    config = PerturbationConfig(
+        rename_probability=level,
+        translation=translation,
+        drop_attribute_probability=0.0,
+        split_widest_relation=False,
+    )
+    variant, gold = perturb_schema(reference, name, seed=seed, config=config)
+    # Give each peer its own data so cross-peer answers are observable.
+    fresh = university_schema_instance(name, seed=seed, courses=max(
+        len(reference.data.get("course", [])), 1))
+    for relation in variant.relations:
+        # Align fresh data positionally with the (rename-only) variant.
+        original = _original_of(relation, gold)
+        if original in fresh.relations:
+            variant.data[relation] = list(fresh.data.get(original, []))
+    return variant, gold
+
+
+def _original_of(variant_relation: str, gold: dict[str, str]) -> str:
+    for original, renamed in gold.items():
+        if renamed == variant_relation and "." not in original:
+            return original
+    return variant_relation
+
+
+def derive_mapping(
+    pdms: PDMS,
+    peer_a: str,
+    gold_a: dict[str, str],
+    peer_b: str,
+    gold_b: dict[str, str],
+    reference: CorpusSchema,
+    exact: bool = True,
+) -> int:
+    """Author the pairwise mappings a coordinator would write.
+
+    For every reference relation, a GLAV (equality by default) mapping
+    aligning peer A's renamed relation with peer B's, positionally.
+    Returns the number of mappings added.
+    """
+    added = 0
+    for relation, attributes in reference.relations.items():
+        name_a = gold_a.get(relation)
+        name_b = gold_b.get(relation)
+        if name_a is None or name_b is None:
+            continue
+        variables = tuple(Var(f"v{i}") for i in range(len(attributes)))
+        head = Atom(f"map_{peer_a}_{peer_b}_{relation}", variables)
+        source = ConjunctiveQuery(head, (Atom(f"{peer_a}.{name_a}", variables),))
+        target = ConjunctiveQuery(head, (Atom(f"{peer_b}.{name_b}", variables),))
+        pdms.add_mapping(f"{peer_a}->{peer_b}:{relation}", source, target, exact=exact)
+        added += 1
+    return added
+
+
+def _build(edges: list[tuple[int, int]], count: int, seed: int, level: float,
+           courses: int, translations: dict[int, object] | None = None,
+           peer_names: list[str] | None = None) -> PDMS:
+    reference = university_schema_instance("ref", seed=seed, courses=courses)
+    translations = translations or {}
+    names = peer_names or [f"p{i}" for i in range(count)]
+    pdms = PDMS()
+    golds: list[dict[str, str]] = []
+    for index in range(count):
+        variant, gold = _variant(
+            reference,
+            names[index],
+            seed=seed * 101 + index,
+            level=level,
+            translation=translations.get(index),
+        )
+        _install_peer(pdms, names[index], variant)
+        golds.append(gold)
+    for a, b in edges:
+        derive_mapping(pdms, names[a], golds[a], names[b], golds[b], reference)
+    # Expose the generation ground truth for examples and benchmarks:
+    # the reference schema and, per peer, the reference->peer renaming.
+    pdms.generator_info = {  # type: ignore[attr-defined]
+        "reference": reference,
+        "golds": dict(zip(names, golds)),
+    }
+    return pdms
+
+
+def chain_pdms(count: int, seed: int = 0, level: float = 0.4, courses: int = 8) -> PDMS:
+    """p0 — p1 — ... — p_{count-1}."""
+    edges = [(i, i + 1) for i in range(count - 1)]
+    return _build(edges, count, seed, level, courses)
+
+
+def star_pdms(count: int, seed: int = 0, level: float = 0.4, courses: int = 8) -> PDMS:
+    """A hub (p0) with count-1 leaves — the data-integration shape."""
+    edges = [(0, i) for i in range(1, count)]
+    return _build(edges, count, seed, level, courses)
+
+
+def random_tree_pdms(count: int, seed: int = 0, level: float = 0.4, courses: int = 8) -> PDMS:
+    """Random recursive tree: each new peer maps to a random earlier one.
+
+    This is the paper's growth story: "as other universities agree to
+    join the coalition, they form mappings to the schema most similar to
+    theirs".
+    """
+    rng = random.Random(seed)
+    edges = [(rng.randrange(i), i) for i in range(1, count)]
+    return _build(edges, count, seed, level, courses)
+
+
+FIGURE2_UNIVERSITIES = ["stanford", "berkeley", "mit", "oxford", "roma", "tsinghua"]
+
+FIGURE2_EDGES = [
+    ("stanford", "berkeley"),
+    ("berkeley", "mit"),
+    ("mit", "roma"),
+    ("roma", "tsinghua"),
+    ("stanford", "oxford"),
+    ("oxford", "roma"),
+]
+
+
+def figure2_pdms(seed: int = 0, level: float = 0.4, courses: int = 8) -> PDMS:
+    """The exact Figure-2 university network; Roma's schema is Italian."""
+    index = {name: i for i, name in enumerate(FIGURE2_UNIVERSITIES)}
+    edges = [(index[a], index[b]) for a, b in FIGURE2_EDGES]
+    translations = {index["roma"]: italian_english_dictionary()}
+    return _build(
+        edges,
+        len(FIGURE2_UNIVERSITIES),
+        seed,
+        level,
+        courses,
+        translations=translations,
+        peer_names=FIGURE2_UNIVERSITIES,
+    )

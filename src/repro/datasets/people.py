@@ -1,0 +1,37 @@
+"""The people/contact domain (personal home pages, Who's Who)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.model import CorpusSchema
+from repro.datasets import vocab
+
+
+def people_schema_instance(
+    name: str = "people", seed: int = 0, persons: int = 40
+) -> CorpusSchema:
+    """Reference contact-information schema with seeded data."""
+    rng = random.Random(seed)
+    schema = CorpusSchema(name, domain="people")
+    person_rows = []
+    for i in range(persons):
+        full_name = vocab.person_name(rng)
+        person_rows.append(
+            (
+                i,
+                full_name,
+                vocab.email(rng, full_name),
+                vocab.phone(rng),
+                vocab.room(rng),
+                rng.choice(vocab.POSITIONS),
+            )
+        )
+    schema.add_relation(
+        "person", ["id", "name", "email", "phone", "office", "position"], person_rows
+    )
+    interest_rows = []
+    for i in range(persons):
+        interest_rows.append((i, rng.choice(vocab.SUBJECTS)))
+    schema.add_relation("interest", ["person_id", "topic"], interest_rows)
+    return schema

@@ -1,0 +1,209 @@
+"""Schema perturbation with ground-truth correspondences.
+
+These operators model how independently designed schemas of the same
+domain differ — the paper's "different domains and tastes in schema
+design": synonym choices, abbreviations, another language (the Rome
+example), naming style, attributes dropped or added, relations split.
+Each perturbation returns the new schema *and* the gold correspondence
+map, which is what lets benchmark C1 measure matching accuracy exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.model import CorpusSchema
+from repro.text import SynonymTable, TranslationTable, default_synonyms
+from repro.text.tokenize import DEFAULT_ABBREVIATIONS, tokenize_identifier
+
+# expansion -> abbreviation (inverse of the tokenizer's table); single
+# choice per expansion, deterministic.
+_ABBREVIATE: dict[str, str] = {}
+for _abbr, _full in DEFAULT_ABBREVIATIONS.items():
+    _ABBREVIATE.setdefault(_full, _abbr)
+
+_STYLES = ("snake", "camel", "kebab", "compact")
+
+
+@dataclass
+class PerturbationConfig:
+    """Knobs controlling how aggressively a schema is perturbed."""
+
+    rename_probability: float = 0.4
+    use_synonyms: bool = True
+    use_abbreviations: bool = True
+    translation: TranslationTable | None = None
+    restyle: bool = True
+    drop_attribute_probability: float = 0.0
+    noise_attributes: int = 0
+    split_widest_relation: bool = False
+    synonyms: SynonymTable = field(default_factory=default_synonyms)
+
+
+def _apply_style(tokens: list[str], style: str) -> str:
+    if style == "camel":
+        return tokens[0] + "".join(t.capitalize() for t in tokens[1:])
+    if style == "kebab":
+        return "-".join(tokens)
+    if style == "compact":
+        return "".join(tokens)
+    return "_".join(tokens)
+
+
+def _synonym_classes(table: SynonymTable) -> dict[str, list[str]]:
+    classes: dict[str, list[str]] = {}
+    for members in table.classes():
+        ordered = sorted(members)
+        for member in members:
+            classes[member] = ordered
+    return classes
+
+
+def _rename(
+    identifier: str,
+    rng: random.Random,
+    config: PerturbationConfig,
+    style: str,
+    classes: dict[str, list[str]],
+) -> str:
+    tokens = tokenize_identifier(identifier)
+    renamed: list[str] = []
+    for token in tokens:
+        if rng.random() < config.rename_probability:
+            choices: list[str] = []
+            if config.use_synonyms and token in classes:
+                choices.extend(t for t in classes[token] if t != token)
+            if config.use_abbreviations and token in _ABBREVIATE:
+                choices.append(_ABBREVIATE[token])
+            if config.translation is not None:
+                # Try both directions so English references map into the
+                # foreign vocabulary (the Rome scenario) and vice versa.
+                for translated in (
+                    config.translation.translate(token),
+                    config.translation.translate_back(token),
+                ):
+                    if translated != token:
+                        choices.append(translated)
+            if choices:
+                token = rng.choice(choices)
+        renamed.append(token)
+    return _apply_style(renamed, style if config.restyle else "snake")
+
+
+def perturb_schema(
+    schema: CorpusSchema,
+    name: str,
+    seed: int = 0,
+    config: PerturbationConfig | None = None,
+) -> tuple[CorpusSchema, dict[str, str]]:
+    """Perturb ``schema`` into an independently designed look-alike.
+
+    Returns ``(variant, gold)`` where ``gold`` maps original element
+    paths (relations and attributes) to variant paths.  Dropped
+    attributes are absent from ``gold``; noise attributes exist only in
+    the variant.
+
+    >>> from repro.datasets.university import university_schema_instance
+    >>> ref = university_schema_instance(seed=1, courses=5)
+    >>> variant, gold = perturb_schema(ref, "v", seed=1)
+    >>> set(gold) <= {e.path for e in ref.elements()}
+    True
+    """
+    config = config or PerturbationConfig()
+    rng = random.Random(seed)
+    style = rng.choice(_STYLES) if config.restyle else "snake"
+    classes = _synonym_classes(config.synonyms)
+    variant = CorpusSchema(name, domain=schema.domain)
+    gold: dict[str, str] = {}
+
+    for relation, attributes in schema.relations.items():
+        new_relation = _rename(relation, rng, config, style, classes)
+        kept: list[tuple[str, str, int]] = []  # (old attr, new attr, column index)
+        for index, attribute in enumerate(attributes):
+            if rng.random() < config.drop_attribute_probability:
+                continue
+            new_attribute = _rename(attribute, rng, config, style, classes)
+            # Avoid collisions inside one relation.
+            existing = {n for _o, n, _i in kept}
+            if new_attribute in existing:
+                new_attribute = f"{new_attribute}{index}"
+            kept.append((attribute, new_attribute, index))
+        new_attributes = [n for _o, n, _i in kept]
+        rows = schema.data.get(relation, [])
+        new_rows = [
+            tuple(row[i] for _o, _n, i in kept if i < len(row)) for row in rows
+        ]
+        for noise_index in range(config.noise_attributes):
+            noise_name = f"extra{noise_index}"
+            new_attributes.append(noise_name)
+            new_rows = [row + (f"x{rng.randint(0, 99)}",) for row in new_rows]
+        variant.add_relation(new_relation, new_attributes, new_rows)
+        gold[relation] = new_relation
+        for old_attribute, new_attribute, _index in kept:
+            gold[f"{relation}.{old_attribute}"] = f"{new_relation}.{new_attribute}"
+
+    if config.split_widest_relation and variant.relations:
+        _split_widest(variant, gold, rng)
+    return variant, gold
+
+
+def _split_widest(variant: CorpusSchema, gold: dict[str, str], rng: random.Random) -> None:
+    """Split the widest relation into base + detail relations.
+
+    The first attribute (assumed key-like) is carried into both halves;
+    gold entries pointing at moved attributes are rewritten.
+    """
+    widest = max(variant.relations, key=lambda rel: len(variant.relations[rel]))
+    attributes = variant.relations[widest]
+    if len(attributes) < 4:
+        return
+    half = len(attributes) // 2
+    base_attrs = attributes[:half]
+    detail_attrs = [attributes[0]] + attributes[half:]
+    detail_name = f"{widest}_details"
+    rows = variant.data.get(widest, [])
+    base_rows = [row[:half] for row in rows]
+    detail_rows = [(row[0],) + tuple(row[half:]) for row in rows]
+    del variant.relations[widest]
+    variant.data.pop(widest, None)
+    variant.add_relation(widest, base_attrs, base_rows)
+    variant.add_relation(detail_name, detail_attrs, detail_rows)
+    moved = set(attributes[half:])
+    for old_path, new_path in list(gold.items()):
+        relation, _, attribute = new_path.partition(".")
+        if relation == widest and attribute in moved:
+            gold[old_path] = f"{detail_name}.{attribute}"
+
+
+def matching_pair(
+    domain_schema: CorpusSchema,
+    seed: int,
+    level: float = 0.4,
+    translation: TranslationTable | None = None,
+    drop: float = 0.0,
+    noise: int = 0,
+) -> tuple[CorpusSchema, CorpusSchema, dict[str, str]]:
+    """Two independent perturbations of one reference + gold between them.
+
+    The gold maps attribute paths of the first variant to paths of the
+    second (composition of the two reference golds), restricted to
+    attributes surviving in both.
+    """
+    config_a = PerturbationConfig(
+        rename_probability=level, drop_attribute_probability=drop, noise_attributes=noise
+    )
+    config_b = PerturbationConfig(
+        rename_probability=level,
+        drop_attribute_probability=drop,
+        noise_attributes=noise,
+        translation=translation,
+    )
+    variant_a, gold_a = perturb_schema(domain_schema, "left", seed=seed * 2 + 1, config=config_a)
+    variant_b, gold_b = perturb_schema(domain_schema, "right", seed=seed * 2 + 2, config=config_b)
+    gold = {
+        gold_a[path]: gold_b[path]
+        for path in gold_a
+        if path in gold_b and "." in path
+    }
+    return variant_a, variant_b, gold

@@ -1,0 +1,34 @@
+"""The publications domain (the departmental paper database)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.model import CorpusSchema
+from repro.datasets import vocab
+
+
+def publications_schema_instance(
+    name: str = "publications", seed: int = 0, papers: int = 40
+) -> CorpusSchema:
+    """Reference publications schema with seeded data."""
+    rng = random.Random(seed)
+    schema = CorpusSchema(name, domain="publications")
+    paper_rows = []
+    for i in range(papers):
+        paper_rows.append(
+            (
+                i,
+                vocab.paper_title(rng),
+                rng.choice(vocab.VENUES),
+                rng.randint(1995, 2003),
+                f"{rng.randint(1, 400)}-{rng.randint(401, 800)}",
+            )
+        )
+    schema.add_relation("paper", ["id", "title", "venue", "year", "pages"], paper_rows)
+    author_rows = []
+    for i in range(papers):
+        for _ in range(rng.randint(1, 3)):
+            author_rows.append((i, vocab.person_name(rng)))
+    schema.add_relation("author", ["paper_id", "name"], author_rows)
+    return schema

@@ -1,0 +1,82 @@
+"""Shared vocabulary pools for the domain generators (seeded sampling)."""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES = [
+    "Alice", "Bob", "Carol", "David", "Elena", "Frank", "Grace", "Hiro",
+    "Ivan", "Julia", "Karim", "Lena", "Marco", "Nina", "Omar", "Paula",
+    "Quinn", "Rosa", "Sam", "Tara", "Uri", "Vera", "Wei", "Xena", "Yuki", "Zoe",
+]
+
+LAST_NAMES = [
+    "Smith", "Jones", "Garcia", "Chen", "Kumar", "Rossi", "Novak", "Kim",
+    "Tanaka", "Okafor", "Silva", "Mueller", "Dubois", "Ivanov", "Haddad",
+    "Larsen", "Costa", "Nguyen", "Papas", "Weber",
+]
+
+SUBJECTS = [
+    "Ancient History", "Databases", "Operating Systems", "Linear Algebra",
+    "Organic Chemistry", "Microeconomics", "Machine Learning", "Compilers",
+    "Thermodynamics", "Art History", "Number Theory", "Genetics",
+    "Distributed Systems", "Philosophy of Mind", "Statistics",
+    "Computer Networks", "Quantum Mechanics", "Medieval Literature",
+]
+
+LEVELS = ["Introductory", "Intermediate", "Advanced", "Graduate Seminar in"]
+
+DEPARTMENTS = [
+    "Computer Science", "History", "Mathematics", "Chemistry", "Economics",
+    "Physics", "Biology", "Philosophy", "Literature", "Statistics",
+]
+
+BUILDINGS = ["Gates", "Sieg", "Allen", "Loew", "Savery", "Bagley", "Denny"]
+
+DAYS = ["MWF", "TTh", "MW", "F", "Daily"]
+
+VENUES = ["SIGMOD", "VLDB", "CIDR", "ICDE", "WWW", "AAAI", "SOSP", "OSDI"]
+
+POSITIONS = ["Professor", "Associate Professor", "Assistant Professor",
+             "Lecturer", "Research Scientist", "Postdoc"]
+
+
+def person_name(rng: random.Random) -> str:
+    """A random full name."""
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def course_title(rng: random.Random) -> str:
+    """A random course title like 'Advanced Databases'."""
+    return f"{rng.choice(LEVELS)} {rng.choice(SUBJECTS)}"
+
+
+def course_time(rng: random.Random) -> str:
+    """A random meeting time like 'MWF 10:30'."""
+    hour = rng.randint(8, 17)
+    minute = rng.choice(["00", "30"])
+    return f"{rng.choice(DAYS)} {hour}:{minute}"
+
+def room(rng: random.Random) -> str:
+    """A random room like 'Gates 271'."""
+    return f"{rng.choice(BUILDINGS)} {rng.randint(100, 499)}"
+
+
+def phone(rng: random.Random) -> str:
+    """A random phone number."""
+    return f"{rng.randint(200, 999)}-{rng.randint(1000, 9999)}"
+
+
+def email(rng: random.Random, name: str, domain: str = "example.edu") -> str:
+    """An email derived from a name."""
+    user = name.lower().replace(" ", ".")
+    return f"{user}@{domain}"
+
+
+def paper_title(rng: random.Random) -> str:
+    """A random paper title."""
+    adjectives = ["Scalable", "Adaptive", "Declarative", "Peer-to-Peer",
+                  "Approximate", "Incremental", "Learned", "Distributed"]
+    nouns = ["Query Processing", "Schema Matching", "Data Integration",
+             "View Maintenance", "Web Search", "Annotation", "Mediation"]
+    return f"{rng.choice(adjectives)} {rng.choice(nouns)}"

@@ -1,0 +1,70 @@
+"""The MANGROVE data-structuring environment (Section 2 of the paper).
+
+MANGROVE turns existing HTML into structured data without moving it:
+
+* :mod:`repro.mangrove.schema` -- the *lightweight schemas* an
+  administrator provides ("a set of standardized tag names and their
+  allowed nesting structure", no integrity constraints);
+* :mod:`repro.mangrove.annotation` -- the in-place annotation language:
+  markers embedded in the HTML as comments, "invisible to the browser",
+  so data is never replicated;
+* :mod:`repro.mangrove.annotator` -- the stand-in for the graphical
+  annotation tool (highlight a span, pick a tag from the schema tree);
+* :mod:`repro.mangrove.publish` -- the explicit publish step that
+  updates the annotation repository "the moment a user publishes", and
+  the periodic-crawl baseline it replaces;
+* :mod:`repro.mangrove.cleaning` -- per-application cleaning policies
+  for the dirty data that deferred integrity constraints allow;
+* :mod:`repro.mangrove.apps` -- instant-gratification applications
+  (department calendar, Who's Who, paper database, phone directory,
+  annotation-aware search);
+* :mod:`repro.mangrove.integrity` -- deferred constraint checking: an
+  application that proactively finds inconsistencies and notifies the
+  relevant authors.
+"""
+
+from repro.mangrove.schema import LightweightSchema, SchemaRegistry, TagNode
+from repro.mangrove.annotation import AnnotatedDocument, Annotation, AnnotationError
+from repro.mangrove.annotator import AnnotationSession
+from repro.mangrove.publish import PeriodicCrawler, Publisher
+from repro.mangrove.cleaning import (
+    CleaningPolicy,
+    LatestWins,
+    MajorityVote,
+    NoCleaning,
+    PreferOwnPage,
+)
+from repro.mangrove.apps import (
+    DepartmentCalendar,
+    InstantApp,
+    PaperDatabase,
+    PhoneDirectory,
+    SemanticSearch,
+    WhoIsWho,
+)
+from repro.mangrove.integrity import ConstraintChecker, Violation
+
+__all__ = [
+    "AnnotatedDocument",
+    "Annotation",
+    "AnnotationError",
+    "AnnotationSession",
+    "CleaningPolicy",
+    "ConstraintChecker",
+    "DepartmentCalendar",
+    "InstantApp",
+    "LatestWins",
+    "LightweightSchema",
+    "MajorityVote",
+    "NoCleaning",
+    "PaperDatabase",
+    "PeriodicCrawler",
+    "PhoneDirectory",
+    "PreferOwnPage",
+    "Publisher",
+    "SchemaRegistry",
+    "SemanticSearch",
+    "TagNode",
+    "Violation",
+    "WhoIsWho",
+]

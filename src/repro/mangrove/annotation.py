@@ -1,0 +1,198 @@
+"""The in-place annotation language.
+
+Annotations are embedded in the HTML itself as comment markers::
+
+    <!--mg:begin id=1 tag=course.title-->Ancient History<!--mg:end id=1-->
+
+which "ensures backward compatibility with existing web pages and
+eliminates inconsistency problems arising from having multiple copies of
+the same data" (Section 2.1).  The language is "syntactic sugar for
+basic RDF": extraction turns a page's annotations into triples with the
+page URL as provenance.
+
+Entity/property structure: an annotation whose tag is an *entity* in
+the schema (e.g. ``course``) introduces a subject node
+``url#course-K``; property annotations nested inside it become triples
+``(url#course-K, course.title, "Ancient History")``.  Property
+annotations outside any entity attach to the page itself (subject =
+url) — the common case for a personal home page.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.mangrove.schema import LightweightSchema
+from repro.rdf import Triple
+
+_BEGIN_RE = re.compile(r"<!--mg:begin id=(\d+) tag=([\w.]+)-->")
+_END_RE = re.compile(r"<!--mg:end id=(\d+)-->")
+_ANY_MARKER_RE = re.compile(r"<!--mg:(?:begin id=\d+ tag=[\w.]+|end id=\d+)-->")
+_TAG_STRIP_RE = re.compile(r"<[^>]*>")
+
+
+class AnnotationError(ValueError):
+    """Invalid span, unknown tag, or malformed markers."""
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One extracted annotation: a tag over a text span."""
+
+    id: int
+    tag_path: str
+    text: str
+    parent_id: int | None = None
+
+
+@dataclass
+class AnnotatedDocument:
+    """An HTML page plus its embedded annotations.
+
+    The document's ``html`` always contains the markers, so the page
+    remains the single copy of the data; re-publishing re-extracts.
+    """
+
+    url: str
+    html: str
+    schema: LightweightSchema | None = None
+    _next_id: int = field(default=1, repr=False)
+
+    # -- authoring --------------------------------------------------------
+    def rendered_text(self) -> str:
+        """The page as a browser shows it: markup and markers stripped."""
+        return _TAG_STRIP_RE.sub("", _ANY_MARKER_RE.sub("", self.html))
+
+    def annotate_span(self, start: int, end: int, tag_path: str) -> int:
+        """Annotate ``html[start:end]`` with ``tag_path``; returns the id.
+
+        Offsets are into the *current* html string.  The span must not
+        split existing markers or HTML tags.
+        """
+        if not 0 <= start < end <= len(self.html):
+            raise AnnotationError(f"bad span [{start}:{end}) for {self.url}")
+        if self.schema is not None and not self.schema.is_valid_path(tag_path):
+            raise AnnotationError(
+                f"tag {tag_path!r} is not in schema {self.schema.name!r}"
+            )
+        span = self.html[start:end]
+        if _count_unbalanced(span):
+            raise AnnotationError("span would split existing markers or tags")
+        annotation_id = self._next_id
+        self._next_id += 1
+        begin = f"<!--mg:begin id={annotation_id} tag={tag_path}-->"
+        end_marker = f"<!--mg:end id={annotation_id}-->"
+        self.html = self.html[:start] + begin + span + end_marker + self.html[end:]
+        return annotation_id
+
+    def annotate_text(self, needle: str, tag_path: str, occurrence: int = 1) -> int:
+        """Annotate the ``occurrence``-th occurrence of ``needle``.
+
+        This models the GUI flow: the user highlights visible text.
+        """
+        position = -1
+        for _ in range(occurrence):
+            position = self.html.find(needle, position + 1)
+            if position == -1:
+                raise AnnotationError(
+                    f"text {needle!r} (occurrence {occurrence}) not in {self.url}"
+                )
+        return self.annotate_span(position, position + len(needle), tag_path)
+
+    def remove_annotation(self, annotation_id: int) -> bool:
+        """Strip one annotation's markers (the data stays)."""
+        begin = re.compile(rf"<!--mg:begin id={annotation_id} tag=[\w.]+-->")
+        end = rf"<!--mg:end id={annotation_id}-->"
+        if not begin.search(self.html):
+            return False
+        self.html = begin.sub("", self.html)
+        self.html = self.html.replace(end, "")
+        return True
+
+    # -- extraction --------------------------------------------------------
+    def annotations(self) -> list[Annotation]:
+        """Parse the markers back out, with nesting (parent ids)."""
+        events: list[tuple[int, str, int, str | None]] = []
+        for match in _BEGIN_RE.finditer(self.html):
+            events.append((match.start(), "begin", int(match.group(1)), match.group(2)))
+        for match in _END_RE.finditer(self.html):
+            events.append((match.start(), "end", int(match.group(1)), None))
+        events.sort(key=lambda event: event[0])
+        stack: list[tuple[int, str, int]] = []  # (id, tag, content_start)
+        collected: dict[int, Annotation] = {}
+        for position, kind, annotation_id, tag_path in events:
+            if kind == "begin":
+                assert tag_path is not None
+                marker_len = len(f"<!--mg:begin id={annotation_id} tag={tag_path}-->")
+                stack.append((annotation_id, tag_path, position + marker_len))
+            else:
+                if not stack or stack[-1][0] != annotation_id:
+                    raise AnnotationError(
+                        f"mismatched annotation markers in {self.url} (id={annotation_id})"
+                    )
+                open_id, tag_path, content_start = stack.pop()
+                raw = self.html[content_start:position]
+                text = _TAG_STRIP_RE.sub("", _ANY_MARKER_RE.sub("", raw)).strip()
+                parent_id = stack[-1][0] if stack else None
+                collected[open_id] = Annotation(open_id, tag_path, text, parent_id)
+        if stack:
+            raise AnnotationError(f"unclosed annotation markers in {self.url}")
+        return [collected[key] for key in sorted(collected)]
+
+    def to_triples(self) -> list[Triple]:
+        """Extract RDF-style triples (the publish payload).
+
+        Entity annotations become subjects ``url#tag-N``; property
+        annotations become triples on their nearest entity ancestor (or
+        the page itself).  Entity annotations also get an ``rdf:type``
+        triple so applications can find all instances.
+        """
+        annotations = self.annotations()
+        by_id = {annotation.id: annotation for annotation in annotations}
+        entity_counter: dict[str, int] = {}
+        subjects: dict[int, str] = {}
+        triples: list[Triple] = []
+
+        def is_entity(annotation: Annotation) -> bool:
+            if self.schema is not None:
+                return self.schema.is_entity_path(annotation.tag_path)
+            return any(a.parent_id == annotation.id for a in annotations)
+
+        for annotation in annotations:
+            if is_entity(annotation):
+                count = entity_counter.get(annotation.tag_path, 0) + 1
+                entity_counter[annotation.tag_path] = count
+                subject = f"{self.url}#{annotation.tag_path}-{count}"
+                subjects[annotation.id] = subject
+                triples.append(Triple(subject, "rdf:type", annotation.tag_path, self.url))
+
+        def owner_subject(annotation: Annotation) -> str:
+            parent = annotation.parent_id
+            while parent is not None:
+                if parent in subjects:
+                    return subjects[parent]
+                parent = by_id[parent].parent_id
+            return self.url
+
+        for annotation in annotations:
+            if annotation.id in subjects:
+                continue
+            triples.append(
+                Triple(
+                    owner_subject(annotation),
+                    annotation.tag_path,
+                    annotation.text,
+                    self.url,
+                )
+            )
+        return triples
+
+
+def _count_unbalanced(span: str) -> bool:
+    """True if the span cuts through a comment marker or an HTML tag."""
+    if span.count("<") != span.count(">"):
+        return True
+    begins = len(_BEGIN_RE.findall(span))
+    ends = len(_END_RE.findall(span))
+    return begins != ends

@@ -1,0 +1,77 @@
+"""The annotation "graphical tool", as an API.
+
+Section 2.1: "The tool displays a rendered version of the HTML document
+alongside a tree view of a schema ... Users highlight portions of the
+HTML document, then annotate by choosing a corresponding tag name from
+the schema."  :class:`AnnotationSession` is that workflow without the
+pixels: the rendered view, the schema tree, highlight + tag, and an
+explicit publish step that immediately refreshes the applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mangrove.annotation import AnnotatedDocument, AnnotationError
+from repro.mangrove.publish import Publisher
+from repro.mangrove.schema import LightweightSchema
+
+
+@dataclass
+class AnnotationSession:
+    """One user annotating one page against one schema."""
+
+    document: AnnotatedDocument
+    schema: LightweightSchema
+    publisher: Publisher | None = None
+    history: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.document.schema = self.schema
+
+    # -- what the user sees -------------------------------------------------
+    def rendered(self) -> str:
+        """The rendered page text (markers and markup hidden)."""
+        return self.document.rendered_text()
+
+    def schema_tree(self) -> list[str]:
+        """The schema paths shown in the tree view."""
+        return self.schema.paths()
+
+    def suggest_tags(self, highlighted_text: str, limit: int = 5) -> list[str]:
+        """Tag suggestions for a highlighted snippet (auto-complete)."""
+        return self.schema.suggest(highlighted_text, limit=limit)
+
+    # -- annotating ------------------------------------------------------------
+    def highlight_and_tag(self, text: str, tag_path: str, occurrence: int = 1) -> int:
+        """Annotate the given visible text with a schema tag."""
+        if not self.schema.is_valid_path(tag_path):
+            raise AnnotationError(
+                f"tag {tag_path!r} is not in schema {self.schema.name!r}; "
+                f"try one of {self.suggest_tags(tag_path)}"
+            )
+        annotation_id = self.document.annotate_text(text, tag_path, occurrence)
+        self.history.append(annotation_id)
+        return annotation_id
+
+    def undo(self) -> bool:
+        """Remove the most recent annotation."""
+        if not self.history:
+            return False
+        return self.document.remove_annotation(self.history.pop())
+
+    # -- instant gratification ----------------------------------------------------
+    def publish(self) -> int:
+        """Publish: push the page's triples to the repository *now*.
+
+        Returns the number of triples published.  Applications that
+        subscribed to the store refresh immediately — this is the
+        feedback loop Section 2.2 describes.
+        """
+        if self.publisher is None:
+            raise AnnotationError("session has no publisher configured")
+        return self.publisher.publish(self.document)
+
+    def annotation_count(self) -> int:
+        """How many annotations the page currently carries."""
+        return len(self.document.annotations())

@@ -1,0 +1,127 @@
+"""Per-application cleaning policies for dirty data.
+
+Section 2.3: because constraints are deferred, "the database created
+from the web pages may have dirty data"; each application cleans to its
+own standard.  The example given — a phone directory extracting "a
+phone number from the faculty's web space, rather than anywhere on the
+web" — is :class:`PreferOwnPage`, which uses the stored source URL as
+its signal, "paralleling the operation of the web today, where users
+examine web content and/or its apparent source".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.rdf import Triple, TripleStore
+
+
+class CleaningPolicy:
+    """Strategy interface: pick believable values among conflicting ones."""
+
+    name = "abstract"
+
+    def choose(self, store: TripleStore, subject: str, predicate: str) -> list[object]:
+        """Values of (subject, predicate) this policy believes."""
+        raise NotImplementedError
+
+    def value(self, store: TripleStore, subject: str, predicate: str) -> object | None:
+        """Single believable value (first of :meth:`choose`), or None."""
+        chosen = self.choose(store, subject, predicate)
+        return chosen[0] if chosen else None
+
+
+class NoCleaning(CleaningPolicy):
+    """Believe everything — suitable when users can easily judge answers
+    themselves (e.g. by following the source hyperlink)."""
+
+    name = "none"
+
+    def choose(self, store: TripleStore, subject: str, predicate: str) -> list[object]:
+        seen: list[object] = []
+        for triple in store.match(subject, predicate):
+            if triple.object not in seen:
+                seen.append(triple.object)
+        return seen
+
+
+@dataclass
+class PreferOwnPage(CleaningPolicy):
+    """Trust the subject's *own* web space over third-party pages.
+
+    A triple is "owned" when its source URL is a prefix of (or equal to)
+    the subject's URL root — e.g. facts about ``~smith`` published from
+    ``http://cs.edu/~smith/...``.  Third-party values are used only when
+    the owner's pages say nothing.
+    """
+
+    name = "own-page"
+
+    def choose(self, store: TripleStore, subject: str, predicate: str) -> list[object]:
+        owned: list[object] = []
+        others: list[object] = []
+        subject_root = subject.split("#", 1)[0]
+        for triple in store.match(subject, predicate):
+            bucket = owned if _same_space(triple.source, subject_root) else others
+            if triple.object not in bucket:
+                bucket.append(triple.object)
+        return owned if owned else others
+
+
+def _same_space(source: str, subject_root: str) -> bool:
+    return bool(source) and (
+        source == subject_root
+        or source.startswith(subject_root.rstrip("/") + "/")
+        or subject_root.startswith(source.rstrip("/") + "/")
+    )
+
+
+class MajorityVote(CleaningPolicy):
+    """Believe the value asserted by the most distinct sources."""
+
+    name = "majority"
+
+    def choose(self, store: TripleStore, subject: str, predicate: str) -> list[object]:
+        votes: Counter[object] = Counter()
+        sources: dict[object, set[str]] = {}
+        for triple in store.match(subject, predicate):
+            sources.setdefault(triple.object, set()).add(triple.source)
+        for value, value_sources in sources.items():
+            votes[value] = len(value_sources)
+        if not votes:
+            return []
+        best = max(votes.values())
+        return [value for value, count in votes.items() if count == best]
+
+
+class LatestWins(CleaningPolicy):
+    """Believe the most recently published value (logical timestamps)."""
+
+    name = "latest"
+
+    def choose(self, store: TripleStore, subject: str, predicate: str) -> list[object]:
+        latest: Triple | None = None
+        for triple in store.match(subject, predicate):
+            if latest is None or triple.timestamp > latest.timestamp:
+                latest = triple
+        return [latest.object] if latest is not None else []
+
+
+def find_conflicts(
+    store: TripleStore, single_valued_predicates: set[str]
+) -> list[tuple[str, str, list[object]]]:
+    """All (subject, predicate, values) with >1 distinct value for a
+    predicate declared single-valued — the raw material for the
+    proactive inconsistency finder of Section 2.3."""
+    values: dict[tuple[str, str], list[object]] = {}
+    for triple in store.all_triples():
+        if triple.predicate in single_valued_predicates:
+            bucket = values.setdefault((triple.subject, triple.predicate), [])
+            if triple.object not in bucket:
+                bucket.append(triple.object)
+    return [
+        (subject, predicate, vals)
+        for (subject, predicate), vals in sorted(values.items())
+        if len(vals) > 1
+    ]

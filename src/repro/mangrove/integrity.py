@@ -1,0 +1,114 @@
+"""Deferred integrity constraints and the proactive inconsistency finder.
+
+Section 2.3: "one can also build special applications whose goal is to
+proactively find inconsistencies in the database and notify the relevant
+authors."  :class:`ConstraintChecker` is that application: constraints
+are declared here — *not* enforced at authoring time — and each
+violation report carries the source URLs (= the authors to notify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mangrove.cleaning import find_conflicts
+from repro.rdf import TripleStore
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One constraint violation, addressed to the authors involved."""
+
+    kind: str
+    subject: str
+    predicate: str
+    detail: str
+    authors: tuple[str, ...]
+
+
+@dataclass
+class ConstraintChecker:
+    """Declarative, deferred constraints over the annotation repository.
+
+    * ``single_valued`` — functional predicates (a person has one phone);
+    * ``required`` — per entity type, predicates an instance should have;
+    * ``referential`` — predicate values that must name an existing
+      entity of a given type (e.g. ``course.instructor`` -> ``person``).
+    """
+
+    single_valued: set[str] = field(default_factory=set)
+    required: dict[str, set[str]] = field(default_factory=dict)
+    referential: dict[str, str] = field(default_factory=dict)
+
+    def check(self, store: TripleStore) -> list[Violation]:
+        """Run every declared constraint; returns all violations."""
+        violations: list[Violation] = []
+        violations.extend(self._check_single_valued(store))
+        violations.extend(self._check_required(store))
+        violations.extend(self._check_referential(store))
+        return violations
+
+    def _check_single_valued(self, store: TripleStore) -> list[Violation]:
+        violations = []
+        for subject, predicate, values in find_conflicts(store, self.single_valued):
+            authors = tuple(
+                sorted({t.source for t in store.match(subject, predicate)})
+            )
+            violations.append(
+                Violation(
+                    "multiple-values",
+                    subject,
+                    predicate,
+                    f"{len(values)} distinct values: {values!r}",
+                    authors,
+                )
+            )
+        return violations
+
+    def _check_required(self, store: TripleStore) -> list[Violation]:
+        violations = []
+        for type_name, predicates in self.required.items():
+            for subject in sorted(store.subjects("rdf:type", type_name)):
+                present = {t.predicate for t in store.match(subject)}
+                for predicate in sorted(predicates - present):
+                    authors = tuple(sorted({t.source for t in store.match(subject)}))
+                    violations.append(
+                        Violation(
+                            "missing-required",
+                            subject,
+                            predicate,
+                            f"{type_name} instance lacks {predicate}",
+                            authors,
+                        )
+                    )
+        return violations
+
+    def _check_referential(self, store: TripleStore) -> list[Violation]:
+        violations = []
+        for predicate, target_type in self.referential.items():
+            # Known names of the target type (via its <type>.name property).
+            known: set[object] = set()
+            for entity in store.subjects("rdf:type", target_type):
+                known.update(store.objects(entity, f"{target_type}.name"))
+            for triple in store.all_triples():
+                if triple.predicate != predicate:
+                    continue
+                if triple.object not in known:
+                    violations.append(
+                        Violation(
+                            "dangling-reference",
+                            triple.subject,
+                            predicate,
+                            f"value {triple.object!r} names no {target_type}",
+                            (triple.source,),
+                        )
+                    )
+        return violations
+
+    def notifications(self, store: TripleStore) -> dict[str, list[Violation]]:
+        """Violations grouped by author (source URL) — the notify queue."""
+        queue: dict[str, list[Violation]] = {}
+        for violation in self.check(store):
+            for author in violation.authors:
+                queue.setdefault(author, []).append(violation)
+        return queue

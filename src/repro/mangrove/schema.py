@@ -1,0 +1,202 @@
+"""Lightweight schemas: standardized tag names with allowed nesting.
+
+Section 2.1: "users of MANGROVE are required to adhere to one of the
+schemas provided by the MANGROVE administrator ... users are only
+required to use a set of standardized tag names (and their allowed
+nesting structure)".  Crucially there are *no* integrity constraints
+here — those are deferred to applications (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.text import tokenize_identifier
+
+
+class SchemaError(ValueError):
+    """Unknown tag or illegal nesting."""
+
+
+@dataclass
+class TagNode:
+    """One tag and the tags allowed to nest inside it.
+
+    A node with children denotes an *entity* tag (e.g. ``course``); a
+    leaf denotes a *property* tag (e.g. ``title``).
+    """
+
+    name: str
+    children: list["TagNode"] = field(default_factory=list)
+
+    def child(self, name: str) -> "TagNode | None":
+        """Direct child tag by name."""
+        for node in self.children:
+            if node.name == name:
+                return node
+        return None
+
+    def is_entity(self) -> bool:
+        """Entity tags may contain other tags."""
+        return bool(self.children)
+
+    def walk(self, prefix: tuple[str, ...] = ()) -> Iterator[tuple[tuple[str, ...], "TagNode"]]:
+        """Yield (path, node) for this node and all descendants."""
+        path = prefix + (self.name,)
+        yield path, self
+        for child in self.children:
+            yield from child.walk(path)
+
+
+def tag(name: str, *children: TagNode) -> TagNode:
+    """Concise TagNode constructor."""
+    return TagNode(name, list(children))
+
+
+@dataclass
+class LightweightSchema:
+    """A named forest of tag trees.
+
+    >>> schema = LightweightSchema("courses", [
+    ...     tag("course", tag("title"), tag("instructor"), tag("time"))])
+    >>> schema.is_valid_path("course.title")
+    True
+    >>> schema.is_valid_path("course.price")
+    False
+    """
+
+    name: str
+    roots: list[TagNode] = field(default_factory=list)
+
+    def paths(self) -> list[str]:
+        """All dotted tag paths, entities and properties alike."""
+        found: list[str] = []
+        for root in self.roots:
+            for path, _node in root.walk():
+                found.append(".".join(path))
+        return found
+
+    def node_at(self, path: str) -> TagNode | None:
+        """Resolve a dotted path to its TagNode, or None."""
+        parts = path.split(".")
+        candidates = self.roots
+        node: TagNode | None = None
+        for part in parts:
+            node = None
+            for candidate in candidates:
+                if candidate.name == part:
+                    node = candidate
+                    break
+            if node is None:
+                return None
+            candidates = node.children
+        return node
+
+    def is_valid_path(self, path: str) -> bool:
+        """True when ``path`` exists in the schema."""
+        return self.node_at(path) is not None
+
+    def is_entity_path(self, path: str) -> bool:
+        """True when ``path`` names an entity (non-leaf) tag."""
+        node = self.node_at(path)
+        return node is not None and node.is_entity()
+
+    def allowed_children(self, path: str | None = None) -> list[str]:
+        """Tags allowed directly under ``path`` (or at top level)."""
+        if path is None:
+            return [root.name for root in self.roots]
+        node = self.node_at(path)
+        if node is None:
+            raise SchemaError(f"unknown tag path {path!r} in schema {self.name}")
+        return [child.name for child in node.children]
+
+    def suggest(self, fragment: str, limit: int = 5) -> list[str]:
+        """Rank tag paths by token overlap with ``fragment``.
+
+        This is the schema-tree-side auto-complete the annotation tool
+        shows while the user types.
+        """
+        wanted = set(tokenize_identifier(fragment, expand_abbreviations=True))
+        scored: list[tuple[float, str]] = []
+        for path in self.paths():
+            have = set(tokenize_identifier(path, expand_abbreviations=True))
+            if not wanted:
+                overlap = 0.0
+            else:
+                overlap = len(wanted & have) / len(wanted | have)
+            if overlap > 0:
+                scored.append((overlap, path))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [path for _score, path in scored[:limit]]
+
+
+class SchemaRegistry:
+    """The administrator's catalogue of schemas users may annotate with."""
+
+    def __init__(self, schemas: Iterable[LightweightSchema] = ()):  # noqa: D107
+        self._schemas: dict[str, LightweightSchema] = {}
+        for schema in schemas:
+            self.register(schema)
+
+    def register(self, schema: LightweightSchema) -> None:
+        """Add or replace a schema."""
+        self._schemas[schema.name] = schema
+
+    def get(self, name: str) -> LightweightSchema:
+        """Look up a schema by name."""
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise SchemaError(f"no schema named {name!r}") from None
+
+    def names(self) -> list[str]:
+        """Registered schema names."""
+        return list(self._schemas)
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+
+def university_schema() -> LightweightSchema:
+    """The paper's running-example domain: courses, people, talks, papers."""
+    return LightweightSchema(
+        "university",
+        [
+            tag(
+                "course",
+                tag("title"),
+                tag("number"),
+                tag("instructor"),
+                tag("time"),
+                tag("location"),
+                tag("textbook"),
+                tag("description"),
+                tag("ta", tag("name"), tag("email"), tag("office_hours")),
+            ),
+            tag(
+                "person",
+                tag("name"),
+                tag("email"),
+                tag("phone"),
+                tag("office"),
+                tag("homepage"),
+                tag("position"),
+            ),
+            tag(
+                "talk",
+                tag("title"),
+                tag("speaker"),
+                tag("date"),
+                tag("time"),
+                tag("location"),
+            ),
+            tag(
+                "paper",
+                tag("title"),
+                tag("author"),
+                tag("venue"),
+                tag("year"),
+            ),
+        ],
+    )

@@ -1,0 +1,59 @@
+"""The Piazza peer data management system (Section 3 of the paper).
+
+Peers hold *stored relations* (data), expose *peer schemas* (logical
+relations), and are connected by local GLAV mappings.  Query answering
+rewrites a query posed on one peer's schema into a union of conjunctive
+queries over stored relations anywhere in the system, following the
+*transitive closure* of the mappings — the defining feature the paper
+contrasts with two-tier data integration.
+
+Modules:
+
+* :mod:`repro.piazza.datalog` -- terms, atoms, conjunctive queries,
+  unification, bottom-up evaluation and the chase (certain answers).
+* :mod:`repro.piazza.reformulation` -- the rule-goal tree reformulation
+  engine with the pruning heuristics of Section 3.1.1.
+* :mod:`repro.piazza.peer` -- peers, mappings, storage descriptions and
+  the :class:`~repro.piazza.peer.PDMS` itself.
+* :mod:`repro.piazza.network` / :mod:`repro.piazza.execution` --
+  simulated network and distributed query execution with view
+  materialization.
+* :mod:`repro.piazza.updates` -- updategrams and incremental view
+  maintenance (Section 3.1.2).
+* :mod:`repro.piazza.integration` -- the mediated-schema data-integration
+  baseline the paper argues "scales poorly".
+"""
+
+from repro.piazza.datalog import Atom, ConjunctiveQuery, Const, Func, Rule, Var
+from repro.piazza.peer import (
+    DefinitionalMapping,
+    InclusionMapping,
+    PDMS,
+    Peer,
+    StorageDescription,
+)
+from repro.piazza.reformulation import ReformulationResult, reformulate
+from repro.piazza.network import SimulatedNetwork
+from repro.piazza.execution import DistributedExecutor, ExecutionStats
+from repro.piazza.updates import IncrementalView, Updategram
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Const",
+    "DefinitionalMapping",
+    "DistributedExecutor",
+    "ExecutionStats",
+    "Func",
+    "InclusionMapping",
+    "IncrementalView",
+    "PDMS",
+    "Peer",
+    "ReformulationResult",
+    "Rule",
+    "SimulatedNetwork",
+    "StorageDescription",
+    "Updategram",
+    "Var",
+    "reformulate",
+]

@@ -1,0 +1,469 @@
+"""Conjunctive queries, unification, evaluation and the chase.
+
+This is the logical core of Piazza.  The GLAV formalism the paper adopts
+([19], Section 3.1.1) relates conjunctive queries over different peers'
+schemas; we compile every mapping into *inverse rules* (Duschka &
+Genesereth) whose heads may contain Skolem terms (:class:`Func`).  The
+same rule set drives both:
+
+* top-down reformulation (:mod:`repro.piazza.reformulation`), and
+* the bottom-up chase here, which computes **certain answers** — the
+  ground truth reformulation is measured against.
+
+Terms are plain Python values (constants), :class:`Var` or :class:`Func`
+(Skolem functions standing for unknown existential values).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+Instance = dict[str, set[tuple]]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logical variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name.upper() if self.name.islower() else f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """Explicit constant wrapper (bare Python values also work as terms)."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Func:
+    """A (possibly partially ground) Skolem term ``f(args...)``."""
+
+    name: str
+    args: tuple
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+Term = object  # Var | Func | Const | any hashable Python value
+
+
+def _unconst(term: Term) -> Term:
+    return term.value if isinstance(term, Const) else term
+
+
+def is_ground(term: Term) -> bool:
+    """True if the term contains no variables."""
+    term = _unconst(term)
+    if isinstance(term, Var):
+        return False
+    if isinstance(term, Func):
+        return all(is_ground(arg) for arg in term.args)
+    return True
+
+
+def has_skolem(term: Term) -> bool:
+    """True if the term is or contains a Skolem function."""
+    term = _unconst(term)
+    if isinstance(term, Func):
+        return True
+    return False
+
+
+def term_depth(term: Term) -> int:
+    """Nesting depth of Skolem terms (constants/vars are depth 0)."""
+    term = _unconst(term)
+    if isinstance(term, Func):
+        return 1 + max((term_depth(arg) for arg in term.args), default=0)
+    return 0
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate applied to terms, e.g. ``Berkeley.course(X, Y)``."""
+
+    predicate: str
+    args: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def variables(self) -> set[Var]:
+        """All variables occurring in the atom."""
+        found: set[Var] = set()
+
+        def walk(term: Term) -> None:
+            term = _unconst(term)
+            if isinstance(term, Var):
+                found.add(term)
+            elif isinstance(term, Func):
+                for arg in term.args:
+                    walk(arg)
+
+        for arg in self.args:
+            walk(arg)
+        return found
+
+    def __repr__(self) -> str:
+        return f"{self.predicate}({', '.join(map(repr, self.args))})"
+
+
+Subst = dict[Var, Term]
+
+
+def walk(term: Term, subst: Subst) -> Term:
+    """Resolve a term through the substitution (path compression free)."""
+    term = _unconst(term)
+    while isinstance(term, Var) and term in subst:
+        term = _unconst(subst[term])
+    return term
+
+
+def apply_subst(term: Term, subst: Subst) -> Term:
+    """Deep application of a substitution to a term."""
+    term = walk(term, subst)
+    if isinstance(term, Func):
+        return Func(term.name, tuple(apply_subst(arg, subst) for arg in term.args))
+    return term
+
+
+def apply_subst_atom(atom: Atom, subst: Subst) -> Atom:
+    """Apply a substitution to every argument of an atom."""
+    return Atom(atom.predicate, tuple(apply_subst(arg, subst) for arg in atom.args))
+
+
+def occurs(var: Var, term: Term, subst: Subst) -> bool:
+    """Occurs check for unification soundness."""
+    term = walk(term, subst)
+    if term == var:
+        return True
+    if isinstance(term, Func):
+        return any(occurs(var, arg, subst) for arg in term.args)
+    return False
+
+
+def unify(a: Term, b: Term, subst: Subst | None = None) -> Subst | None:
+    """Most general unifier of two terms, extending ``subst``.
+
+    Returns ``None`` on failure; never mutates the input substitution.
+    """
+    if subst is None:
+        subst = {}
+    a = walk(a, subst)
+    b = walk(b, subst)
+    if a == b:
+        return subst
+    if isinstance(a, Var):
+        if occurs(a, b, subst):
+            return None
+        extended = dict(subst)
+        extended[a] = b
+        return extended
+    if isinstance(b, Var):
+        return unify(b, a, subst)
+    if isinstance(a, Func) and isinstance(b, Func):
+        if a.name != b.name or len(a.args) != len(b.args):
+            return None
+        for arg_a, arg_b in zip(a.args, b.args):
+            result = unify(arg_a, arg_b, subst)
+            if result is None:
+                return None
+            subst = result
+        return subst
+    return None
+
+
+def unify_atoms(a: Atom, b: Atom, subst: Subst | None = None) -> Subst | None:
+    """Unify two atoms (same predicate, pairwise-unifiable arguments)."""
+    if a.predicate != b.predicate or len(a.args) != len(b.args):
+        return None
+    if subst is None:
+        subst = {}
+    for arg_a, arg_b in zip(a.args, b.args):
+        result = unify(arg_a, arg_b, subst)
+        if result is None:
+            return None
+        subst = result
+    return subst
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """``head :- body`` where every head variable appears in the body.
+
+    >>> q = ConjunctiveQuery(Atom("q", (Var("x"),)),
+    ...                      (Atom("r", (Var("x"), Var("y"))),))
+    >>> q.is_safe()
+    True
+    """
+
+    head: Atom
+    body: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+    def is_safe(self) -> bool:
+        """Safety: head variables all occur in the body."""
+        body_vars: set[Var] = set()
+        for atom in self.body:
+            body_vars |= atom.variables()
+        return self.head.variables() <= body_vars
+
+    def variables(self) -> set[Var]:
+        """All variables of head and body."""
+        found = self.head.variables()
+        for atom in self.body:
+            found |= atom.variables()
+        return found
+
+    def predicates(self) -> set[str]:
+        """Predicate names used in the body."""
+        return {atom.predicate for atom in self.body}
+
+    def rename(self, suffix: str) -> "ConjunctiveQuery":
+        """Fresh-rename all variables with ``suffix``."""
+        mapping: Subst = {var: Var(f"{var.name}#{suffix}") for var in self.variables()}
+        return ConjunctiveQuery(
+            apply_subst_atom(self.head, mapping),
+            tuple(apply_subst_atom(atom, mapping) for atom in self.body),
+        )
+
+    def canonical(self) -> tuple:
+        """A canonical fingerprint invariant under variable renaming."""
+        numbering: dict[Var, int] = {}
+
+        def normalize(term: Term):
+            term = _unconst(term)
+            if isinstance(term, Var):
+                if term not in numbering:
+                    numbering[term] = len(numbering)
+                return ("var", numbering[term])
+            if isinstance(term, Func):
+                return ("func", term.name, tuple(normalize(arg) for arg in term.args))
+            return ("const", term)
+
+        def normalize_atom(atom: Atom):
+            return (atom.predicate, tuple(normalize(arg) for arg in atom.args))
+
+        head = normalize_atom(self.head)
+        # Sort body atoms by a rename-independent key first; ties broken
+        # by insertion order to keep this cheap.
+        body = tuple(
+            normalize_atom(atom)
+            for atom in sorted(self.body, key=lambda a: (a.predicate, len(a.args)))
+        )
+        return (head, body)
+
+    def __repr__(self) -> str:
+        return f"{self.head!r} :- {', '.join(map(repr, self.body))}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A datalog rule; head may contain Skolem terms (inverse rules)."""
+
+    head: Atom
+    body: tuple
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+    def rename(self, suffix: str) -> "Rule":
+        """Fresh-rename all rule variables with ``suffix``."""
+        variables: set[Var] = self.head.variables()
+        for atom in self.body:
+            variables |= atom.variables()
+        mapping: Subst = {var: Var(f"{var.name}~{suffix}") for var in variables}
+        return Rule(
+            apply_subst_atom(self.head, mapping),
+            tuple(apply_subst_atom(atom, mapping) for atom in self.body),
+            self.label,
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.head!r} <- {', '.join(map(repr, self.body))}"
+
+
+# -- evaluation ----------------------------------------------------------------
+
+
+def _match_fact(atom: Atom, fact: tuple, subst: Subst) -> Subst | None:
+    """Unify an atom against one ground fact tuple."""
+    if len(atom.args) != len(fact):
+        return None
+    for arg, value in zip(atom.args, fact):
+        result = unify(arg, value, subst)
+        if result is None:
+            return None
+        subst = result
+    return subst
+
+
+def _eval_body(
+    body: tuple, instance: Instance, subst: Subst, stats: dict | None = None
+) -> Iterator[Subst]:
+    """All substitutions satisfying ``body`` over ``instance``.
+
+    ``stats`` (optional) accumulates ``match_attempts`` — the number of
+    atom-vs-fact unification attempts, the work metric reported by the
+    incremental-maintenance and execution benchmarks.
+    """
+    if not body:
+        yield subst
+        return
+    # Most-bound-first selection keeps intermediate results small.
+    def boundness(atom: Atom) -> int:
+        resolved = apply_subst_atom(atom, subst)
+        return sum(1 for arg in resolved.args if is_ground(arg))
+
+    index = max(range(len(body)), key=lambda i: boundness(body[i]))
+    atom = body[index]
+    rest = body[:index] + body[index + 1 :]
+    facts = instance.get(atom.predicate, ())
+    if stats is not None:
+        stats["match_attempts"] = stats.get("match_attempts", 0) + len(facts)
+    for fact in facts:
+        extended = _match_fact(atom, fact, subst)
+        if extended is not None:
+            yield from _eval_body(rest, instance, extended, stats)
+
+
+def evaluate_query(query: ConjunctiveQuery, instance: Instance) -> set[tuple]:
+    """All head tuples of ``query`` over ``instance`` (may contain Skolems)."""
+    results: set[tuple] = set()
+    for subst in _eval_body(query.body, instance, {}):
+        head = apply_subst_atom(query.head, subst)
+        if all(is_ground(arg) for arg in head.args):
+            results.add(head.args)
+    return results
+
+
+def evaluate_union(queries: Iterable[ConjunctiveQuery], instance: Instance) -> set[tuple]:
+    """Union of the answers of several conjunctive queries."""
+    results: set[tuple] = set()
+    for query in queries:
+        results |= evaluate_query(query, instance)
+    return results
+
+
+# -- chase / certain answers -----------------------------------------------------
+
+
+def chase(
+    instance: Instance,
+    rules: list[Rule],
+    max_skolem_depth: int = 3,
+    max_rounds: int = 50,
+) -> Instance:
+    """Saturate ``instance`` under ``rules`` (restricted chase).
+
+    Skolem terms deeper than ``max_skolem_depth`` are not generated,
+    which guarantees termination even for cyclic mapping graphs at the
+    cost of completeness beyond that depth (ample for the experiments).
+    """
+    chased: Instance = {pred: set(facts) for pred, facts in instance.items()}
+    for _round in range(max_rounds):
+        new_facts: list[tuple[str, tuple]] = []
+        for rule in rules:
+            for subst in _eval_body(rule.body, chased, {}):
+                head = apply_subst_atom(rule.head, subst)
+                if not all(is_ground(arg) for arg in head.args):
+                    continue
+                if any(term_depth(arg) > max_skolem_depth for arg in head.args):
+                    continue
+                if head.args not in chased.get(head.predicate, set()):
+                    new_facts.append((head.predicate, head.args))
+        if not new_facts:
+            break
+        for predicate, fact in new_facts:
+            chased.setdefault(predicate, set()).add(fact)
+    return chased
+
+
+def certain_answers(
+    query: ConjunctiveQuery,
+    instance: Instance,
+    rules: list[Rule],
+    max_skolem_depth: int = 3,
+) -> set[tuple]:
+    """Certain answers: evaluate over the chase, keep Skolem-free tuples."""
+    chased = chase(instance, rules, max_skolem_depth=max_skolem_depth)
+    return {
+        fact
+        for fact in evaluate_query(query, chased)
+        if not any(has_skolem(arg) for arg in fact)
+    }
+
+
+# -- containment ------------------------------------------------------------------
+
+
+def freeze(query: ConjunctiveQuery) -> tuple[Instance, tuple]:
+    """Canonical database of a query: variables become fresh constants."""
+    frozen_terms: dict[Var, object] = {}
+
+    def freeze_term(term: Term):
+        term = _unconst(term)
+        if isinstance(term, Var):
+            if term not in frozen_terms:
+                frozen_terms[term] = Func("frozen", (term.name,))
+            return frozen_terms[term]
+        if isinstance(term, Func):
+            return Func(term.name, tuple(freeze_term(arg) for arg in term.args))
+        return term
+
+    canonical_db: Instance = {}
+    for atom in query.body:
+        canonical_db.setdefault(atom.predicate, set()).add(
+            tuple(freeze_term(arg) for arg in atom.args)
+        )
+    frozen_head = tuple(freeze_term(arg) for arg in query.head.args)
+    return canonical_db, frozen_head
+
+
+def is_contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Classic CQ containment test: ``q1 ⊆ q2`` iff the frozen head of
+    ``q1`` is among ``q2``'s answers on ``q1``'s canonical database."""
+    if len(q1.head.args) != len(q2.head.args):
+        return False
+    canonical_db, frozen_head = freeze(q1)
+    return frozen_head in evaluate_query(q2, canonical_db)
+
+
+def minimize_union(queries: list[ConjunctiveQuery]) -> list[ConjunctiveQuery]:
+    """Drop union members contained in another member (UCQ minimization)."""
+    kept: list[ConjunctiveQuery] = []
+    for i, query in enumerate(queries):
+        redundant = False
+        for j, other in enumerate(queries):
+            if i == j:
+                continue
+            if is_contained_in(query, other):
+                # Break ties deterministically so mutually-equivalent pairs
+                # keep exactly one member.
+                if is_contained_in(other, query) and i < j:
+                    continue
+                redundant = True
+                break
+        if not redundant:
+            kept.append(query)
+    return kept
+
+
+_fresh_counter = itertools.count()
+
+
+def fresh_suffix() -> str:
+    """A process-unique suffix for variable renaming."""
+    return str(next(_fresh_counter))

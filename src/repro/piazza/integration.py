@@ -1,0 +1,93 @@
+"""The mediated-schema data-integration baseline (Section 3 strawman).
+
+"A commonly proposed approach is the one used by data warehousing and
+data integration: create a common, mediated schema ... This approach
+works well enough to be practical for many problems, but it scales
+poorly."  This module implements that two-tier architecture so the
+benchmarks can compare it against the PDMS:
+
+* a single global **mediated schema**;
+* every source maps *to the mediated schema* (LAV source descriptions);
+* users must query the mediated schema — i.e. learn it.
+
+Internally it reuses the PDMS machinery with one virtual peer, which is
+exactly the "two-tier architecture" special case the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.piazza.datalog import ConjunctiveQuery
+from repro.piazza.peer import PDMS, Peer
+from repro.piazza.parse import parse_query
+
+
+@dataclass
+class IntegrationCosts:
+    """Effort accounting used by benchmark C2."""
+
+    mediated_relations: int = 0
+    mediated_attributes: int = 0
+    mappings_authored: int = 0
+    concepts_to_learn_per_user: int = 0
+    global_schema_revisions: int = 0
+
+
+class DataIntegrationSystem:
+    """Two-tier mediated-schema integration (TSIMMIS/IM-style).
+
+    The mediator is a peer named ``mediator``; every participating
+    source becomes a peer with only stored relations, plus a mapping
+    from its stored relations to the mediated schema.
+    """
+
+    def __init__(self) -> None:  # noqa: D107
+        self.pdms = PDMS()
+        self.mediator: Peer = self.pdms.add_peer("mediator")
+        self.costs = IntegrationCosts()
+
+    # -- global schema management -------------------------------------------
+    def define_mediated_relation(self, relation: str, attributes: list[str]) -> None:
+        """Extend the mediated schema (a *global* revision: every
+        participant is affected, which is what makes evolution slow)."""
+        already = relation in self.mediator.schema
+        self.mediator.add_relation(relation, attributes)
+        self.costs.mediated_relations = len(self.mediator.schema)
+        self.costs.mediated_attributes = sum(
+            len(attrs) for attrs in self.mediator.schema.values()
+        )
+        self.costs.concepts_to_learn_per_user = (
+            self.costs.mediated_relations + self.costs.mediated_attributes
+        )
+        if not already:
+            self.costs.global_schema_revisions += 1
+
+    # -- sources -----------------------------------------------------------------
+    def add_source(self, name: str) -> Peer:
+        """Register a source peer (data only)."""
+        return self.pdms.add_peer(name)
+
+    def add_source_description(
+        self, name: str, source_query: str | ConjunctiveQuery, mediated_query: str | ConjunctiveQuery
+    ) -> None:
+        """LAV description: source data ⊆ view over the mediated schema."""
+        self.pdms.add_mapping(name, source_query, mediated_query)
+        self.costs.mappings_authored += 1
+
+    # -- querying (over the mediated schema only) -----------------------------------
+    def answer(self, query: str | ConjunctiveQuery) -> set[tuple]:
+        """Answer a query phrased against the mediated schema."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        for atom in query.body:
+            if not atom.predicate.startswith("mediator."):
+                raise ValueError(
+                    "data-integration users must query the mediated schema; "
+                    f"got predicate {atom.predicate!r}"
+                )
+        return self.pdms.answer(query)
+
+    def certain(self, query: str | ConjunctiveQuery) -> set[tuple]:
+        """Certain answers over the mediated schema."""
+        return self.pdms.certain(query)

@@ -1,0 +1,81 @@
+"""A simulated overlay network of peers.
+
+The paper's Piazza runs over the Internet; the reproduction substitutes
+a latency/message simulation (see DESIGN.md).  The executor charges one
+request message per remote fetch and a response whose size is the
+number of tuples shipped; latency accumulates per round trip.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Message:
+    """One simulated network message."""
+
+    sender: str
+    receiver: str
+    size: int
+    kind: str = "data"
+
+
+@dataclass
+class SimulatedNetwork:
+    """Pairwise latencies plus traffic accounting.
+
+    Latency defaults to ``default_latency_ms`` for every pair; use
+    :meth:`set_latency` or :meth:`randomize_latencies` for heterogeneous
+    topologies.  Local (same-peer) transfers are free.
+    """
+
+    default_latency_ms: float = 20.0
+    per_tuple_ms: float = 0.05
+    _latency: dict[tuple[str, str], float] = field(default_factory=dict)
+    messages: list[Message] = field(default_factory=list)
+    total_latency_ms: float = 0.0
+
+    def set_latency(self, peer_a: str, peer_b: str, latency_ms: float) -> None:
+        """Set the symmetric latency between two peers."""
+        self._latency[(peer_a, peer_b)] = latency_ms
+        self._latency[(peer_b, peer_a)] = latency_ms
+
+    def randomize_latencies(self, peers: list[str], seed: int = 0,
+                            low: float = 5.0, high: float = 120.0) -> None:
+        """Draw symmetric pairwise latencies uniformly from [low, high]."""
+        rng = random.Random(seed)
+        for i, peer_a in enumerate(peers):
+            for peer_b in peers[i + 1 :]:
+                self.set_latency(peer_a, peer_b, rng.uniform(low, high))
+
+    def latency(self, peer_a: str, peer_b: str) -> float:
+        """Latency between two peers (0 locally)."""
+        if peer_a == peer_b:
+            return 0.0
+        return self._latency.get((peer_a, peer_b), self.default_latency_ms)
+
+    def send(self, sender: str, receiver: str, size: int, kind: str = "data") -> float:
+        """Record a message; returns its simulated transfer time in ms."""
+        if sender == receiver:
+            return 0.0
+        self.messages.append(Message(sender, receiver, size, kind))
+        cost = self.latency(sender, receiver) + size * self.per_tuple_ms
+        self.total_latency_ms += cost
+        return cost
+
+    @property
+    def message_count(self) -> int:
+        """Total messages sent so far."""
+        return len(self.messages)
+
+    @property
+    def bytes_shipped(self) -> int:
+        """Total tuple volume shipped (request payloads count as 1)."""
+        return sum(message.size for message in self.messages)
+
+    def reset(self) -> None:
+        """Clear traffic accounting (latency matrix kept)."""
+        self.messages.clear()
+        self.total_latency_ms = 0.0

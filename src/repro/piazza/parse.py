@@ -1,0 +1,131 @@
+"""A small textual syntax for datalog atoms, queries and rules.
+
+Used pervasively by tests, examples and benchmarks to keep queries
+readable::
+
+    ans(T)  :- Berkeley.course(C, T, S)
+    q(N, T) :- MIT.course(C, N), MIT.subject(C, T, E)
+
+Conventions: identifiers starting with an uppercase letter (or ``?``)
+are variables; quoted strings and numbers are constants; everything else
+(including dotted names) is a constant symbol.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.piazza.datalog import Atom, ConjunctiveQuery, Rule, Var
+
+_ATOM_RE = re.compile(r"\s*([\w.!:\-]+)\s*\(([^)]*)\)\s*")
+
+
+def parse_term(token: str):
+    """Parse one term token."""
+    token = token.strip()
+    if not token:
+        raise ValueError("empty term")
+    if token.startswith("?"):
+        return Var(token[1:])
+    if token[0] == '"' and token[-1] == '"':
+        return token[1:-1]
+    if token[0] == "'" and token[-1] == "'":
+        return token[1:-1]
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    if token[0].isupper():
+        return Var(token.lower())
+    return token
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse ``pred(arg, ...)``.
+
+    >>> parse_atom("Berkeley.course(C, 'db')")
+    Berkeley.course(C, 'db')
+    """
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise ValueError(f"cannot parse atom: {text!r}")
+    predicate, args_text = match.groups()
+    args = []
+    if args_text.strip():
+        args = [parse_term(token) for token in _split_args(args_text)]
+    return Atom(predicate, tuple(args))
+
+
+def _split_args(text: str) -> list[str]:
+    """Split on commas not inside quotes."""
+    parts: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    for ch in text:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+            current.append(ch)
+        elif ch == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [part for part in (p.strip() for p in parts) if part]
+
+
+def _split_atoms(text: str) -> list[str]:
+    """Split a body on commas at paren depth zero."""
+    parts: list[str] = []
+    current: list[str] = []
+    depth = 0
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if "".join(current).strip():
+        parts.append("".join(current))
+    return parts
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse ``head(args) :- atom, atom, ...``.
+
+    >>> q = parse_query("ans(T) :- uw.course(C, T)")
+    >>> q.head.predicate, len(q.body)
+    ('ans', 1)
+    """
+    if ":-" not in text:
+        raise ValueError(f"query needs ':-': {text!r}")
+    head_text, body_text = text.split(":-", 1)
+    head = parse_atom(head_text)
+    body = tuple(parse_atom(part) for part in _split_atoms(body_text))
+    query = ConjunctiveQuery(head, body)
+    if not query.is_safe():
+        raise ValueError(f"unsafe query (head variable not in body): {text!r}")
+    return query
+
+
+def parse_rule(text: str, label: str = "") -> Rule:
+    """Parse a rule with the same syntax as a query (head may be any atom)."""
+    if ":-" not in text:
+        raise ValueError(f"rule needs ':-': {text!r}")
+    head_text, body_text = text.split(":-", 1)
+    head = parse_atom(head_text)
+    body = tuple(parse_atom(part) for part in _split_atoms(body_text))
+    return Rule(head, body, label)

@@ -1,0 +1,391 @@
+"""Peers, mappings, storage descriptions and the PDMS itself.
+
+Naming convention for predicates:
+
+* ``Peer.relation`` — a *peer relation* (logical schema element),
+* ``Peer!relation`` — a *stored relation* (materialized source data).
+
+A peer contributes any of the three content types of Section 3.1: data
+(stored relations), a peer schema, and mappings.  Mappings are GLAV
+inclusions between conjunctive queries over two (sets of) peers'
+schemas; storage descriptions relate a peer's stored relations to its
+own schema.  Everything is compiled to (inverse) datalog rules shared by
+the reformulation engine and the certain-answer chase.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.piazza.datalog import (
+    Atom,
+    ConjunctiveQuery,
+    Func,
+    Instance,
+    Rule,
+    Var,
+    apply_subst_atom,
+    certain_answers,
+    evaluate_union,
+    fresh_suffix,
+    unify,
+)
+from repro.piazza.parse import parse_query
+from repro.piazza.reformulation import ReformulationResult, reformulate
+
+
+class PdmsError(Exception):
+    """Configuration problem in the PDMS (unknown peer, bad mapping)."""
+
+
+def peer_relation(peer: str, relation: str) -> str:
+    """Qualified peer-relation predicate name."""
+    return f"{peer}.{relation}"
+
+
+def stored_relation(peer: str, relation: str) -> str:
+    """Qualified stored-relation predicate name."""
+    return f"{peer}!{relation}"
+
+
+def owner_of(predicate: str) -> str:
+    """Peer owning a qualified predicate."""
+    for separator in ("!", "."):
+        if separator in predicate:
+            return predicate.split(separator, 1)[0]
+    raise PdmsError(f"predicate {predicate!r} is not peer-qualified")
+
+
+@dataclass
+class Peer:
+    """One participant: schema (logical), stored relations (data).
+
+    ``schema`` and ``stored`` map relation name to its attribute names;
+    attribute names matter to the corpus tools, arity to the queries.
+    """
+
+    name: str
+    schema: dict[str, list[str]] = field(default_factory=dict)
+    stored: dict[str, list[str]] = field(default_factory=dict)
+    data: dict[str, set[tuple]] = field(default_factory=dict)
+
+    def add_relation(self, relation: str, attributes: list[str]) -> None:
+        """Declare a peer-schema relation."""
+        self.schema[relation] = list(attributes)
+
+    def add_stored(self, relation: str, attributes: list[str], rows: Iterable[tuple] = ()) -> None:
+        """Declare a stored relation and optionally load rows."""
+        self.stored[relation] = list(attributes)
+        self.data.setdefault(relation, set()).update(tuple(row) for row in rows)
+
+    def insert(self, relation: str, rows: Iterable[tuple]) -> int:
+        """Add rows to a stored relation; returns count added."""
+        if relation not in self.stored:
+            raise PdmsError(f"peer {self.name} has no stored relation {relation!r}")
+        target = self.data.setdefault(relation, set())
+        before = len(target)
+        target.update(tuple(row) for row in rows)
+        return len(target) - before
+
+    def qualified_schema(self) -> dict[str, list[str]]:
+        """Peer relations with qualified names."""
+        return {peer_relation(self.name, rel): attrs for rel, attrs in self.schema.items()}
+
+
+@dataclass(frozen=True)
+class StorageDescription:
+    """``Peer!stored ⊆ view over Peer's schema`` (LAV-style, open world).
+
+    ``view.head`` must use the qualified stored-relation predicate.
+    """
+
+    view: ConjunctiveQuery
+    exact: bool = False
+
+    def rules(self) -> list[Rule]:
+        """Inverse rules: each view body atom derivable from the stored data."""
+        return _inverse_rules(
+            source_head=self.view.head,
+            source_body=(self.view.head,),
+            target=self.view,
+            label=f"storage:{self.view.head.predicate}",
+        )
+
+
+@dataclass(frozen=True)
+class InclusionMapping:
+    """GLAV mapping ``Q_source ⊆ Q_target`` between peer schemas.
+
+    ``source`` and ``target`` are conjunctive queries with heads of equal
+    arity (the head predicates are ignored — they only align variables).
+    ``exact=True`` makes it an equality mapping, compiled in both
+    directions.
+    """
+
+    name: str
+    source: ConjunctiveQuery
+    target: ConjunctiveQuery
+    exact: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.source.head.args) != len(self.target.head.args):
+            raise PdmsError(
+                f"mapping {self.name}: head arities differ "
+                f"({len(self.source.head.args)} vs {len(self.target.head.args)})"
+            )
+
+    def rules(self) -> list[Rule]:
+        """Compile to inverse rules (both directions when exact)."""
+        compiled = _inverse_rules(
+            source_head=self.source.head,
+            source_body=self.source.body,
+            target=self.target,
+            label=f"map:{self.name}",
+        )
+        if self.exact:
+            compiled += _inverse_rules(
+                source_head=self.target.head,
+                source_body=self.target.body,
+                target=self.source,
+                label=f"map:{self.name}:rev",
+            )
+        return compiled
+
+    def peers(self) -> tuple[set[str], set[str]]:
+        """(source peers, target peers) named in the two sides."""
+        return (
+            {owner_of(a.predicate) for a in self.source.body},
+            {owner_of(a.predicate) for a in self.target.body},
+        )
+
+
+@dataclass(frozen=True)
+class DefinitionalMapping:
+    """GAV-style definition: a peer relation defined as a view.
+
+    ``definition.head`` is the defined (qualified) peer relation; the
+    body may reference other peers' relations or stored relations.
+    """
+
+    name: str
+    definition: ConjunctiveQuery
+
+    def rules(self) -> list[Rule]:
+        """A definitional mapping is directly a datalog rule."""
+        return [Rule(self.definition.head, self.definition.body, f"def:{self.name}")]
+
+
+def _inverse_rules(
+    source_head: Atom,
+    source_body: tuple,
+    target: ConjunctiveQuery,
+    label: str,
+) -> list[Rule]:
+    """Inverse-rule construction for ``Q_source(x̄) ⊆ Q_target(x̄)``.
+
+    Head variables of the target are aligned with the source head's
+    arguments; each remaining (existential) target variable becomes a
+    Skolem term over the head arguments.
+    """
+    fresh_target = target.rename(fresh_suffix())
+    subst = {}
+    for target_arg, source_arg in zip(fresh_target.head.args, source_head.args):
+        unified = unify(target_arg, source_arg, subst)
+        if unified is None:
+            raise PdmsError(f"mapping {label}: cannot align head variables")
+        subst = unified
+    head_vars = set()
+    for arg in source_head.args:
+        if isinstance(arg, Var):
+            head_vars.add(arg)
+    skolem_args = tuple(sorted(head_vars, key=lambda v: v.name))
+    rules: list[Rule] = []
+    for atom in fresh_target.body:
+        aligned = apply_subst_atom(atom, subst)
+        final_args = []
+        for arg in aligned.args:
+            if isinstance(arg, Var) and arg not in head_vars:
+                final_args.append(Func(f"{label}:{arg.name}", skolem_args))
+            else:
+                final_args.append(arg)
+        rules.append(Rule(Atom(aligned.predicate, tuple(final_args)), source_body, label))
+    return rules
+
+
+class PDMS:
+    """The peer data management system: peers + mappings + answering.
+
+    >>> pdms = PDMS()
+    >>> uw = pdms.add_peer("uw")
+    >>> uw.add_relation("course", ["id", "title"])
+    >>> uw.add_stored("c", ["id", "title"], [(1, "DB")])
+    >>> pdms.add_storage("uw", "c", "uw.course")
+    >>> sorted(pdms.answer(pdms.query("ans(T) :- uw.course(C, T)")))
+    [('DB',)]
+    """
+
+    def __init__(self) -> None:  # noqa: D107
+        self.peers: dict[str, Peer] = {}
+        self.mappings: list = []
+        self.storage: list[StorageDescription] = []
+        self._rules_cache: list[Rule] | None = None
+
+    # -- construction -----------------------------------------------------
+    def add_peer(self, name: str) -> Peer:
+        """Create and register a new peer."""
+        if name in self.peers:
+            raise PdmsError(f"peer {name!r} already exists")
+        peer = Peer(name)
+        self.peers[name] = peer
+        self._rules_cache = None
+        return peer
+
+    def add_storage(
+        self,
+        peer: str,
+        stored: str,
+        view: str | ConjunctiveQuery,
+        exact: bool = False,
+    ) -> StorageDescription:
+        """Register a storage description.
+
+        ``view`` may be a full conjunctive query string, or just a peer
+        relation name for the common identity case (same arity).
+        """
+        owner = self._peer(peer)
+        if stored not in owner.stored:
+            raise PdmsError(f"peer {peer} has no stored relation {stored!r}")
+        qualified = stored_relation(peer, stored)
+        if isinstance(view, str) and ":-" not in view:
+            attrs = owner.stored[stored]
+            args = ", ".join(f"?a{i}" for i in range(len(attrs)))
+            view = f"{qualified}({args}) :- {view}({args})"
+        if isinstance(view, str):
+            view = parse_query(view)
+        if view.head.predicate != qualified:
+            view = ConjunctiveQuery(Atom(qualified, view.head.args), view.body)
+        description = StorageDescription(view, exact=exact)
+        self.storage.append(description)
+        self._rules_cache = None
+        return description
+
+    def add_mapping(
+        self,
+        name: str,
+        source: str | ConjunctiveQuery,
+        target: str | ConjunctiveQuery,
+        exact: bool = False,
+    ) -> InclusionMapping:
+        """Register a GLAV inclusion (or equality) mapping."""
+        if isinstance(source, str):
+            source = parse_query(source)
+        if isinstance(target, str):
+            target = parse_query(target)
+        mapping = InclusionMapping(name, source, target, exact=exact)
+        self.mappings.append(mapping)
+        self._rules_cache = None
+        return mapping
+
+    def add_definition(self, name: str, definition: str | ConjunctiveQuery) -> DefinitionalMapping:
+        """Register a GAV-style definitional mapping."""
+        if isinstance(definition, str):
+            definition = parse_query(definition)
+        mapping = DefinitionalMapping(name, definition)
+        self.mappings.append(mapping)
+        self._rules_cache = None
+        return mapping
+
+    def _peer(self, name: str) -> Peer:
+        try:
+            return self.peers[name]
+        except KeyError:
+            raise PdmsError(f"unknown peer {name!r}") from None
+
+    # -- compiled views ------------------------------------------------------
+    def rules(self) -> list[Rule]:
+        """All mapping + storage rules (cached)."""
+        if self._rules_cache is None:
+            compiled: list[Rule] = []
+            for description in self.storage:
+                compiled.extend(description.rules())
+            for mapping in self.mappings:
+                compiled.extend(mapping.rules())
+            self._rules_cache = compiled
+        return self._rules_cache
+
+    def edb_predicates(self) -> set[str]:
+        """Qualified names of every stored relation."""
+        return {
+            stored_relation(peer.name, rel)
+            for peer in self.peers.values()
+            for rel in peer.stored
+        }
+
+    def instance(self) -> Instance:
+        """The global instance of stored data."""
+        return {
+            stored_relation(peer.name, rel): set(rows)
+            for peer in self.peers.values()
+            for rel, rows in peer.data.items()
+        }
+
+    def query(self, text: str) -> ConjunctiveQuery:
+        """Parse a query string (convenience passthrough)."""
+        return parse_query(text)
+
+    # -- answering -------------------------------------------------------------
+    def reformulate(
+        self, query: str | ConjunctiveQuery, **options
+    ) -> ReformulationResult:
+        """Rewrite a query to stored relations via the rule-goal tree."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return reformulate(query, self.rules(), self.edb_predicates(), **options)
+
+    def answer(self, query: str | ConjunctiveQuery, **options) -> set[tuple]:
+        """Answer by reformulation + evaluation over stored data."""
+        result = self.reformulate(query, **options)
+        return evaluate_union(result.rewritings, self.instance())
+
+    def certain(self, query: str | ConjunctiveQuery, max_skolem_depth: int = 3) -> set[tuple]:
+        """Ground-truth certain answers via the chase."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return certain_answers(
+            query, self.instance(), self.rules(), max_skolem_depth=max_skolem_depth
+        )
+
+    # -- topology ---------------------------------------------------------------
+    def mapping_graph(self) -> dict[str, set[str]]:
+        """Undirected peer adjacency induced by the mappings."""
+        graph: dict[str, set[str]] = {name: set() for name in self.peers}
+        for mapping in self.mappings:
+            if isinstance(mapping, InclusionMapping):
+                sources, targets = mapping.peers()
+            else:
+                sources = {owner_of(a.predicate) for a in mapping.definition.body}
+                targets = {owner_of(mapping.definition.head.predicate)}
+            for a in sources:
+                for b in targets:
+                    if a != b and a in graph and b in graph:
+                        graph[a].add(b)
+                        graph[b].add(a)
+        return graph
+
+    def reachable_from(self, peer: str) -> set[str]:
+        """Peers transitively connected to ``peer`` in the mapping graph."""
+        graph = self.mapping_graph()
+        seen = {peer}
+        frontier = [peer]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in graph.get(current, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen
+
+    def mapping_count(self) -> int:
+        """Number of registered peer mappings (excludes storage)."""
+        return len(self.mappings)

@@ -1,0 +1,190 @@
+"""Rule-goal tree query reformulation (Section 3.1.1 of the paper).
+
+A query posed over a peer schema is rewritten, using the transitive
+closure of the mappings, into a union of conjunctive queries that
+"ultimately refer only to stored relations on the various peers".  The
+engine is an SLD-style unfolding of the query against the compiled
+mapping rules (a *rule-goal tree*): goal nodes are query atoms, rule
+nodes are mapping applications.  Because mappings are directional GLAV
+inclusions compiled to inverse rules, a single mechanism subsumes both
+"query unfolding" (GAV) and "reformulation using views" (LAV), exactly
+as the paper describes.
+
+The paper notes the algorithm "is aided by heuristics that prune
+redundant and irrelevant paths through the space of mappings"; here
+those are (ablated in benchmark C3):
+
+* **goal memoization** — a canonicalized (pending goals) state already
+  explored is not re-expanded;
+* **per-path rule budget** — each rule may be used at most
+  ``max_rule_uses`` times along one root-to-leaf path, bounding cycles;
+* **duplicate-goal collapsing** — syntactically identical pending goals
+  are deduplicated;
+* **UCQ minimization** — rewritings contained in other rewritings are
+  dropped from the final union.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.piazza.datalog import (
+    Atom,
+    ConjunctiveQuery,
+    Rule,
+    Subst,
+    apply_subst_atom,
+    fresh_suffix,
+    has_skolem,
+    is_ground,
+    minimize_union,
+    unify_atoms,
+)
+
+
+@dataclass
+class ReformulationResult:
+    """Outcome of a reformulation run, with search-effort counters."""
+
+    rewritings: list[ConjunctiveQuery]
+    nodes_expanded: int = 0
+    nodes_pruned: int = 0
+    depth_limit_hit: bool = False
+
+    def __iter__(self):
+        return iter(self.rewritings)
+
+    def __len__(self) -> int:
+        return len(self.rewritings)
+
+
+@dataclass
+class _SearchState:
+    goals: tuple  # pending atoms (subst NOT applied)
+    subst: Subst
+    depth: int
+    rule_uses: dict
+
+
+def _resolved_goals(goals: tuple, subst: Subst) -> tuple:
+    return tuple(apply_subst_atom(goal, subst) for goal in goals)
+
+
+def _state_fingerprint(goals: tuple, subst: Subst) -> tuple:
+    """Canonical fingerprint of the pending goals under the substitution."""
+    resolved = _resolved_goals(goals, subst)
+    fake_query = ConjunctiveQuery(Atom("__goals__", ()), resolved)
+    return fake_query.canonical()
+
+
+def reformulate(
+    query: ConjunctiveQuery,
+    rules: list[Rule],
+    edb_predicates: set[str],
+    max_depth: int = 16,
+    max_rule_uses: int = 2,
+    prune: bool = True,
+    minimize: bool = True,
+    max_rewritings: int = 10_000,
+) -> ReformulationResult:
+    """Rewrite ``query`` into a union of CQs over ``edb_predicates``.
+
+    ``prune=False`` disables goal memoization and duplicate collapsing
+    (the C3 ablation); the rule budget and depth bound always apply, or
+    cyclic mapping graphs would never terminate.
+    """
+    rules_by_predicate: dict[str, list[tuple[int, Rule]]] = {}
+    for index, rule in enumerate(rules):
+        rules_by_predicate.setdefault(rule.head.predicate, []).append((index, rule))
+
+    result = ReformulationResult(rewritings=[])
+    seen_states: set[tuple] = set()
+    seen_rewritings: set[tuple] = set()
+
+    stack = [_SearchState(goals=tuple(query.body), subst={}, depth=0, rule_uses={})]
+    while stack:
+        state = stack.pop()
+        if len(result.rewritings) >= max_rewritings:
+            break
+        # Find the first goal not over a stored relation.
+        pending_index = None
+        for index, goal in enumerate(state.goals):
+            if goal.predicate not in edb_predicates:
+                pending_index = index
+                break
+        if pending_index is None:
+            # Complete rewriting: all goals are stored relations.
+            resolved = _resolved_goals(state.goals, state.subst)
+            head = apply_subst_atom(query.head, state.subst)
+            if any(has_skolem(arg) for arg in head.args):
+                result.nodes_pruned += 1
+                continue
+            if any(
+                has_skolem(arg) for atom in resolved for arg in atom.args
+            ):
+                # A Skolem against stored data can never match.
+                result.nodes_pruned += 1
+                continue
+            if prune:
+                resolved = tuple(dict.fromkeys(resolved))  # collapse duplicates
+            rewriting = ConjunctiveQuery(head, resolved)
+            fingerprint = rewriting.canonical()
+            if fingerprint in seen_rewritings:
+                result.nodes_pruned += 1
+                continue
+            seen_rewritings.add(fingerprint)
+            result.rewritings.append(rewriting)
+            continue
+
+        if state.depth >= max_depth:
+            result.depth_limit_hit = True
+            continue
+
+        goal = apply_subst_atom(state.goals[pending_index], state.subst)
+        rest = state.goals[:pending_index] + state.goals[pending_index + 1 :]
+
+        if prune:
+            fingerprint = ("expand", goal.predicate) + _state_fingerprint(
+                (goal,) + rest, state.subst
+            )
+            if fingerprint in seen_states:
+                result.nodes_pruned += 1
+                continue
+            seen_states.add(fingerprint)
+
+        result.nodes_expanded += 1
+        for rule_index, rule in rules_by_predicate.get(goal.predicate, ()):
+            uses = state.rule_uses.get(rule_index, 0)
+            if uses >= max_rule_uses:
+                result.nodes_pruned += 1
+                continue
+            fresh = rule.rename(fresh_suffix())
+            unified = unify_atoms(goal, fresh.head, state.subst)
+            if unified is None:
+                continue
+            new_uses = dict(state.rule_uses)
+            new_uses[rule_index] = uses + 1
+            new_goals = fresh.body + rest
+            if prune:
+                # Collapse syntactically identical resolved goals early.
+                resolved = _resolved_goals(new_goals, unified)
+                deduped: list[Atom] = []
+                seen_atoms: set[Atom] = set()
+                for original, resolved_atom in zip(new_goals, resolved):
+                    if resolved_atom in seen_atoms:
+                        continue
+                    seen_atoms.add(resolved_atom)
+                    deduped.append(original)
+                new_goals = tuple(deduped)
+            stack.append(
+                _SearchState(
+                    goals=tuple(new_goals),
+                    subst=unified,
+                    depth=state.depth + 1,
+                    rule_uses=new_uses,
+                )
+            )
+
+    if minimize and len(result.rewritings) > 1:
+        result.rewritings = minimize_union(result.rewritings)
+    return result

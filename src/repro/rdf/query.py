@@ -1,0 +1,188 @@
+"""Basic-graph-pattern queries over the triple store (RDQL-style).
+
+A :class:`GraphQuery` is a conjunction of :class:`TriplePattern`\\ s whose
+terms are constants or :class:`~repro.rdf.triples.Var`.  Evaluation
+extends variable bindings pattern-by-pattern, always choosing the most
+selective unevaluated pattern next (fewest unbound variables, constants
+first) — the textbook index-nested-loops strategy for BGP matching.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.rdf.store import TripleStore
+from repro.rdf.triples import Triple, Var
+
+Term = object  # Var or constant
+Binding = dict[str, object]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One (s, p, o) pattern; each position is a Var or a constant."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def variables(self) -> set[str]:
+        """Names of the variables used in this pattern."""
+        return {
+            term.name
+            for term in (self.subject, self.predicate, self.object)
+            if isinstance(term, Var)
+        }
+
+    def bound_count(self, binding: Binding) -> int:
+        """How many positions are constants under ``binding``."""
+        count = 0
+        for term in (self.subject, self.predicate, self.object):
+            if not isinstance(term, Var) or term.name in binding:
+                count += 1
+        return count
+
+
+def _resolve(term: Term, binding: Binding) -> object | None:
+    """Constant value of ``term`` under ``binding``; None if still free."""
+    if isinstance(term, Var):
+        return binding.get(term.name)
+    return term
+
+
+@dataclass
+class GraphQuery:
+    """SELECT over a conjunction of triple patterns with optional filters.
+
+    >>> from repro.rdf import TripleStore, Triple, Var
+    >>> store = TripleStore()
+    >>> _ = store.add(Triple("c1", "course.title", "History"))
+    >>> query = GraphQuery([TriplePattern(Var("c"), "course.title", Var("t"))])
+    >>> sorted(query.run(store), key=str)
+    [{'c': 'c1', 't': 'History'}]
+    """
+
+    patterns: list[TriplePattern]
+    filters: list[Callable[[Binding], bool]] = field(default_factory=list)
+    select: list[str] | None = None
+    distinct: bool = False
+    limit: int | None = None
+
+    def where(self, filter_fn: Callable[[Binding], bool]) -> "GraphQuery":
+        """Add a post-binding filter function."""
+        self.filters.append(filter_fn)
+        return self
+
+    # -- evaluation ---------------------------------------------------------
+    def _match_pattern(
+        self, store: TripleStore, pattern: TriplePattern, binding: Binding
+    ) -> Iterator[Binding]:
+        subject = _resolve(pattern.subject, binding)
+        predicate = _resolve(pattern.predicate, binding)
+        obj = _resolve(pattern.object, binding)
+        for triple in store.match(
+            subject if isinstance(subject, str) else None,
+            predicate if isinstance(predicate, str) else None,
+            obj,
+        ):
+            extended = dict(binding)
+            if not _bind(pattern.subject, triple.subject, extended):
+                continue
+            if not _bind(pattern.predicate, triple.predicate, extended):
+                continue
+            if not _bind(pattern.object, triple.object, extended):
+                continue
+            yield extended
+
+    def _solve(
+        self, store: TripleStore, remaining: list[TriplePattern], binding: Binding
+    ) -> Iterator[Binding]:
+        if not remaining:
+            yield binding
+            return
+        # Most selective next: maximize bound positions under current binding.
+        best_index = max(
+            range(len(remaining)), key=lambda i: remaining[i].bound_count(binding)
+        )
+        pattern = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1 :]
+        for extended in self._match_pattern(store, pattern, binding):
+            yield from self._solve(store, rest, extended)
+
+    def run(self, store: TripleStore) -> list[Binding]:
+        """Evaluate and return bindings (projected to ``select`` if set)."""
+        results: list[Binding] = []
+        seen: set[tuple] = set()
+        for binding in self._solve(store, list(self.patterns), {}):
+            if not all(filter_fn(binding) for filter_fn in self.filters):
+                continue
+            if self.select is not None:
+                binding = {name: binding.get(name) for name in self.select}
+            if self.distinct:
+                fingerprint = tuple(sorted(binding.items(), key=lambda kv: kv[0]))
+                if fingerprint in seen:
+                    continue
+                seen.add(fingerprint)
+            results.append(binding)
+            if self.limit is not None and len(results) >= self.limit:
+                break
+        return results
+
+
+def _bind(term: Term, value: object, binding: Binding) -> bool:
+    """Unify ``term`` with ``value`` under ``binding`` (mutates binding)."""
+    if isinstance(term, Var):
+        existing = binding.get(term.name, _MISSING)
+        if existing is _MISSING:
+            binding[term.name] = value
+            return True
+        return existing == value
+    return term == value
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def parse_query(text: str) -> GraphQuery:
+    """Parse the tiny textual BGP syntax.
+
+    Grammar (RDQL flavoured)::
+
+        SELECT ?a ?b WHERE (?a, pred, ?b) (?b, other, "const")
+
+    Quoted terms are string constants; ``?name`` is a variable; unquoted
+    non-variable terms are treated as string constants (predicates).
+
+    >>> query = parse_query('SELECT ?x WHERE (?x, course.title, "History")')
+    >>> len(query.patterns)
+    1
+    """
+    import re
+
+    match = re.match(r"\s*SELECT\s+(.*?)\s+WHERE\s+(.*)$", text, re.IGNORECASE | re.DOTALL)
+    if not match:
+        raise ValueError(f"cannot parse query: {text!r}")
+    select_part, where_part = match.groups()
+    select = [name.lstrip("?") for name in select_part.split()]
+    patterns: list[TriplePattern] = []
+    for pattern_text in re.findall(r"\(([^()]*)\)", where_part):
+        terms = [term.strip() for term in pattern_text.split(",")]
+        if len(terms) != 3:
+            raise ValueError(f"pattern needs 3 terms: ({pattern_text})")
+        parsed: list[Term] = []
+        for term in terms:
+            if term.startswith("?"):
+                parsed.append(Var(term[1:]))
+            elif term.startswith('"') and term.endswith('"'):
+                parsed.append(term[1:-1])
+            elif term.startswith("'") and term.endswith("'"):
+                parsed.append(term[1:-1])
+            else:
+                parsed.append(term)
+        patterns.append(TriplePattern(parsed[0], parsed[1], parsed[2]))
+    return GraphQuery(patterns, select=select)

@@ -1,0 +1,156 @@
+"""Triple store backed by the mini relational engine.
+
+The "simple graph representation" of the paper: one ``triples`` table
+with hash indexes on subject, predicate, object and the (subject,
+predicate) pair — the relational analogue of SPO/POS/OSP index triples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.rdf.triples import Triple
+from repro.relational import ColumnType, Database, col
+
+
+class TripleStore:
+    """Add/remove/match triples; provenance-aware deletion by source."""
+
+    def __init__(self, name: str = "annotations"):  # noqa: D107
+        self._db = Database(name)
+        self._table = self._db.create_table(
+            "triples",
+            [
+                ("subject", ColumnType.TEXT),
+                ("predicate", ColumnType.TEXT),
+                ("object", ColumnType.ANY),
+                ("source", ColumnType.TEXT),
+                ("ts", ColumnType.INT),
+            ],
+        )
+        self._table.create_hash_index(("subject",))
+        self._table.create_hash_index(("predicate",))
+        self._table.create_hash_index(("subject", "predicate"))
+        self._table.create_hash_index(("source",))
+        self._clock = 0
+        self._listeners: list = []
+
+    # -- change notification (instant gratification hook) ---------------
+    def subscribe(self, listener) -> None:
+        """Register ``listener(store)`` called after every mutation batch.
+
+        MANGROVE's instant-gratification applications subscribe here so
+        they refresh "the moment a user publishes new or revised content".
+        """
+        self._listeners.append(listener)
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener(self)
+
+    # -- mutation ---------------------------------------------------------
+    def add(self, triple: Triple, notify: bool = True) -> Triple:
+        """Insert one triple; assigns the logical timestamp."""
+        self._clock += 1
+        stamped = Triple(
+            triple.subject, triple.predicate, triple.object, triple.source, self._clock
+        )
+        self._db.insert(
+            "triples",
+            (stamped.subject, stamped.predicate, stamped.object, stamped.source, stamped.timestamp),
+        )
+        if notify:
+            self._notify()
+        return stamped
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples as one batch (single notification)."""
+        count = 0
+        for triple in triples:
+            self.add(triple, notify=False)
+            count += 1
+        if count:
+            self._notify()
+        return count
+
+    def remove_source(self, source: str) -> int:
+        """Delete every triple published from ``source``.
+
+        Re-publishing a page is modelled as ``remove_source`` followed by
+        ``add_all`` — in-place annotation means the page *is* the data.
+        """
+        removed = self._table.delete_where(lambda row: row["source"] == source)
+        if removed:
+            self._notify()
+        return removed
+
+    def remove(self, subject: str, predicate: str, obj: object) -> int:
+        """Delete matching (s, p, o) triples regardless of source."""
+        removed = self._table.delete_where(
+            lambda row: row["subject"] == subject
+            and row["predicate"] == predicate
+            and row["object"] == obj
+        )
+        if removed:
+            self._notify()
+        return removed
+
+    # -- access -------------------------------------------------------------
+    def match(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        obj: object | None = None,
+        source: str | None = None,
+    ) -> Iterator[Triple]:
+        """All triples matching the given constants (None = wildcard)."""
+        query = self._db.query("triples")
+        if subject is not None:
+            query = query.where(col("subject") == subject)
+        if predicate is not None:
+            query = query.where(col("predicate") == predicate)
+        if source is not None:
+            query = query.where(col("source") == source)
+        for row in query.execute():
+            if obj is not None and row["object"] != obj:
+                continue
+            yield Triple(
+                str(row["subject"]),
+                str(row["predicate"]),
+                row["object"],
+                str(row["source"]),
+                int(row["ts"]),  # type: ignore[arg-type]
+            )
+
+    def subjects(self, predicate: str | None = None, obj: object | None = None) -> set[str]:
+        """Distinct subjects, optionally filtered by predicate/object."""
+        return {triple.subject for triple in self.match(None, predicate, obj)}
+
+    def objects(self, subject: str, predicate: str) -> list[object]:
+        """All object values for (subject, predicate)."""
+        return [triple.object for triple in self.match(subject, predicate)]
+
+    def value(self, subject: str, predicate: str) -> object | None:
+        """One object value for (subject, predicate), or None."""
+        for triple in self.match(subject, predicate):
+            return triple.object
+        return None
+
+    def predicates(self) -> set[str]:
+        """Distinct predicate names in the store."""
+        return {str(row["predicate"]) for row in self._db.query("triples").execute()}
+
+    def sources(self) -> set[str]:
+        """Distinct source URLs in the store."""
+        return {str(row["source"]) for row in self._db.query("triples").execute()}
+
+    def all_triples(self) -> list[Triple]:
+        """Every triple (mostly for tests and statistics)."""
+        return list(self.match())
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, spo: tuple) -> bool:
+        subject, predicate, obj = spo
+        return next(self.match(subject, predicate, obj), None) is not None

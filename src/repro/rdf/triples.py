@@ -1,0 +1,40 @@
+"""Triples and query variables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable, written ``?name`` in the textual syntax."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Triple:
+    """An (subject, predicate, object) statement with provenance.
+
+    ``source`` is the URL of the page the statement was published from
+    (Section 2.3: "The source URL of the data is stored in the database
+    and can serve as an important resource for cleaning up the data").
+    ``timestamp`` is a logical publish counter assigned by the store.
+    """
+
+    subject: str
+    predicate: str
+    object: object
+    source: str = ""
+    timestamp: int = field(default=0, compare=False)
+
+    def spo(self) -> tuple[str, str, object]:
+        """The (s, p, o) part, without provenance."""
+        return (self.subject, self.predicate, self.object)
+
+    def __repr__(self) -> str:
+        provenance = f" @{self.source}" if self.source else ""
+        return f"({self.subject} {self.predicate} {self.object!r}{provenance})"

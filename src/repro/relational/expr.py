@@ -1,0 +1,276 @@
+"""Expression language evaluated over dict-shaped rows.
+
+Expressions form a small AST (:class:`ColumnRef`, :class:`Literal`,
+comparisons, boolean connectives, arithmetic and a few functions).  The
+query planner inspects them (:func:`conjuncts`,
+:meth:`Expr.equality_pairs`) to choose index scans.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from repro.relational.errors import QueryError
+
+Row = Mapping[str, object]
+
+
+class Expr:
+    """Base expression node."""
+
+    def evaluate(self, row: Row) -> object:  # pragma: no cover - abstract
+        """Evaluate against one row (a mapping of column name to value)."""
+        raise NotImplementedError
+
+    # -- composition sugar --------------------------------------------
+    def __and__(self, other: "Expr") -> "AndExpr":
+        return AndExpr(self, _wrap(other))
+
+    def __or__(self, other: "Expr") -> "OrExpr":
+        return OrExpr(self, _wrap(other))
+
+    def __invert__(self) -> "NotExpr":
+        return NotExpr(self)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        return BinaryExpr("=", self, _wrap(other))
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return BinaryExpr("!=", self, _wrap(other))
+
+    def __lt__(self, other: object) -> "BinaryExpr":
+        return BinaryExpr("<", self, _wrap(other))
+
+    def __le__(self, other: object) -> "BinaryExpr":
+        return BinaryExpr("<=", self, _wrap(other))
+
+    def __gt__(self, other: object) -> "BinaryExpr":
+        return BinaryExpr(">", self, _wrap(other))
+
+    def __ge__(self, other: object) -> "BinaryExpr":
+        return BinaryExpr(">=", self, _wrap(other))
+
+    def __add__(self, other: object) -> "BinaryExpr":
+        return BinaryExpr("+", self, _wrap(other))
+
+    def __sub__(self, other: object) -> "BinaryExpr":
+        return BinaryExpr("-", self, _wrap(other))
+
+    def __mul__(self, other: object) -> "BinaryExpr":
+        return BinaryExpr("*", self, _wrap(other))
+
+    def __hash__(self) -> int:  # Expr __eq__ builds nodes, so hash by id.
+        return id(self)
+
+    def is_in(self, values) -> "FunctionCall":
+        """Membership test, SQL ``IN``."""
+        return FunctionCall("in", [self, Literal(tuple(values))])
+
+    def like(self, pattern: str) -> "FunctionCall":
+        """SQL ``LIKE`` with ``%`` and ``_`` wildcards."""
+        return FunctionCall("like", [self, Literal(pattern)])
+
+    def is_null(self) -> "FunctionCall":
+        """SQL ``IS NULL``."""
+        return FunctionCall("isnull", [self])
+
+    # -- planner hooks -------------------------------------------------
+    def referenced_columns(self) -> set[str]:
+        """All column names referenced anywhere in the expression."""
+        return set()
+
+    def equality_pairs(self) -> list[tuple[str, object]]:
+        """``column = literal`` bindings exposed for index selection."""
+        return []
+
+
+def _wrap(value: object) -> Expr:
+    return value if isinstance(value, Expr) else Literal(value)
+
+
+@dataclass(frozen=True, eq=False)
+class ColumnRef(Expr):
+    """Reference to a column by name."""
+
+    name: str
+
+    def evaluate(self, row: Row) -> object:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise QueryError(f"unknown column {self.name!r}") from None
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(Expr):
+    """A constant value."""
+
+    value: object
+
+    def evaluate(self, row: Row) -> object:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_BINARY_OPS: dict[str, Callable[[object, object], object]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and b is not None and a < b,
+    "<=": lambda a, b: a is not None and b is not None and a <= b,
+    ">": lambda a, b: a is not None and b is not None and a > b,
+    ">=": lambda a, b: a is not None and b is not None and a >= b,
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True, eq=False)
+class BinaryExpr(Expr):
+    """Binary comparison or arithmetic node."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: Row) -> object:
+        func = _BINARY_OPS.get(self.op)
+        if func is None:
+            raise QueryError(f"unknown operator {self.op!r}")
+        return func(self.left.evaluate(row), self.right.evaluate(row))
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def equality_pairs(self) -> list[tuple[str, object]]:
+        if self.op == "=":
+            if isinstance(self.left, ColumnRef) and isinstance(self.right, Literal):
+                return [(self.left.name, self.right.value)]
+            if isinstance(self.right, ColumnRef) and isinstance(self.left, Literal):
+                return [(self.right.name, self.left.value)]
+        return []
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class AndExpr(Expr):
+    """Logical conjunction (short-circuits)."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: Row) -> object:
+        return bool(self.left.evaluate(row)) and bool(self.right.evaluate(row))
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def equality_pairs(self) -> list[tuple[str, object]]:
+        return self.left.equality_pairs() + self.right.equality_pairs()
+
+
+@dataclass(frozen=True, eq=False)
+class OrExpr(Expr):
+    """Logical disjunction (short-circuits)."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: Row) -> object:
+        return bool(self.left.evaluate(row)) or bool(self.right.evaluate(row))
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+
+@dataclass(frozen=True, eq=False)
+class NotExpr(Expr):
+    """Logical negation."""
+
+    operand: Expr
+
+    def evaluate(self, row: Row) -> object:
+        return not bool(self.operand.evaluate(row))
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+def _like_match(text: object, pattern: str) -> bool:
+    if not isinstance(text, str):
+        return False
+    import re
+
+    regex = "^"
+    for ch in pattern:
+        if ch == "%":
+            regex += ".*"
+        elif ch == "_":
+            regex += "."
+        else:
+            regex += re.escape(ch)
+    regex += "$"
+    return re.match(regex, text, flags=re.IGNORECASE) is not None
+
+
+_FUNCTIONS: dict[str, Callable[..., object]] = {
+    "in": lambda value, options: value in options,
+    "like": _like_match,
+    "isnull": lambda value: value is None,
+    "lower": lambda value: value.lower() if isinstance(value, str) else value,
+    "upper": lambda value: value.upper() if isinstance(value, str) else value,
+    "length": lambda value: len(value) if value is not None else None,
+    "abs": lambda value: abs(value) if value is not None else None,
+    "coalesce": lambda *values: next((v for v in values if v is not None), None),
+}
+
+
+@dataclass(frozen=True, eq=False)
+class FunctionCall(Expr):
+    """Call of a built-in scalar function."""
+
+    name: str
+    args: list[Expr]
+
+    def evaluate(self, row: Row) -> object:
+        func = _FUNCTIONS.get(self.name)
+        if func is None:
+            raise QueryError(f"unknown function {self.name!r}")
+        return func(*(arg.evaluate(row) for arg in self.args))
+
+    def referenced_columns(self) -> set[str]:
+        referenced: set[str] = set()
+        for arg in self.args:
+            referenced |= arg.referenced_columns()
+        return referenced
+
+
+def conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, AndExpr):
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand constructor for a column reference."""
+    return ColumnRef(name)
+
+
+def lit(value: object) -> Literal:
+    """Shorthand constructor for a literal."""
+    return Literal(value)

@@ -1,0 +1,222 @@
+"""Pipelined iterator algebra over dict-shaped rows.
+
+Each operator is a generator function taking and yielding row dicts, so
+plans compose by nesting.  The planner in :mod:`repro.relational.database`
+assembles these into executable pipelines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.relational.errors import QueryError
+from repro.relational.expr import Expr
+
+Row = dict[str, object]
+
+
+def filter_rows(rows: Iterable[Row], predicate: Expr) -> Iterator[Row]:
+    """Keep rows where ``predicate`` evaluates truthy."""
+    for row in rows:
+        if predicate.evaluate(row):
+            yield row
+
+
+def project(rows: Iterable[Row], columns: list[str]) -> Iterator[Row]:
+    """Keep only ``columns`` (duplicates collapse; order preserved)."""
+    for row in rows:
+        try:
+            yield {name: row[name] for name in columns}
+        except KeyError as exc:
+            raise QueryError(f"unknown column {exc.args[0]!r} in projection") from None
+
+
+def project_exprs(rows: Iterable[Row], outputs: dict[str, Expr]) -> Iterator[Row]:
+    """Generalized projection: each output column is an expression."""
+    for row in rows:
+        yield {name: expr.evaluate(row) for name, expr in outputs.items()}
+
+
+def rename(rows: Iterable[Row], renames: dict[str, str]) -> Iterator[Row]:
+    """Rename columns (old name -> new name); others pass through."""
+    for row in rows:
+        yield {renames.get(name, name): value for name, value in row.items()}
+
+
+def prefix_columns(rows: Iterable[Row], prefix: str) -> Iterator[Row]:
+    """Qualify every column with ``prefix.`` (used for self-joins)."""
+    for row in rows:
+        yield {f"{prefix}.{name}": value for name, value in row.items()}
+
+
+def cross_join(left: Iterable[Row], right_rows: list[Row]) -> Iterator[Row]:
+    """Cartesian product; the right side must be materialized."""
+    for left_row in left:
+        for right_row in right_rows:
+            merged = dict(left_row)
+            merged.update(right_row)
+            yield merged
+
+
+def hash_join(
+    left: Iterable[Row],
+    right: Iterable[Row],
+    left_keys: list[str],
+    right_keys: list[str],
+) -> Iterator[Row]:
+    """Equi-join building a hash table on the right input.
+
+    Null keys never join (SQL semantics).
+    """
+    if len(left_keys) != len(right_keys):
+        raise QueryError("join key lists must have equal length")
+    buckets: dict[tuple, list[Row]] = {}
+    for row in right:
+        key = tuple(row.get(name) for name in right_keys)
+        if None in key:
+            continue
+        buckets.setdefault(key, []).append(row)
+    for row in left:
+        key = tuple(row.get(name) for name in left_keys)
+        if None in key:
+            continue
+        for match in buckets.get(key, ()):
+            merged = dict(row)
+            merged.update(match)
+            yield merged
+
+
+def nested_loop_join(
+    left: Iterable[Row], right_rows: list[Row], condition: Expr
+) -> Iterator[Row]:
+    """Theta-join for non-equality conditions."""
+    for left_row in left:
+        for right_row in right_rows:
+            merged = dict(left_row)
+            merged.update(right_row)
+            if condition.evaluate(merged):
+                yield merged
+
+
+def distinct(rows: Iterable[Row]) -> Iterator[Row]:
+    """Remove duplicate rows (hash-based, order preserving)."""
+    seen: set[tuple] = set()
+    for row in rows:
+        fingerprint = tuple(sorted(row.items(), key=lambda item: item[0]))
+        if fingerprint not in seen:
+            seen.add(fingerprint)
+            yield row
+
+
+def sort_rows(
+    rows: Iterable[Row], keys: list[tuple[str, bool]]
+) -> list[Row]:
+    """Materializing sort; ``keys`` is ``[(column, descending), ...]``.
+
+    ``None`` sorts first ascending / last descending; mixed-type columns
+    fall back to string comparison.
+    """
+    materialized = list(rows)
+    # Stable multi-key sort: apply keys right-to-left.  Nulls sort last in
+    # both directions, so direction is folded into the key rather than
+    # using ``reverse=``.
+    for column, descending in reversed(keys):
+        materialized.sort(
+            key=lambda row: _Comparable(row.get(column), descending)
+        )
+    return materialized
+
+
+class _Comparable:
+    """Total-order wrapper: nulls last, direction-aware, mixed types ok."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value: object, descending: bool = False):  # noqa: D107
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "_Comparable") -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return False  # nulls sort last
+        if b is None:
+            return True
+        try:
+            return (a > b) if self.descending else (a < b)  # type: ignore[operator]
+        except TypeError:
+            return (str(a) > str(b)) if self.descending else (str(a) < str(b))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Comparable) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+
+def limit(rows: Iterable[Row], count: int, offset: int = 0) -> Iterator[Row]:
+    """Skip ``offset`` rows then yield at most ``count``."""
+    iterator = iter(rows)
+    for _ in range(offset):
+        next(iterator, None)
+    for _ in range(count):
+        row = next(iterator, None)
+        if row is None:
+            return
+        yield row
+
+
+class Aggregate:
+    """One aggregate computation: function name + input expression."""
+
+    FUNCTIONS = ("count", "sum", "avg", "min", "max", "count_distinct")
+
+    def __init__(self, func: str, expr: Expr | None = None, output: str | None = None):
+        if func not in self.FUNCTIONS:
+            raise QueryError(f"unknown aggregate {func!r}")
+        if func != "count" and expr is None:
+            raise QueryError(f"aggregate {func} requires an expression")
+        self.func = func
+        self.expr = expr
+        self.output = output or func
+
+    def compute(self, rows: list[Row]) -> object:
+        """Evaluate over a group of rows."""
+        if self.func == "count":
+            if self.expr is None:
+                return len(rows)
+            return sum(1 for row in rows if self.expr.evaluate(row) is not None)
+        values = [self.expr.evaluate(row) for row in rows]  # type: ignore[union-attr]
+        values = [value for value in values if value is not None]
+        if self.func == "count_distinct":
+            return len(set(values))
+        if not values:
+            return None
+        if self.func == "sum":
+            return sum(values)  # type: ignore[arg-type]
+        if self.func == "avg":
+            return sum(values) / len(values)  # type: ignore[arg-type]
+        if self.func == "min":
+            return min(values)
+        if self.func == "max":
+            return max(values)
+        raise QueryError(f"unknown aggregate {self.func!r}")  # pragma: no cover
+
+
+def group_aggregate(
+    rows: Iterable[Row],
+    group_by: list[str],
+    aggregates: list[Aggregate],
+) -> Iterator[Row]:
+    """Hash grouping followed by per-group aggregate evaluation."""
+    groups: dict[tuple, list[Row]] = {}
+    for row in rows:
+        key = tuple(row.get(name) for name in group_by)
+        groups.setdefault(key, []).append(row)
+    if not groups and not group_by:
+        groups[()] = []
+    for key, members in groups.items():
+        out: Row = dict(zip(group_by, key))
+        for aggregate in aggregates:
+            out[aggregate.output] = aggregate.compute(members)
+        yield out

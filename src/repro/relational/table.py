@@ -1,0 +1,202 @@
+"""Heap tables with primary keys and maintained secondary indexes."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.relational.errors import IntegrityError, SchemaError
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.schema import TableSchema
+
+
+class Table:
+    """A heap of row tuples with optional primary key and indexes.
+
+    Rows are identified by a monotonically increasing row id; deleted
+    rows leave holes (``None``) that iteration skips.  All mutation goes
+    through :meth:`insert`, :meth:`delete_where` and :meth:`update_where`
+    so indexes never go stale.
+    """
+
+    def __init__(self, schema: TableSchema):  # noqa: D107
+        self.schema = schema
+        self._rows: list[tuple | None] = []
+        self._live = 0
+        self._pk_index: HashIndex | None = (
+            HashIndex(schema.primary_key) if schema.primary_key else None
+        )
+        self._hash_indexes: dict[tuple[str, ...], HashIndex] = {}
+        self._sorted_indexes: dict[str, SortedIndex] = {}
+
+    # -- index management ----------------------------------------------
+    def create_hash_index(self, columns: tuple[str, ...] | list[str]) -> None:
+        """Create (and backfill) a hash index on ``columns``."""
+        columns = tuple(columns)
+        for name in columns:
+            self.schema.column_index(name)  # validates
+        if columns in self._hash_indexes:
+            return
+        index = HashIndex(columns)
+        positions = [self.schema.column_index(name) for name in columns]
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                index.insert(tuple(row[p] for p in positions), row_id)
+        self._hash_indexes[columns] = index
+
+    def create_sorted_index(self, column: str) -> None:
+        """Create (and backfill) a sorted index on a single column."""
+        position = self.schema.column_index(column)
+        if column in self._sorted_indexes:
+            return
+        index = SortedIndex(column)
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                index.insert(row[position], row_id)
+        self._sorted_indexes[column] = index
+
+    def hash_index_for(self, columns: set[str]) -> HashIndex | None:
+        """The widest hash index whose columns are all in ``columns``."""
+        best: HashIndex | None = None
+        for index_columns, index in self._hash_indexes.items():
+            if set(index_columns) <= columns:
+                if best is None or len(index_columns) > len(best.columns):
+                    best = index
+        return best
+
+    def sorted_index_for(self, column: str) -> SortedIndex | None:
+        """The sorted index on ``column`` if one exists."""
+        return self._sorted_indexes.get(column)
+
+    # -- mutation --------------------------------------------------------
+    def insert(self, values: tuple | list | Mapping[str, object]) -> int:
+        """Insert one row; returns its row id.
+
+        Accepts a positional tuple/list or a mapping of column names (with
+        missing columns defaulting to ``None``).
+        """
+        if isinstance(values, Mapping):
+            unknown = set(values) - set(self.schema.column_names)
+            if unknown:
+                raise SchemaError(f"unknown columns in insert: {sorted(unknown)}")
+            values = tuple(values.get(name) for name in self.schema.column_names)
+        row = self.schema.validate_row(tuple(values))
+        key = self.schema.key_of(row)
+        if self._pk_index is not None and key is not None:
+            if self._pk_index.lookup(key):
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in table {self.schema.name}"
+                )
+        row_id = len(self._rows)
+        self._rows.append(row)
+        self._live += 1
+        self._index_insert(row, row_id)
+        return row_id
+
+    def _index_insert(self, row: tuple, row_id: int) -> None:
+        if self._pk_index is not None:
+            key = self.schema.key_of(row)
+            if key is not None:
+                self._pk_index.insert(key, row_id)
+        for columns, index in self._hash_indexes.items():
+            positions = [self.schema.column_index(name) for name in columns]
+            index.insert(tuple(row[p] for p in positions), row_id)
+        for column, index in self._sorted_indexes.items():
+            index.insert(row[self.schema.column_index(column)], row_id)
+
+    def _index_remove(self, row: tuple, row_id: int) -> None:
+        if self._pk_index is not None:
+            key = self.schema.key_of(row)
+            if key is not None:
+                self._pk_index.remove(key, row_id)
+        for columns, index in self._hash_indexes.items():
+            positions = [self.schema.column_index(name) for name in columns]
+            index.remove(tuple(row[p] for p in positions), row_id)
+        for column, index in self._sorted_indexes.items():
+            index.remove(row[self.schema.column_index(column)], row_id)
+
+    def delete_row(self, row_id: int) -> bool:
+        """Delete by row id; returns True if a live row was removed."""
+        if row_id < 0 or row_id >= len(self._rows) or self._rows[row_id] is None:
+            return False
+        row = self._rows[row_id]
+        assert row is not None
+        self._index_remove(row, row_id)
+        self._rows[row_id] = None
+        self._live -= 1
+        return True
+
+    def delete_where(self, predicate) -> int:
+        """Delete rows matching ``predicate(row_dict) -> bool``; returns count."""
+        deleted = 0
+        for row_id, row in enumerate(self._rows):
+            if row is not None and predicate(self.row_dict(row)):
+                self.delete_row(row_id)
+                deleted += 1
+        return deleted
+
+    def update_where(self, predicate, changes: Mapping[str, object]) -> int:
+        """Update matching rows with ``changes``; returns affected count."""
+        for name in changes:
+            self.schema.column_index(name)
+        updated = 0
+        for row_id, row in enumerate(self._rows):
+            if row is None or not predicate(self.row_dict(row)):
+                continue
+            new_values = list(row)
+            for name, value in changes.items():
+                new_values[self.schema.column_index(name)] = value
+            new_row = self.schema.validate_row(tuple(new_values))
+            key_before = self.schema.key_of(row)
+            key_after = self.schema.key_of(new_row)
+            if (
+                self._pk_index is not None
+                and key_after != key_before
+                and self._pk_index.lookup(key_after)
+            ):
+                raise IntegrityError(
+                    f"update would duplicate primary key {key_after!r}"
+                )
+            self._index_remove(row, row_id)
+            self._rows[row_id] = new_row
+            self._index_insert(new_row, row_id)
+            updated += 1
+        return updated
+
+    # -- access ----------------------------------------------------------
+    def row_dict(self, row: tuple) -> dict[str, object]:
+        """Convert a stored tuple into a column-name keyed dict."""
+        return dict(zip(self.schema.column_names, row))
+
+    def get_row(self, row_id: int) -> dict[str, object] | None:
+        """Row dict by id, or None for deleted/invalid ids."""
+        if 0 <= row_id < len(self._rows):
+            row = self._rows[row_id]
+            if row is not None:
+                return self.row_dict(row)
+        return None
+
+    def lookup_pk(self, key: tuple) -> dict[str, object] | None:
+        """Primary-key point lookup."""
+        if self._pk_index is None:
+            raise SchemaError(f"table {self.schema.name} has no primary key")
+        for row_id in self._pk_index.lookup(tuple(key)):
+            return self.get_row(row_id)
+        return None
+
+    def scan(self) -> Iterator[dict[str, object]]:
+        """Yield every live row as a dict."""
+        for row in self._rows:
+            if row is not None:
+                yield self.row_dict(row)
+
+    def scan_ids(self) -> Iterator[tuple[int, dict[str, object]]]:
+        """Yield ``(row_id, row_dict)`` for every live row."""
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                yield row_id, self.row_dict(row)
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __repr__(self) -> str:
+        return f"<Table {self.schema.name} rows={self._live}>"

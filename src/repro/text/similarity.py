@@ -1,0 +1,244 @@
+"""String similarity measures used by the name-based matchers.
+
+All similarity functions return a float in ``[0.0, 1.0]`` where 1.0 means
+identical; distance functions return non-negative integers.  These are
+the standard measures from the schema-matching literature surveyed by
+Rahm & Bernstein (VLDB J. 2001), which the paper cites as [40].
+"""
+
+from __future__ import annotations
+
+from repro.text.tokenize import tokenize_identifier
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance (insert / delete / substitute, unit cost).
+
+    >>> levenshtein("course", "courses")
+    1
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein(a: str, b: str) -> int:
+    """Edit distance that additionally allows adjacent transpositions."""
+    if a == b:
+        return 0
+    len_a, len_b = len(a), len(b)
+    if not len_a:
+        return len_b
+    if not len_b:
+        return len_a
+    dist = [[0] * (len_b + 1) for _ in range(len_a + 1)]
+    for i in range(len_a + 1):
+        dist[i][0] = i
+    for j in range(len_b + 1):
+        dist[0][j] = j
+    for i in range(1, len_a + 1):
+        for j in range(1, len_b + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            dist[i][j] = min(
+                dist[i - 1][j] + 1,
+                dist[i][j - 1] + 1,
+                dist[i - 1][j - 1] + cost,
+            )
+            if i > 1 and j > 1 and a[i - 1] == b[j - 2] and a[i - 2] == b[j - 1]:
+                dist[i][j] = min(dist[i][j], dist[i - 2][j - 2] + 1)
+    return dist[len_a][len_b]
+
+
+def levenshtein_ratio(a: str, b: str) -> float:
+    """Edit distance normalized to a similarity in ``[0, 1]``."""
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / max(len(a), len(b))
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity (matching characters within a sliding window)."""
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if not len_a or not len_b:
+        return 0.0
+    window = max(len_a, len_b) // 2 - 1
+    window = max(window, 0)
+    a_matched = [False] * len_a
+    b_matched = [False] * len_b
+    matches = 0
+    for i, ch in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len_b, i + window + 1)
+        for j in range(lo, hi):
+            if not b_matched[j] and b[j] == ch:
+                a_matched[i] = True
+                b_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len_a):
+        if a_matched[i]:
+            while not b_matched[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / len_a + matches / len_b + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
+    """Jaro-Winkler: Jaro boosted by the length of the common prefix.
+
+    >>> jaro_winkler("instructor", "instructors") > jaro("instructor", "instructors")
+    True
+    """
+    base = jaro(a, b)
+    prefix = 0
+    for ch_a, ch_b in zip(a, b):
+        if ch_a != ch_b or prefix >= max_prefix:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def ngrams(text: str, n: int = 3, pad: bool = True) -> list[str]:
+    """Character n-grams of ``text``; padded with ``#`` at both ends.
+
+    >>> ngrams("ab", 3)
+    ['##a', '#ab', 'ab#', 'b##']
+    """
+    if pad:
+        text = "#" * (n - 1) + text + "#" * (n - 1)
+    if len(text) < n:
+        return [text] if text else []
+    return [text[i : i + n] for i in range(len(text) - n + 1)]
+
+
+def ngram_similarity(a: str, b: str, n: int = 3) -> float:
+    """Dice coefficient over character n-gram multisets."""
+    grams_a = ngrams(a, n)
+    grams_b = ngrams(b, n)
+    if not grams_a and not grams_b:
+        return 1.0
+    if not grams_a or not grams_b:
+        return 0.0
+    counts: dict[str, int] = {}
+    for gram in grams_a:
+        counts[gram] = counts.get(gram, 0) + 1
+    overlap = 0
+    for gram in grams_b:
+        if counts.get(gram, 0) > 0:
+            counts[gram] -= 1
+            overlap += 1
+    return 2.0 * overlap / (len(grams_a) + len(grams_b))
+
+
+def jaccard(set_a: set | frozenset, set_b: set | frozenset) -> float:
+    """Jaccard coefficient of two sets."""
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    if union == 0:
+        return 1.0
+    return len(set_a & set_b) / union
+
+
+def token_set_similarity(a: str, b: str) -> float:
+    """Jaccard over identifier tokens: robust to word order and separators.
+
+    >>> token_set_similarity("office_hours", "hours-of-office") > 0.5
+    True
+    """
+    tokens_a = set(tokenize_identifier(a, expand_abbreviations=True))
+    tokens_b = set(tokenize_identifier(b, expand_abbreviations=True))
+    tokens_a.discard("of")
+    tokens_b.discard("of")
+    return jaccard(tokens_a, tokens_b)
+
+
+def prefix_similarity(a: str, b: str) -> float:
+    """Length of the common prefix over the max length."""
+    if not a and not b:
+        return 1.0
+    prefix = 0
+    for ch_a, ch_b in zip(a, b):
+        if ch_a != ch_b:
+            break
+        prefix += 1
+    return prefix / max(len(a), len(b))
+
+
+def monge_elkan(a: str, b: str, base=jaro_winkler) -> float:
+    """Monge-Elkan hybrid: average best ``base`` score per token of ``a``.
+
+    Symmetrized by taking the mean of both directions, so
+    ``monge_elkan(a, b) == monge_elkan(b, a)``.
+    """
+
+    def directed(tokens_x: list[str], tokens_y: list[str]) -> float:
+        if not tokens_x:
+            return 0.0
+        total = 0.0
+        for tok_x in tokens_x:
+            total += max((base(tok_x, tok_y) for tok_y in tokens_y), default=0.0)
+        return total / len(tokens_x)
+
+    tokens_a = tokenize_identifier(a)
+    tokens_b = tokenize_identifier(b)
+    if not tokens_a and not tokens_b:
+        return 1.0
+    return (directed(tokens_a, tokens_b) + directed(tokens_b, tokens_a)) / 2.0
+
+
+_SOUNDEX_CODES = {
+    "b": "1", "f": "1", "p": "1", "v": "1",
+    "c": "2", "g": "2", "j": "2", "k": "2", "q": "2", "s": "2", "x": "2", "z": "2",
+    "d": "3", "t": "3",
+    "l": "4",
+    "m": "5", "n": "5",
+    "r": "6",
+}
+
+
+def soundex(word: str) -> str:
+    """American Soundex code, e.g. for fuzzy person-name lookup.
+
+    >>> soundex("Robert")
+    'R163'
+    >>> soundex("Rupert")
+    'R163'
+    """
+    word = "".join(ch for ch in word.lower() if ch.isalpha())
+    if not word:
+        return "0000"
+    first = word[0].upper()
+    encoded = []
+    prev_code = _SOUNDEX_CODES.get(word[0], "")
+    for ch in word[1:]:
+        code = _SOUNDEX_CODES.get(ch, "")
+        if code and code != prev_code:
+            encoded.append(code)
+        if ch not in "hw":
+            prev_code = code
+    return (first + "".join(encoded) + "000")[:4]

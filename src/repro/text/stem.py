@@ -1,0 +1,203 @@
+"""A from-scratch implementation of the Porter stemming algorithm.
+
+The paper (Section 1.1, "Querying") points out that the U-WORLD degrades
+gracefully because of techniques "such as stemming"; Section 4.2.1 keeps
+statistics variants "depending on whether we take into consideration word
+stemming".  This module provides that stemmer.
+
+Reference: M. F. Porter, "An algorithm for suffix stripping", Program
+14(3), 1980.  The implementation follows the original five-step
+description.
+"""
+
+from __future__ import annotations
+
+_VOWELS = set("aeiou")
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """Number of VC (vowel-consonant) sequences, Porter's *m*."""
+    m = 0
+    prev_vowel = False
+    for i in range(len(stem)):
+        if _is_consonant(stem, i):
+            if prev_vowel:
+                m += 1
+            prev_vowel = False
+        else:
+            prev_vowel = True
+    return m
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    """*o condition: stem ends consonant-vowel-consonant, last not w/x/y."""
+    if len(word) < 3:
+        return False
+    return (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+        and word[-1] not in "wxy"
+    )
+
+
+def _replace(word: str, suffix: str, replacement: str, min_measure: int) -> str | None:
+    """If ``word`` ends with ``suffix`` and the stem measure is at least
+    ``min_measure`` + 1, return the word with the suffix replaced."""
+    if not word.endswith(suffix):
+        return None
+    stem = word[: len(word) - len(suffix)]
+    if _measure(stem) > min_measure:
+        return stem + replacement
+    return word
+
+
+_STEP2_SUFFIXES = [
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"), ("anci", "ance"),
+    ("izer", "ize"), ("abli", "able"), ("alli", "al"), ("entli", "ent"),
+    ("eli", "e"), ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+    ("ator", "ate"), ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+    ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"), ("biliti", "ble"),
+]
+
+_STEP3_SUFFIXES = [
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""),
+]
+
+_STEP4_SUFFIXES = [
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+]
+
+
+def porter_stem(word: str) -> str:
+    """Return the Porter stem of ``word`` (assumed lowercase ASCII).
+
+    >>> porter_stem("caresses")
+    'caress'
+    >>> porter_stem("relational")
+    'relat'
+    >>> porter_stem("universities")
+    'univers'
+    """
+    if len(word) <= 2:
+        return word
+    word = _step1a(word)
+    word = _step1b(word)
+    word = _step1c(word)
+    word = _step2(word)
+    word = _step3(word)
+    word = _step4(word)
+    word = _step5(word)
+    return word
+
+
+def _step1a(word: str) -> str:
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("ies"):
+        return word[:-2]
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        if _measure(stem) > 0:
+            return word[:-1]
+        return word
+    flag = False
+    if word.endswith("ed") and _contains_vowel(word[:-2]):
+        word = word[:-2]
+        flag = True
+    elif word.endswith("ing") and _contains_vowel(word[:-3]):
+        word = word[:-3]
+        flag = True
+    if flag:
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if _ends_double_consonant(word) and word[-1] not in "lsz":
+            return word[:-1]
+        if _measure(word) == 1 and _ends_cvc(word):
+            return word + "e"
+    return word
+
+
+def _step1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+def _step2(word: str) -> str:
+    for suffix, replacement in _STEP2_SUFFIXES:
+        if word.endswith(suffix):
+            result = _replace(word, suffix, replacement, 0)
+            if result is not None:
+                return result
+    return word
+
+
+def _step3(word: str) -> str:
+    for suffix, replacement in _STEP3_SUFFIXES:
+        if word.endswith(suffix):
+            result = _replace(word, suffix, replacement, 0)
+            if result is not None:
+                return result
+    return word
+
+
+def _step4(word: str) -> str:
+    for suffix in _STEP4_SUFFIXES:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > 1:
+                return stem
+            return word
+    if word.endswith("ion"):
+        stem = word[:-3]
+        if stem and stem[-1] in "st" and _measure(stem) > 1:
+            return stem
+    return word
+
+
+def _step5(word: str) -> str:
+    if word.endswith("e"):
+        stem = word[:-1]
+        m = _measure(stem)
+        if m > 1 or (m == 1 and not _ends_cvc(stem)):
+            word = stem
+    if _measure(word) > 1 and _ends_double_consonant(word) and word.endswith("l"):
+        word = word[:-1]
+    return word
+
+
+def stem_tokens(tokens: list[str]) -> list[str]:
+    """Stem every token in a list; convenience for pipelines."""
+    return [porter_stem(token) for token in tokens]

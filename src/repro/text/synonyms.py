@@ -1,0 +1,151 @@
+"""Synonym tables and inter-language dictionaries.
+
+Section 4.2.1 of the paper keeps statistics variants "depending on
+whether we take into consideration word stemming, synonym tables,
+inter-language dictionaries, or any combination of these three".  The
+:class:`SynonymTable` maps terms into canonical synonym classes; the
+:class:`TranslationTable` models the University-of-Rome example (Italian
+schema terms mapping to English ones).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class SynonymTable:
+    """Union of synonym classes; lookups return a canonical representative.
+
+    >>> table = SynonymTable([["teacher", "instructor", "professor"]])
+    >>> table.canonical("professor") == table.canonical("teacher")
+    True
+    """
+
+    def __init__(self, classes: Iterable[Iterable[str]] = ()):  # noqa: D107
+        self._canonical: dict[str, str] = {}
+        for synonym_class in classes:
+            self.add_class(synonym_class)
+
+    def add_class(self, terms: Iterable[str]) -> None:
+        """Merge ``terms`` (and any classes they already belong to)."""
+        terms = [term.lower() for term in terms]
+        if not terms:
+            return
+        # Collect every term already reachable from the given ones.
+        members = set(terms)
+        for term in terms:
+            root = self._canonical.get(term)
+            if root is not None:
+                members.update(
+                    existing for existing, canon in self._canonical.items() if canon == root
+                )
+        canonical = min(members)
+        for term in members:
+            self._canonical[term] = canonical
+
+    def canonical(self, term: str) -> str:
+        """Canonical representative of ``term`` (itself if unknown)."""
+        return self._canonical.get(term.lower(), term.lower())
+
+    def are_synonyms(self, a: str, b: str) -> bool:
+        """True if both terms normalize to the same synonym class."""
+        return self.canonical(a) == self.canonical(b)
+
+    def classes(self) -> list[set[str]]:
+        """All synonym classes with two or more members."""
+        by_root: dict[str, set[str]] = {}
+        for term, root in self._canonical.items():
+            by_root.setdefault(root, set()).add(term)
+        return [members for members in by_root.values() if len(members) > 1]
+
+    def __len__(self) -> int:
+        return len(self._canonical)
+
+
+class TranslationTable:
+    """Bidirectional word dictionary between two languages.
+
+    Used by the dataset generators to produce the paper's Rome/Trento
+    scenario where one peer's schema uses Italian terms.
+    """
+
+    def __init__(self, pairs: Iterable[tuple[str, str]] = ()):  # noqa: D107
+        self._forward: dict[str, str] = {}
+        self._backward: dict[str, str] = {}
+        for source, target in pairs:
+            self.add(source, target)
+
+    def add(self, source: str, target: str) -> None:
+        """Register ``source`` (language A) <-> ``target`` (language B)."""
+        self._forward[source.lower()] = target.lower()
+        self._backward[target.lower()] = source.lower()
+
+    def translate(self, term: str) -> str:
+        """A->B translation; returns ``term`` unchanged when unknown."""
+        return self._forward.get(term.lower(), term.lower())
+
+    def translate_back(self, term: str) -> str:
+        """B->A translation; returns ``term`` unchanged when unknown."""
+        return self._backward.get(term.lower(), term.lower())
+
+    def as_synonyms(self) -> SynonymTable:
+        """View the dictionary as one synonym class per pair."""
+        return SynonymTable([[source, target] for source, target in self._forward.items()])
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+
+def default_synonyms() -> SynonymTable:
+    """The built-in synonym classes for the paper's university domain."""
+    return SynonymTable(
+        [
+            ["course", "class", "subject", "offering"],
+            ["instructor", "teacher", "professor", "lecturer", "faculty"],
+            ["student", "pupil", "enrollee"],
+            ["schedule", "timetable", "calendar"],
+            ["enrollment", "size", "capacity", "seats"],
+            ["title", "name"],
+            ["department", "dept", "division", "unit"],
+            ["room", "location", "venue", "place"],
+            ["phone", "telephone", "tel"],
+            ["email", "mail", "e-mail"],
+            ["grade", "mark", "score"],
+            ["book", "textbook", "text"],
+            ["assignment", "homework", "problemset"],
+            ["talk", "seminar", "lecture", "colloquium"],
+            ["paper", "publication", "article"],
+            ["office", "bureau"],
+            ["begin", "start"],
+            ["end", "finish"],
+            ["ta", "assistant", "grader"],
+        ]
+    )
+
+
+def italian_english_dictionary() -> TranslationTable:
+    """Small Italian<->English dictionary for the Rome/Trento scenario."""
+    return TranslationTable(
+        [
+            ("corso", "course"),
+            ("titolo", "title"),
+            ("docente", "instructor"),
+            ("studente", "student"),
+            ("orario", "schedule"),
+            ("aula", "room"),
+            ("dipartimento", "department"),
+            ("universita", "university"),
+            ("iscrizione", "enrollment"),
+            ("libro", "book"),
+            ("compito", "assignment"),
+            ("telefono", "phone"),
+            ("ufficio", "office"),
+            ("nome", "name"),
+            ("anno", "year"),
+            ("semestre", "semester"),
+            ("descrizione", "description"),
+            ("ora", "hour"),
+            ("giorno", "day"),
+            ("edificio", "building"),
+        ]
+    )

@@ -1,0 +1,160 @@
+"""TF/IDF vectors and cosine similarity.
+
+Section 4 of the paper explicitly holds up TF/IDF [43] as the U-WORLD
+technique to adapt: "a document is considered relevant if the number of
+occurrences of the keyword in the document is statistically significant
+w.r.t. the number of appearances in an average document".  The corpus
+statistics (:mod:`repro.corpus.stats`) reuse this vectorizer, treating a
+schema as a "document" of its element-name tokens.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.text.stem import porter_stem
+from repro.text.tokenize import tokenize
+
+Vector = dict[str, float]
+
+
+def cosine_similarity(vec_a: Vector, vec_b: Vector) -> float:
+    """Cosine of the angle between two sparse vectors.
+
+    >>> cosine_similarity({"a": 1.0}, {"a": 2.0})
+    1.0
+    >>> cosine_similarity({"a": 1.0}, {"b": 1.0})
+    0.0
+    """
+    if not vec_a or not vec_b:
+        return 0.0
+    if len(vec_b) < len(vec_a):
+        vec_a, vec_b = vec_b, vec_a
+    dot = sum(weight * vec_b.get(term, 0.0) for term, weight in vec_a.items())
+    norm_a = math.sqrt(sum(weight * weight for weight in vec_a.values()))
+    norm_b = math.sqrt(sum(weight * weight for weight in vec_b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+class TfIdfVectorizer:
+    """Fit IDF weights on a corpus of documents, then vectorize text.
+
+    ``tf`` uses log damping (``1 + log(count)``); ``idf`` is the smoothed
+    ``log((1 + N) / (1 + df)) + 1`` so unseen terms still get weight.
+    """
+
+    def __init__(self, stem: bool = True, lowercase: bool = True):  # noqa: D107
+        self.stem = stem
+        self.lowercase = lowercase
+        self._idf: dict[str, float] = {}
+        self._documents = 0
+
+    # -- tokenization -------------------------------------------------
+    def _terms(self, text: str | Sequence[str]) -> list[str]:
+        if isinstance(text, str):
+            tokens = tokenize(text if not self.lowercase else text.lower())
+        else:
+            tokens = [token.lower() if self.lowercase else token for token in text]
+        if self.stem:
+            tokens = [porter_stem(token) for token in tokens]
+        return tokens
+
+    # -- fitting ------------------------------------------------------
+    def fit(self, documents: Iterable[str | Sequence[str]]) -> "TfIdfVectorizer":
+        """Compute document frequencies over ``documents``."""
+        document_frequency: Counter[str] = Counter()
+        count = 0
+        for document in documents:
+            count += 1
+            document_frequency.update(set(self._terms(document)))
+        self._documents = count
+        self._idf = {
+            term: math.log((1 + count) / (1 + df)) + 1.0
+            for term, df in document_frequency.items()
+        }
+        return self
+
+    @property
+    def vocabulary(self) -> set[str]:
+        """Terms seen during :meth:`fit`."""
+        return set(self._idf)
+
+    def idf(self, term: str) -> float:
+        """IDF weight of ``term`` (default weight if never seen)."""
+        if self.stem:
+            term = porter_stem(term.lower() if self.lowercase else term)
+        return self._idf.get(term, math.log(1 + self._documents) + 1.0 if self._documents else 1.0)
+
+    # -- transformation ------------------------------------------------
+    def transform(self, text: str | Sequence[str]) -> Vector:
+        """TF/IDF vector of one document."""
+        counts = Counter(self._terms(text))
+        vector: Vector = {}
+        for term, count in counts.items():
+            tf = 1.0 + math.log(count)
+            idf = self._idf.get(term)
+            if idf is None:
+                idf = math.log(1 + self._documents) + 1.0 if self._documents else 1.0
+            vector[term] = tf * idf
+        return vector
+
+    def similarity(self, text_a: str | Sequence[str], text_b: str | Sequence[str]) -> float:
+        """Cosine similarity between two documents under the fitted IDF."""
+        return cosine_similarity(self.transform(text_a), self.transform(text_b))
+
+
+class CosineIndex:
+    """A tiny in-memory inverted index with TF/IDF ranking.
+
+    This is the U-WORLD keyword-search baseline used by the examples and
+    by MANGROVE's annotation-enabled search application.
+    """
+
+    def __init__(self, stem: bool = True):  # noqa: D107
+        self._vectorizer = TfIdfVectorizer(stem=stem)
+        self._raw_documents: dict[str, str | Sequence[str]] = {}
+        self._vectors: dict[str, Vector] = {}
+        self._postings: dict[str, set[str]] = {}
+
+    def add(self, doc_id: str, text: str | Sequence[str]) -> None:
+        """Add or replace a document; the index refits lazily."""
+        self._raw_documents[doc_id] = text
+        self._vectors = {}
+
+    def remove(self, doc_id: str) -> None:
+        """Drop a document from the index."""
+        self._raw_documents.pop(doc_id, None)
+        self._vectors = {}
+
+    def _ensure_fitted(self) -> None:
+        if self._vectors or not self._raw_documents:
+            return
+        self._vectorizer.fit(self._raw_documents.values())
+        self._postings = {}
+        for doc_id, text in self._raw_documents.items():
+            vector = self._vectorizer.transform(text)
+            self._vectors[doc_id] = vector
+            for term in vector:
+                self._postings.setdefault(term, set()).add(doc_id)
+
+    def search(self, query: str, limit: int = 10) -> list[tuple[str, float]]:
+        """Top ``limit`` documents by cosine similarity to ``query``."""
+        self._ensure_fitted()
+        query_vector = self._vectorizer.transform(query)
+        candidates: set[str] = set()
+        for term in query_vector:
+            candidates.update(self._postings.get(term, ()))
+        scored = [
+            (doc_id, cosine_similarity(query_vector, self._vectors[doc_id]))
+            for doc_id in candidates
+        ]
+        scored = [(doc_id, score) for doc_id, score in scored if score > 0.0]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:limit]
+
+    def __len__(self) -> int:
+        return len(self._raw_documents)

@@ -1,0 +1,94 @@
+"""Tokenization of natural-language text and schema identifiers.
+
+Schema element names mix naming conventions (``contact-phone``,
+``contactPhone``, ``CONTACT_PHONE``); :func:`tokenize_identifier` splits
+all of them into the same token list, which is the first step of every
+name-based statistic and matcher in :mod:`repro.corpus`.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+# Split camelCase boundaries: lower/digit followed by upper, and an upper
+# followed by upper+lower (e.g. "XMLParser" -> "XML", "Parser").
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+
+# Common abbreviations in schema identifiers, expanded during
+# normalization so that "dept" and "department" compare equal.
+DEFAULT_ABBREVIATIONS: dict[str, str] = {
+    "addr": "address",
+    "amt": "amount",
+    "asst": "assistant",
+    "bldg": "building",
+    "cat": "catalog",
+    "crs": "course",
+    "dept": "department",
+    "desc": "description",
+    "dob": "birthdate",
+    "email": "email",
+    "fname": "firstname",
+    "hr": "hour",
+    "hrs": "hours",
+    "instr": "instructor",
+    "lname": "lastname",
+    "lec": "lecture",
+    "loc": "location",
+    "num": "number",
+    "no": "number",
+    "off": "office",
+    "ph": "phone",
+    "prof": "professor",
+    "pub": "publication",
+    "qty": "quantity",
+    "rm": "room",
+    "sched": "schedule",
+    "sec": "section",
+    "sem": "semester",
+    "ssn": "socialsecuritynumber",
+    "tel": "telephone",
+    "univ": "university",
+    "yr": "year",
+}
+
+
+def tokenize(text: str) -> list[str]:
+    """Split free text into lowercase word tokens.
+
+    >>> tokenize("Introductory Ancient History, CSE-143!")
+    ['introductory', 'ancient', 'history', 'cse', '143']
+    """
+    return [match.group(0).lower() for match in _WORD_RE.finditer(text)]
+
+
+def tokenize_identifier(name: str, expand_abbreviations: bool = False) -> list[str]:
+    """Split a schema identifier into lowercase tokens.
+
+    Handles snake_case, kebab-case, dotted paths, camelCase and digits:
+
+    >>> tokenize_identifier("contactPhone")
+    ['contact', 'phone']
+    >>> tokenize_identifier("TA_office-hours")
+    ['ta', 'office', 'hours']
+    >>> tokenize_identifier("dept", expand_abbreviations=True)
+    ['department']
+    """
+    pieces: list[str] = []
+    for chunk in _WORD_RE.findall(name):
+        for piece in _CAMEL_RE.split(chunk):
+            if piece:
+                pieces.append(piece.lower())
+    if expand_abbreviations:
+        pieces = [DEFAULT_ABBREVIATIONS.get(piece, piece) for piece in pieces]
+    return pieces
+
+
+def normalize_term(name: str, expand_abbreviations: bool = True) -> str:
+    """Canonical single-string form of an identifier for statistics keys.
+
+    >>> normalize_term("Contact-Phone")
+    'contact phone'
+    """
+    return " ".join(tokenize_identifier(name, expand_abbreviations=expand_abbreviations))

@@ -1,0 +1,307 @@
+"""DTD-subset schemas, in both classic and Figure-3 syntax.
+
+Figure 3 of the paper writes peer schemas as::
+
+    Element schedule(college*)
+    Element college(name, dept*)
+
+which is a shorthand for ``<!ELEMENT schedule (college*)>`` etc.  Both
+syntaxes parse to the same :class:`Dtd`.  Content models support
+sequences, choices, ``? * +`` occurrence markers and ``#PCDATA``.
+Validation compiles each content model to a regular expression over
+child-tag sequences — the standard way to check DTD content models.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.xmlmodel.tree import XmlElement
+
+
+class DtdError(ValueError):
+    """Malformed DTD or failed validation."""
+
+
+# -- content model AST --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Particle:
+    """Base for content-model particles; ``occurs`` is '', '?', '*' or '+'."""
+
+    occurs: str = ""
+
+
+@dataclass(frozen=True)
+class NameParticle(_Particle):
+    """A child element name."""
+
+    name: str = ""
+
+    def regex(self) -> str:
+        return f"(?:{re.escape(self.name)},){self.occurs}"
+
+
+@dataclass(frozen=True)
+class GroupParticle(_Particle):
+    """A ``( ... )`` group, either sequence (',') or choice ('|')."""
+
+    combinator: str = ","
+    items: tuple = ()
+
+    def regex(self) -> str:
+        if self.combinator == "|":
+            inner = "|".join(item.regex() for item in self.items)
+        else:
+            inner = "".join(item.regex() for item in self.items)
+        return f"(?:{inner}){self.occurs}"
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    """Declaration of one element: its content model.
+
+    ``mixed`` is True when the model allows ``#PCDATA``; ``empty`` when
+    declared EMPTY; ``any`` when declared ANY.
+    """
+
+    name: str
+    model: GroupParticle | None = None
+    mixed: bool = False
+    empty: bool = False
+    any: bool = False
+
+    def child_names(self) -> set[str]:
+        """All element names mentioned in the content model."""
+        names: set[str] = set()
+
+        def walk(particle) -> None:
+            if isinstance(particle, NameParticle):
+                names.add(particle.name)
+            elif isinstance(particle, GroupParticle):
+                for item in particle.items:
+                    walk(item)
+
+        if self.model is not None:
+            walk(self.model)
+        return names
+
+    def matches(self, child_tags: list[str]) -> bool:
+        """True if a child-tag sequence satisfies the content model."""
+        if self.any:
+            return True
+        if self.empty:
+            return not child_tags
+        if self.model is None:
+            return not child_tags
+        if self.mixed:
+            # Mixed content: children may appear in any order/number.
+            return set(child_tags) <= self.child_names()
+        encoded = "".join(f"{tag}," for tag in child_tags)
+        return re.fullmatch(self.model.regex(), encoded) is not None
+
+
+@dataclass
+class Dtd:
+    """A set of element declarations with a designated root."""
+
+    elements: dict[str, ElementDecl] = field(default_factory=dict)
+    root: str | None = None
+
+    def declare(self, decl: ElementDecl) -> None:
+        """Add a declaration; the first one becomes the root."""
+        if decl.name in self.elements:
+            raise DtdError(f"duplicate declaration for element {decl.name!r}")
+        self.elements[decl.name] = decl
+        if self.root is None:
+            self.root = decl.name
+
+    def validate(self, root: XmlElement) -> list[str]:
+        """Validate a document; returns a list of violation messages."""
+        errors: list[str] = []
+        if self.root is not None and root.tag != self.root:
+            errors.append(f"root is <{root.tag}>, expected <{self.root}>")
+
+        def check(node: XmlElement) -> None:
+            decl = self.elements.get(node.tag)
+            if decl is None:
+                errors.append(f"undeclared element <{node.tag}>")
+            else:
+                tags = node.child_tag_sequence()
+                if not decl.matches(tags):
+                    errors.append(
+                        f"<{node.tag}> content {tags} does not match its model"
+                    )
+                if node.has_text() and not decl.mixed and decl.model is not None:
+                    # Leaf-only text is allowed when model is PCDATA-only,
+                    # which parses as mixed; anything else is a violation.
+                    errors.append(f"<{node.tag}> has stray text content")
+            for child in node.child_elements():
+                check(child)
+
+        check(root)
+        return errors
+
+    def is_valid(self, root: XmlElement) -> bool:
+        """Convenience wrapper around :meth:`validate`."""
+        return not self.validate(root)
+
+    def element_paths(self, max_depth: int = 8) -> list[tuple[str, ...]]:
+        """All root-to-element paths (used to shred XML into relations)."""
+        paths: list[tuple[str, ...]] = []
+        if self.root is None:
+            return paths
+
+        def walk(name: str, prefix: tuple[str, ...], depth: int) -> None:
+            path = prefix + (name,)
+            paths.append(path)
+            if depth >= max_depth:
+                return
+            decl = self.elements.get(name)
+            if decl is None:
+                return
+            for child in sorted(decl.child_names()):
+                if child not in path:  # avoid recursive blowup
+                    walk(child, path, depth + 1)
+
+        walk(self.root, (), 0)
+        return paths
+
+
+# -- parsing -------------------------------------------------------------------
+
+_FIGURE3_RE = re.compile(r"^\s*Element\s+([\w.\-]+)\s*\((.*)\)\s*$", re.IGNORECASE)
+_CLASSIC_RE = re.compile(r"<!ELEMENT\s+([\w.\-]+)\s+(.+?)>", re.DOTALL)
+
+
+class _ModelParser:
+    """Recursive-descent parser for content model expressions."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.source) and self.source[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        return self.source[self.pos : self.pos + 1]
+
+    def parse(self) -> tuple[GroupParticle | None, bool]:
+        """Parse a full content model; returns (model, mixed)."""
+        self._skip_ws()
+        text = self.source.strip()
+        if text.upper() == "EMPTY" or text == "":
+            return None, False
+        if text.upper() == "ANY":
+            raise _AnyModel()
+        if not text.startswith("("):
+            # Figure-3 syntax omits outer parens: "college*" or "name, dept*"
+            self.source = f"({text})"
+            self.pos = 0
+        group = self._parse_group()
+        mixed = "#PCDATA" in self.source
+        return group, mixed
+
+    def _parse_group(self) -> GroupParticle:
+        self._skip_ws()
+        if self._peek() != "(":
+            raise DtdError(f"expected '(' in content model: {self.source!r}")
+        self.pos += 1
+        items: list = []
+        combinator = ","
+        while True:
+            items.append(self._parse_particle())
+            ch = self._peek()
+            if ch in (",", "|"):
+                combinator = ch
+                self.pos += 1
+                continue
+            if ch == ")":
+                self.pos += 1
+                break
+            raise DtdError(f"unexpected {ch!r} in content model: {self.source!r}")
+        occurs = ""
+        nxt = self.source[self.pos : self.pos + 1]
+        if nxt in ("?", "*", "+"):
+            occurs = nxt
+            self.pos += 1
+        # #PCDATA particles are dropped: mixedness is tracked separately.
+        items = [item for item in items if not _is_pcdata(item)]
+        return GroupParticle(occurs=occurs, combinator=combinator, items=tuple(items))
+
+    def _parse_particle(self):
+        self._skip_ws()
+        if self._peek() == "(":
+            return self._parse_group()
+        match = re.match(r"#?[\w.\-]+", self.source[self.pos :])
+        if not match:
+            raise DtdError(f"expected a name in content model: {self.source!r}")
+        name = match.group(0)
+        self.pos += len(name)
+        occurs = ""
+        nxt = self.source[self.pos : self.pos + 1]
+        if nxt in ("?", "*", "+"):
+            occurs = nxt
+            self.pos += 1
+        return NameParticle(occurs=occurs, name=name)
+
+
+class _AnyModel(Exception):
+    pass
+
+
+def _is_pcdata(particle) -> bool:
+    return isinstance(particle, NameParticle) and particle.name == "#PCDATA"
+
+
+def _parse_declaration(name: str, model_text: str) -> ElementDecl:
+    try:
+        model, mixed = _ModelParser(model_text).parse()
+    except _AnyModel:
+        return ElementDecl(name, any=True)
+    if model is None:
+        return ElementDecl(name, empty=not model_text.strip() == "")
+    if mixed and not model.items:
+        # (#PCDATA) only: text-only leaf.
+        return ElementDecl(name, model=None, mixed=True)
+    return ElementDecl(name, model=model, mixed=mixed)
+
+
+def parse_dtd(source: str) -> Dtd:
+    """Parse either classic ``<!ELEMENT ...>`` or Figure-3 syntax.
+
+    >>> dtd = parse_dtd('''
+    ...     Element schedule(college*)
+    ...     Element college(name, dept*)
+    ...     Element dept(name, course*)
+    ...     Element course(title, size)
+    ...     Element name(#PCDATA)
+    ...     Element title(#PCDATA)
+    ...     Element size(#PCDATA)
+    ... ''')
+    >>> dtd.root
+    'schedule'
+    """
+    dtd = Dtd()
+    classic = _CLASSIC_RE.findall(source)
+    if classic:
+        for name, model_text in classic:
+            dtd.declare(_parse_declaration(name, model_text.strip()))
+        return dtd
+    for line in source.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        match = _FIGURE3_RE.match(line)
+        if not match:
+            raise DtdError(f"cannot parse DTD line: {line!r}")
+        name, model_text = match.groups()
+        dtd.declare(_parse_declaration(name, model_text.strip()))
+    if not dtd.elements:
+        raise DtdError("empty DTD")
+    return dtd

@@ -1,0 +1,202 @@
+"""The Figure-4 template mapping language.
+
+A mapping is an XML *template* that matches the target schema, with two
+kinds of embedded expressions:
+
+* **binding annotations** — brace-delimited, as the first text child of
+  an element::
+
+      <course> {$c = document("Berkeley.xml")/schedule/college/dept}
+
+  The element is instantiated once per node bound to the variable.  The
+  right-hand side is either ``document("name")/absolute/path`` or a path
+  relative to a previously bound variable (``$c/course``).
+
+* **value expressions** — ``$var/path/text()`` as text content; replaced
+  by the string value(s) reached from the bound node.
+
+This is exactly the subset the paper describes: "hierarchical XML
+construction and limited path expressions, but avoids most of the
+complex ... features of XQuery".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.path import PathExpr, parse_path
+from repro.xmlmodel.tree import XmlElement, XmlText
+
+
+class MappingError(ValueError):
+    """Malformed template or unresolvable reference during execution."""
+
+
+_BINDING_RE = re.compile(
+    r"\{\s*\$(?P<var>\w+)\s*=\s*(?P<expr>[^}]+)\}", re.DOTALL
+)
+_DOCUMENT_RE = re.compile(r'document\(\s*"(?P<doc>[^"]+)"\s*\)(?P<path>[^\s]*)')
+_VALUE_RE = re.compile(r"^\$(?P<var>\w+)(?P<path>(?:/[\w.\-*]+|//[\w.\-*]+)*/text\(\))$")
+_VAR_PATH_RE = re.compile(r"^\$(?P<var>\w+)(?P<path>(?:/[\w.\-*]+|//[\w.\-*]+)*)$")
+
+
+@dataclass(frozen=True)
+class _Binding:
+    """Parsed binding annotation: ``$var = source``."""
+
+    var: str
+    document: str | None  # document name, or None when rooted at a variable
+    base_var: str | None  # variable the path is relative to
+    path: PathExpr
+
+    def evaluate(self, documents: dict[str, XmlElement], env: dict[str, XmlElement]) -> list[XmlElement]:
+        if self.document is not None:
+            root = documents.get(self.document)
+            if root is None:
+                raise MappingError(f"unknown document {self.document!r}")
+            return [node for node in self.path.evaluate(root) if isinstance(node, XmlElement)]
+        assert self.base_var is not None
+        base = env.get(self.base_var)
+        if base is None:
+            raise MappingError(f"variable ${self.base_var} is not bound")
+        return [node for node in self.path.evaluate(base) if isinstance(node, XmlElement)]
+
+
+def _parse_binding(var: str, expr: str) -> _Binding:
+    expr = expr.strip()
+    doc_match = _DOCUMENT_RE.match(expr)
+    if doc_match:
+        return _Binding(
+            var=var,
+            document=doc_match.group("doc"),
+            base_var=None,
+            path=parse_path(doc_match.group("path") or "/"),
+        )
+    var_match = _VAR_PATH_RE.match(expr)
+    if var_match:
+        return _Binding(
+            var=var,
+            document=None,
+            base_var=var_match.group("var"),
+            path=parse_path(var_match.group("path").lstrip("/") or "."),
+        )
+    raise MappingError(f"cannot parse binding expression: {expr!r}")
+
+
+class TemplateMapping:
+    """A compiled template mapping; run with :meth:`apply`.
+
+    >>> template = '''
+    ... <catalog>
+    ...   <course> {$c = document("src.xml")/school/dept}
+    ...     <name> $c/title/text() </name>
+    ...   </course>
+    ... </catalog>'''
+    >>> from repro.xmlmodel import parse_xml
+    >>> source = parse_xml("<school><dept><title>CS</title></dept></school>")
+    >>> mapping = TemplateMapping.parse(template)
+    >>> mapping.apply({"src.xml": source}).serialize()
+    '<catalog><course><name>CS</name></course></catalog>'
+    """
+
+    def __init__(self, template: XmlElement):  # noqa: D107
+        self.template = template
+
+    @classmethod
+    def parse(cls, source: str) -> "TemplateMapping":
+        """Parse a textual template (XML with embedded annotations)."""
+        return cls(parse_xml(source))
+
+    # -- execution ------------------------------------------------------
+    def apply(self, documents: dict[str, XmlElement]) -> XmlElement:
+        """Run the mapping over source ``documents`` (name -> root)."""
+        instances = _instantiate(self.template, documents, {})
+        if len(instances) != 1:
+            raise MappingError(
+                f"template root produced {len(instances)} instances, expected 1"
+            )
+        return instances[0]
+
+    def source_documents(self) -> set[str]:
+        """Names of all documents referenced by binding annotations."""
+        names: set[str] = set()
+
+        def walk(node: XmlElement) -> None:
+            for child in node.children:
+                if isinstance(child, XmlText):
+                    for match in _BINDING_RE.finditer(child.value):
+                        doc_match = _DOCUMENT_RE.match(match.group("expr").strip())
+                        if doc_match:
+                            names.add(doc_match.group("doc"))
+                else:
+                    walk(child)
+
+        walk(self.template)
+        return names
+
+
+def _extract_binding(node: XmlElement) -> tuple[_Binding | None, list]:
+    """Split a template element into its binding (if any) and clean children."""
+    binding: _Binding | None = None
+    cleaned: list = []
+    for child in node.children:
+        if isinstance(child, XmlText):
+            remaining = child.value
+            match = _BINDING_RE.search(remaining)
+            if match:
+                if binding is not None:
+                    raise MappingError(
+                        f"element <{node.tag}> has multiple binding annotations"
+                    )
+                binding = _parse_binding(match.group("var"), match.group("expr"))
+                remaining = remaining[: match.start()] + remaining[match.end() :]
+            if remaining.strip():
+                cleaned.append(XmlText(remaining))
+        else:
+            cleaned.append(child)
+    return binding, cleaned
+
+
+def _instantiate(
+    node: XmlElement, documents: dict[str, XmlElement], env: dict[str, XmlElement]
+) -> list[XmlElement]:
+    """Instantiate one template element under ``env``; may yield many copies."""
+    binding, template_children = _extract_binding(node)
+    environments: list[dict[str, XmlElement]]
+    if binding is None:
+        environments = [env]
+    else:
+        environments = []
+        for bound in binding.evaluate(documents, env):
+            extended = dict(env)
+            extended[binding.var] = bound
+            environments.append(extended)
+    instances: list[XmlElement] = []
+    for local_env in environments:
+        instance = XmlElement(node.tag, dict(node.attributes))
+        for child in template_children:
+            if isinstance(child, XmlText):
+                for part in _render_text(child.value, local_env):
+                    if part:
+                        instance.append(XmlText(part))
+            else:
+                for grandchild in _instantiate(child, documents, local_env):
+                    instance.append(grandchild)
+        instances.append(instance)
+    return instances
+
+
+def _render_text(value: str, env: dict[str, XmlElement]) -> list[str]:
+    """Render a text child: value expressions evaluate, literals pass through."""
+    stripped = value.strip()
+    match = _VALUE_RE.match(stripped)
+    if not match:
+        return [stripped] if stripped else []
+    base = env.get(match.group("var"))
+    if base is None:
+        raise MappingError(f"variable ${match.group('var')} is not bound")
+    path = parse_path(match.group("path").lstrip("/"))
+    values = [str(item) for item in path.evaluate(base)]
+    return values if values else [""]

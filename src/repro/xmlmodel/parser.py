@@ -1,0 +1,155 @@
+"""A small recursive-descent XML parser (well-formed subset).
+
+Supports elements, attributes (single or double quoted), text, comments,
+self-closing tags and the five predefined entities.  No namespaces,
+processing instructions beyond an ignored prolog, or CDATA — the
+documents REVERE exchanges do not need them.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.xmlmodel.tree import XmlElement, XmlText
+
+
+class XmlParseError(ValueError):
+    """Raised on malformed input, with position information."""
+
+    def __init__(self, message: str, position: int):  # noqa: D107
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+_NAME_RE = re.compile(r"[A-Za-z_][\w.\-:]*")
+_ENTITIES = {"&amp;": "&", "&lt;": "<", "&gt;": ">", "&quot;": '"', "&apos;": "'"}
+
+
+def _unescape(value: str) -> str:
+    for entity, char in _ENTITIES.items():
+        value = value.replace(entity, char)
+    return value
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+
+    def error(self, message: str) -> XmlParseError:
+        return XmlParseError(message, self.pos)
+
+    def skip_misc(self) -> None:
+        """Skip whitespace, comments and the XML prolog between elements."""
+        while True:
+            while self.pos < len(self.source) and self.source[self.pos].isspace():
+                self.pos += 1
+            if self.source.startswith("<!--", self.pos):
+                end = self.source.find("-->", self.pos + 4)
+                if end == -1:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            elif self.source.startswith("<?", self.pos):
+                end = self.source.find("?>", self.pos + 2)
+                if end == -1:
+                    raise self.error("unterminated processing instruction")
+                self.pos = end + 2
+            elif self.source.startswith("<!DOCTYPE", self.pos):
+                end = self.source.find(">", self.pos)
+                if end == -1:
+                    raise self.error("unterminated DOCTYPE")
+                self.pos = end + 1
+            else:
+                return
+
+    def parse_name(self) -> str:
+        match = _NAME_RE.match(self.source, self.pos)
+        if not match:
+            raise self.error("expected a name")
+        self.pos = match.end()
+        return match.group(0)
+
+    def parse_attributes(self) -> dict[str, str]:
+        attributes: dict[str, str] = {}
+        while True:
+            while self.pos < len(self.source) and self.source[self.pos].isspace():
+                self.pos += 1
+            ch = self.source[self.pos : self.pos + 1]
+            if ch in (">", "/", ""):
+                return attributes
+            name = self.parse_name()
+            while self.pos < len(self.source) and self.source[self.pos].isspace():
+                self.pos += 1
+            if self.source[self.pos : self.pos + 1] != "=":
+                raise self.error(f"expected '=' after attribute {name!r}")
+            self.pos += 1
+            while self.pos < len(self.source) and self.source[self.pos].isspace():
+                self.pos += 1
+            quote = self.source[self.pos : self.pos + 1]
+            if quote not in ("'", '"'):
+                raise self.error("attribute value must be quoted")
+            self.pos += 1
+            end = self.source.find(quote, self.pos)
+            if end == -1:
+                raise self.error("unterminated attribute value")
+            attributes[name] = _unescape(self.source[self.pos : end])
+            self.pos = end + 1
+
+    def parse_element(self) -> XmlElement:
+        if self.source[self.pos : self.pos + 1] != "<":
+            raise self.error("expected '<'")
+        self.pos += 1
+        tag = self.parse_name()
+        attributes = self.parse_attributes()
+        if self.source.startswith("/>", self.pos):
+            self.pos += 2
+            return XmlElement(tag, attributes)
+        if self.source[self.pos : self.pos + 1] != ">":
+            raise self.error(f"malformed start tag <{tag}>")
+        self.pos += 1
+        node = XmlElement(tag, attributes)
+        while True:
+            if self.pos >= len(self.source):
+                raise self.error(f"unexpected end of input inside <{tag}>")
+            if self.source.startswith("</", self.pos):
+                self.pos += 2
+                closing = self.parse_name()
+                if closing != tag:
+                    raise self.error(f"mismatched close tag: <{tag}> ... </{closing}>")
+                while self.pos < len(self.source) and self.source[self.pos].isspace():
+                    self.pos += 1
+                if self.source[self.pos : self.pos + 1] != ">":
+                    raise self.error("malformed close tag")
+                self.pos += 1
+                return node
+            if self.source.startswith("<!--", self.pos):
+                end = self.source.find("-->", self.pos + 4)
+                if end == -1:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+                continue
+            if self.source[self.pos] == "<":
+                node.append(self.parse_element())
+                continue
+            next_tag = self.source.find("<", self.pos)
+            if next_tag == -1:
+                raise self.error(f"unexpected end of input inside <{tag}>")
+            raw = self.source[self.pos : next_tag]
+            if raw:
+                node.append(XmlText(_unescape(raw)))
+            self.pos = next_tag
+
+
+def parse_xml(source: str) -> XmlElement:
+    """Parse a document and return its root element.
+
+    >>> parse_xml("<a x='1'><b>hi</b></a>").first("b").text_content()
+    'hi'
+    """
+    parser = _Parser(source)
+    parser.skip_misc()
+    root = parser.parse_element()
+    parser.skip_misc()
+    if parser.pos != len(parser.source):
+        raise parser.error("trailing content after document element")
+    return root

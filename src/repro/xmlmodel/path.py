@@ -1,0 +1,135 @@
+"""Path expressions over XML trees (the subset Figure 4 needs).
+
+Grammar::
+
+    path   := '/'? step ('/' step)* ('/text()')?
+    step   := name | '*' | '//' name      (descendant-or-self shorthand)
+
+Absolute paths start at the document root (the root element must match
+the first step); relative paths start at a context element's children.
+Evaluation returns elements, or strings when the path ends in
+``text()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlmodel.tree import XmlElement
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One step: element-name test (or ``*``), optionally descendant axis."""
+
+    name: str
+    descendant: bool = False
+
+    def matches(self, node: XmlElement) -> bool:
+        """Name test against one element."""
+        return self.name == "*" or node.tag == self.name
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """A parsed path expression."""
+
+    steps: tuple[PathStep, ...]
+    absolute: bool
+    text: bool
+
+    def evaluate(self, context: XmlElement) -> list:
+        """Evaluate against ``context``; see module docstring for semantics."""
+        if self.absolute:
+            first, *rest = self.steps if self.steps else (None,)
+            if first is None:
+                nodes = [context]
+            elif first.descendant:
+                candidates = [context] + list(context.descendants())
+                nodes = [node for node in candidates if first.matches(node)]
+            elif first.matches(context):
+                nodes = [context]
+            else:
+                nodes = []
+            steps = rest
+        else:
+            nodes = [context]
+            steps = list(self.steps)
+        for step in steps:
+            next_nodes: list[XmlElement] = []
+            for node in nodes:
+                if step.descendant:
+                    for descendant in node.descendants():
+                        if step.matches(descendant):
+                            next_nodes.append(descendant)
+                else:
+                    next_nodes.extend(
+                        child for child in node.child_elements() if step.matches(child)
+                    )
+            nodes = next_nodes
+        if self.text:
+            return [node.text_content() for node in nodes]
+        return nodes
+
+    def first(self, context: XmlElement):
+        """First result or None."""
+        results = self.evaluate(context)
+        return results[0] if results else None
+
+    def __str__(self) -> str:
+        rendered = "/" if self.absolute else ""
+        parts = []
+        for step in self.steps:
+            parts.append(("//" if step.descendant else "") + step.name)
+        rendered += "/".join(parts)
+        if self.text:
+            rendered += "/text()"
+        return rendered or "."
+
+
+def parse_path(source: str) -> PathExpr:
+    """Parse a path expression.
+
+    >>> parse_path("/schedule/college/dept").steps[2].name
+    'dept'
+    >>> parse_path("name/text()").text
+    True
+    """
+    source = source.strip()
+    if source in (".", ""):
+        return PathExpr(steps=(), absolute=False, text=False)
+    text = False
+    if source.endswith("/text()"):
+        text = True
+        source = source[: -len("/text()")]
+    elif source == "text()":
+        return PathExpr(steps=(), absolute=False, text=True)
+    absolute = source.startswith("/") and not source.startswith("//")
+    steps: list[PathStep] = []
+    remaining = source
+    descendant_next = False
+    if remaining.startswith("//"):
+        descendant_next = True
+        remaining = remaining[2:]
+    elif remaining.startswith("/"):
+        remaining = remaining[1:]
+    while remaining:
+        if remaining.startswith("//"):
+            descendant_next = True
+            remaining = remaining[2:]
+            continue
+        if remaining.startswith("/"):
+            remaining = remaining[1:]
+            continue
+        end = len(remaining)
+        for index, ch in enumerate(remaining):
+            if ch == "/":
+                end = index
+                break
+        name = remaining[:end]
+        if not name:
+            raise ValueError(f"empty step in path {source!r}")
+        steps.append(PathStep(name=name, descendant=descendant_next))
+        descendant_next = False
+        remaining = remaining[end:]
+    return PathExpr(steps=tuple(steps), absolute=absolute, text=text)

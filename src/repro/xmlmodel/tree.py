@@ -1,0 +1,187 @@
+"""XML tree nodes: elements, text, construction helpers, serialization."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+
+class XmlNode:
+    """Base class for tree nodes."""
+
+    parent: "XmlElement | None" = None
+
+
+class XmlText(XmlNode):
+    """A text node."""
+
+    __slots__ = ("parent", "value")
+
+    def __init__(self, value: str):  # noqa: D107
+        self.value = value
+        self.parent = None
+
+    def __repr__(self) -> str:
+        return f"XmlText({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, XmlText) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("text", self.value))
+
+
+class XmlElement(XmlNode):
+    """An element with a tag, attributes and ordered children."""
+
+    __slots__ = ("parent", "tag", "attributes", "children")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: dict[str, str] | None = None,
+        children: list[XmlNode] | None = None,
+    ):  # noqa: D107
+        self.tag = tag
+        self.attributes = dict(attributes or {})
+        self.children = []
+        self.parent = None
+        for child in children or []:
+            self.append(child)
+
+    # -- construction -----------------------------------------------------
+    def append(self, child: "XmlNode | str") -> "XmlElement":
+        """Append a child node (strings become text nodes); returns self."""
+        if isinstance(child, str):
+            child = XmlText(child)
+        child.parent = self
+        self.children.append(child)
+        return self
+
+    # -- navigation ---------------------------------------------------------
+    def child_elements(self, tag: str | None = None) -> list["XmlElement"]:
+        """Direct element children, optionally filtered by tag."""
+        return [
+            child
+            for child in self.children
+            if isinstance(child, XmlElement) and (tag is None or child.tag == tag)
+        ]
+
+    def first(self, tag: str) -> "XmlElement | None":
+        """First direct child element with ``tag``."""
+        for child in self.child_elements(tag):
+            return child
+        return None
+
+    def descendants(self) -> Iterator["XmlElement"]:
+        """All element descendants, document order, excluding self."""
+        for child in self.children:
+            if isinstance(child, XmlElement):
+                yield child
+                yield from child.descendants()
+
+    def text_content(self) -> str:
+        """Concatenated text of all descendant text nodes, stripped."""
+        parts: list[str] = []
+
+        def collect(node: XmlNode) -> None:
+            if isinstance(node, XmlText):
+                parts.append(node.value)
+            elif isinstance(node, XmlElement):
+                for child in node.children:
+                    collect(child)
+
+        collect(self)
+        return "".join(parts).strip()
+
+    def child_tag_sequence(self) -> list[str]:
+        """Tags of direct element children, in order (for DTD validation)."""
+        return [child.tag for child in self.child_elements()]
+
+    def has_text(self) -> bool:
+        """True if any direct text child is non-whitespace."""
+        return any(
+            isinstance(child, XmlText) and child.value.strip() for child in self.children
+        )
+
+    # -- serialization -------------------------------------------------------
+    def serialize(self, indent: int | None = None, _level: int = 0) -> str:
+        """Serialize to a string; ``indent`` pretty-prints with N spaces."""
+        attrs = "".join(
+            f' {name}="{_escape_attr(value)}"' for name, value in self.attributes.items()
+        )
+        pad = "" if indent is None else " " * (indent * _level)
+        newline = "" if indent is None else "\n"
+        if not self.children:
+            return f"{pad}<{self.tag}{attrs}/>"
+        only_text = all(isinstance(child, XmlText) for child in self.children)
+        if only_text:
+            content = "".join(_escape_text(child.value) for child in self.children)  # type: ignore[union-attr]
+            return f"{pad}<{self.tag}{attrs}>{content}</{self.tag}>"
+        parts = [f"{pad}<{self.tag}{attrs}>"]
+        for child in self.children:
+            if isinstance(child, XmlElement):
+                parts.append(newline + child.serialize(indent, _level + 1))
+            elif child.value.strip():
+                child_pad = "" if indent is None else " " * (indent * (_level + 1))
+                parts.append(newline + child_pad + _escape_text(child.value.strip()))
+        parts.append(f"{newline}{pad}</{self.tag}>")
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<XmlElement {self.tag} children={len(self.children)}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, XmlElement):
+            return False
+        return (
+            self.tag == other.tag
+            and self.attributes == other.attributes
+            and _normalized_children(self) == _normalized_children(other)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tag, tuple(sorted(self.attributes.items()))))
+
+
+def _blank(node: XmlNode) -> bool:
+    return isinstance(node, XmlText) and not node.value.strip()
+
+
+def _normalized_children(node: "XmlElement") -> list:
+    """Children with adjacent text nodes coalesced and blanks dropped —
+    the XML infoset view, under which serialize/parse round-trips."""
+    normalized: list[XmlNode] = []
+    for child in node.children:
+        if _blank(child):
+            continue
+        if (
+            isinstance(child, XmlText)
+            and normalized
+            and isinstance(normalized[-1], XmlText)
+        ):
+            normalized[-1] = XmlText(normalized[-1].value + child.value)
+        else:
+            normalized.append(child)
+    return normalized
+
+
+def _escape_text(value: str) -> str:
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attr(value: str) -> str:
+    return _escape_text(value).replace('"', "&quot;")
+
+
+def element(tag: str, *children: "XmlNode | str", **attributes: str) -> XmlElement:
+    """Concise element constructor.
+
+    >>> element("course", element("title", "History")).serialize()
+    '<course><title>History</title></course>'
+    """
+    return XmlElement(tag, attributes, list(children))
+
+
+def text(value: str) -> XmlText:
+    """Concise text-node constructor."""
+    return XmlText(value)

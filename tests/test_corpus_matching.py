@@ -1,0 +1,287 @@
+"""Tests for the matchers: learners, meta, LSD, baselines, advisor."""
+
+import pytest
+
+from repro.corpus.match import (
+    ComaLikeMatcher,
+    EditDistanceMatcher,
+    HybridMatcher,
+    JaccardTokenMatcher,
+    LSDMatcher,
+    MatchResult,
+    MatchingAdvisor,
+    MetaLearner,
+    NameLearner,
+    NaiveBayesLearner,
+    FormatLearner,
+    StructureLearner,
+    accuracy,
+    evaluate_matching,
+    samples_of,
+)
+from repro.corpus.match.learners import ElementSample, format_features
+from repro.corpus.model import Corpus, CorpusSchema, MappingRecord
+from repro.datasets.perturb import matching_pair
+from repro.datasets.university import make_university_corpus, university_schema_instance
+from repro.text import default_synonyms
+
+
+class TestMatchResult:
+    def test_best_per_source(self):
+        result = MatchResult()
+        result.add("a", "x", 0.4)
+        result.add("a", "y", 0.9)
+        result.add("b", "x", 0.5)
+        best = result.best_per_source()
+        assert best.mapping() == {"a": "y", "b": "x"}
+
+    def test_one_to_one(self):
+        result = MatchResult()
+        result.add("a", "x", 0.9)
+        result.add("b", "x", 0.8)
+        result.add("b", "y", 0.5)
+        assigned = result.one_to_one()
+        assert assigned.mapping() == {"a": "x", "b": "y"}
+
+    def test_filter(self):
+        result = MatchResult()
+        result.add("a", "x", 0.2)
+        result.add("b", "y", 0.8)
+        assert result.filter(0.5).pairs() == {("b", "y")}
+
+    def test_evaluate(self):
+        predicted = MatchResult()
+        predicted.add("a", "x", 1.0)
+        predicted.add("b", "z", 1.0)
+        metrics = evaluate_matching(predicted, {("a", "x"), ("b", "y")})
+        assert metrics["precision"] == 0.5
+        assert metrics["recall"] == 0.5
+
+    def test_accuracy_metric(self):
+        predicted = MatchResult()
+        predicted.add("a", "x", 1.0)
+        predicted.add("b", "y", 0.9)
+        assert accuracy(predicted, {"a": "x", "b": "q"}) == 0.5
+        assert accuracy(MatchResult(), {}) == 1.0
+
+
+class TestFormatFeatures:
+    def test_email(self):
+        assert "email" in format_features("pat@uw.edu")
+
+    def test_phone(self):
+        assert "phone" in format_features("555-1234")
+
+    def test_numbers(self):
+        assert "integer" in format_features(42)
+        assert "decimal" in format_features(4.5)
+
+    def test_text_buckets(self):
+        assert "word" in format_features("Databases")
+        assert "phrase" in format_features("Ancient History")
+        assert "long-text" in format_features(" ".join(["w"] * 10))
+
+
+def two_label_samples():
+    phones = [
+        ElementSample("r.phone", "phone", ["555-1234", "555-9999", "206-3333"], ["name"]),
+        ElementSample("r.tel", "tel", ["444-1111", "333-2222"], ["name"]),
+    ]
+    emails = [
+        ElementSample("r.email", "email", ["a@x.edu", "b@y.org"], ["name"]),
+        ElementSample("r.mail", "mail", ["c@z.com", "d@w.net"], ["name"]),
+    ]
+    samples = phones + emails
+    labels = ["m.phone", "m.phone", "m.email", "m.email"]
+    return samples, labels
+
+
+class TestLearners:
+    def test_name_learner(self):
+        samples, labels = two_label_samples()
+        learner = NameLearner(synonyms=default_synonyms())
+        learner.fit(samples, labels)
+        probe = ElementSample("s.telephone", "telephone", [], [])
+        scores = learner.predict(probe)
+        assert scores["m.phone"] > scores["m.email"]
+
+    def test_naive_bayes_learner(self):
+        samples, labels = two_label_samples()
+        learner = NaiveBayesLearner()
+        learner.fit(samples, labels)
+        probe = ElementSample("s.x", "x", ["q@few.edu", "r@more.org"], [])
+        scores = learner.predict(probe)
+        assert scores["m.email"] > scores["m.phone"]
+
+    def test_format_learner(self):
+        samples, labels = two_label_samples()
+        learner = FormatLearner()
+        learner.fit(samples, labels)
+        probe = ElementSample("s.x", "x", ["777-8888"], [])
+        scores = learner.predict(probe)
+        assert scores["m.phone"] > scores["m.email"]
+
+    def test_structure_learner(self):
+        samples = [
+            ElementSample("r.a", "a", [], ["title", "instructor"]),
+            ElementSample("r.b", "b", [], ["venue", "year"]),
+        ]
+        learner = StructureLearner()
+        learner.fit(samples, ["m.course_attr", "m.paper_attr"])
+        probe = ElementSample("s.x", "x", [], ["title", "teacher"])
+        scores = learner.predict(probe)
+        assert scores["m.course_attr"] > scores["m.paper_attr"]
+
+    def test_learner_scores_are_distributions(self):
+        samples, labels = two_label_samples()
+        for learner in (NameLearner(), NaiveBayesLearner(), FormatLearner()):
+            learner.fit(samples, labels)
+            scores = learner.predict(samples[0])
+            assert sum(scores.values()) == pytest.approx(1.0)
+
+
+class TestMetaLearner:
+    def test_combines_learners(self):
+        samples, labels = two_label_samples()
+        meta = MetaLearner([NameLearner(), FormatLearner()])
+        meta.fit(samples, labels)
+        probe = ElementSample("s.telephone", "telephone", ["888-7777"], [])
+        scores = meta.predict(probe)
+        assert scores["m.phone"] > scores["m.email"]
+
+    def test_weights_normalized(self):
+        samples, labels = two_label_samples()
+        meta = MetaLearner([NameLearner(), FormatLearner(), NaiveBayesLearner()])
+        meta.fit(samples * 3, labels * 3)
+        assert meta.weights.sum() == pytest.approx(1.0)
+        assert (meta.weights >= 0).all()
+
+    def test_requires_learners(self):
+        with pytest.raises(ValueError):
+            MetaLearner([])
+
+
+class TestLSD:
+    def build(self):
+        mediated = CorpusSchema("mediated")
+        mediated.add_relation("course", ["title", "instructor", "time"])
+        lsd = LSDMatcher(mediated, synonyms=default_synonyms())
+        # Two manually mapped training sources.
+        for seed in (1, 2):
+            source, gold = _variant_with_gold(seed)
+            lsd.add_training_source(source, gold)
+        return lsd
+
+    def test_predicts_new_source(self):
+        lsd = self.build()
+        new_source, gold = _variant_with_gold(7)
+        result = lsd.match_source(new_source)
+        assert accuracy(result, gold) >= 0.6
+
+    def test_training_required(self):
+        mediated = CorpusSchema("m")
+        mediated.add_relation("r", ["a"])
+        lsd = LSDMatcher(mediated)
+        with pytest.raises(ValueError):
+            lsd.train()
+
+
+def _variant_with_gold(seed):
+    """A renamed university 'course' source + its mapping to mediated."""
+    from repro.datasets.perturb import PerturbationConfig, perturb_schema
+
+    reference = CorpusSchema("ref")
+    full = university_schema_instance(seed=seed, courses=25)
+    reference.add_relation(
+        "course",
+        ["title", "instructor", "time"],
+        [(r[1], r[2], r[3]) for r in full.data["course"]],
+    )
+    variant, gold = perturb_schema(
+        reference, f"src{seed}", seed=seed, config=PerturbationConfig(rename_probability=0.5)
+    )
+    mapping = {
+        new: f"mediated.course.{old.rsplit('.', 1)[-1]}".replace("mediated.course.", "course.")
+        for old, new in gold.items()
+        if "." in old
+    }
+    return variant, mapping
+
+
+class TestBaselineMatchers:
+    def test_edit_distance_identical(self):
+        a = CorpusSchema("a")
+        a.add_relation("r", ["title"])
+        b = CorpusSchema("b")
+        b.add_relation("r", ["title"])
+        result = EditDistanceMatcher().match(a, b)
+        assert result.mapping() == {"r.title": "r.title"}
+
+    def test_jaccard_handles_styles(self):
+        a = CorpusSchema("a")
+        a.add_relation("r", ["office_hours"])
+        b = CorpusSchema("b")
+        b.add_relation("r", ["OfficeHours"])
+        result = JaccardTokenMatcher().match(a, b)
+        assert result.correspondences[0].score == 1.0
+
+    def test_coma_threshold_delta(self):
+        a = CorpusSchema("a")
+        a.add_relation("r", ["title", "zzz"])
+        b = CorpusSchema("b")
+        b.add_relation("r", ["title", "unrelated"])
+        result = ComaLikeMatcher().match(a, b, threshold=0.6)
+        assert ("r.title", "r.title") in result.pairs()
+        assert ("r.zzz", "r.unrelated") not in result.pairs()
+
+    def test_hybrid_uses_instances(self):
+        a = CorpusSchema("a")
+        a.add_relation("r", ["contact"], [("555-1234",), ("555-2222",)])
+        b = CorpusSchema("b")
+        b.add_relation("r", ["phone", "email"],
+                       [("555-1234", "x@y.z"), ("555-7777", "q@r.s")])
+        hybrid = HybridMatcher(synonyms=default_synonyms())
+        result = hybrid.match(a, b)
+        assert result.mapping()["r.contact"] == "r.phone"
+
+    def test_hybrid_beats_edit_distance_on_synonyms(self):
+        reference = university_schema_instance(seed=3, courses=20)
+        left, right, gold = matching_pair(reference, seed=3, level=0.6)
+        hybrid = HybridMatcher(synonyms=default_synonyms()).match(left, right)
+        edit = EditDistanceMatcher().match(left, right)
+        assert accuracy(hybrid, gold) >= accuracy(edit, gold)
+
+
+class TestMatchingAdvisor:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return make_university_corpus(count=6, seed=5, courses=12)
+
+    def test_correlation_method(self, corpus):
+        reference = university_schema_instance(seed=11, courses=15)
+        left, right, gold = matching_pair(reference, seed=11, level=0.4)
+        advisor = MatchingAdvisor(corpus, synonyms=default_synonyms())
+        result = advisor.match_by_correlation(left, right)
+        assert accuracy(result, gold) >= 0.5
+
+    def test_pivot_method(self, corpus):
+        reference = university_schema_instance(seed=13, courses=15)
+        left, right, gold = matching_pair(reference, seed=13, level=0.3)
+        advisor = MatchingAdvisor(corpus, synonyms=default_synonyms())
+        result = advisor.match_by_pivot(left, right)
+        assert len(result) > 0
+        metrics = evaluate_matching(result, set(gold.items()))
+        assert metrics["precision"] >= 0.5
+
+    def test_pivot_uses_stored_mappings(self, corpus):
+        assert corpus.mappings  # generator stored consecutive-variant mappings
+        reference = university_schema_instance(seed=17, courses=10)
+        left, right, _gold = matching_pair(reference, seed=17, level=0.3)
+        advisor = MatchingAdvisor(corpus, synonyms=default_synonyms())
+        result = advisor.match_by_pivot(left, right)
+        assert isinstance(result, MatchResult)
+
+    def test_untrained_corpus_error(self):
+        advisor = MatchingAdvisor(Corpus())
+        with pytest.raises(ValueError):
+            advisor.train()

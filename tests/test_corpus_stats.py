@@ -1,0 +1,183 @@
+"""Tests for the corpus model, basic and composite statistics."""
+
+import pytest
+
+from repro.corpus import (
+    BasicStatistics,
+    CompositeStatistics,
+    Corpus,
+    CorpusSchema,
+    MappingRecord,
+    StatisticsOptions,
+)
+from repro.text import SynonymTable, default_synonyms
+from repro.text.synonyms import italian_english_dictionary
+
+
+def small_corpus() -> Corpus:
+    corpus = Corpus()
+    s1 = CorpusSchema("s1")
+    s1.add_relation("course", ["title", "instructor", "time"],
+                    [("DB", "Smith", "MWF 10"), ("OS", "Jones", "TTh 2")])
+    s1.add_relation("ta", ["name", "email"], [("Kim", "kim@x.edu")])
+    corpus.add_schema(s1)
+    s2 = CorpusSchema("s2")
+    s2.add_relation("class", ["title", "teacher", "room"])
+    s2.add_relation("ta", ["name", "email"])
+    corpus.add_schema(s2)
+    s3 = CorpusSchema("s3")
+    s3.add_relation("course", ["title", "instructor", "enrollment"])
+    corpus.add_schema(s3)
+    return corpus
+
+
+class TestCorpusModel:
+    def test_elements(self):
+        schema = CorpusSchema("s")
+        schema.add_relation("r", ["a", "b"])
+        paths = [e.path for e in schema.elements()]
+        assert paths == ["r", "r.a", "r.b"]
+        kinds = {e.path: e.kind for e in schema.elements()}
+        assert kinds["r"] == "relation" and kinds["r.a"] == "attribute"
+
+    def test_column_values_and_neighbors(self):
+        schema = CorpusSchema("s")
+        schema.add_relation("r", ["a", "b"], [(1, 2), (3, 4)])
+        assert schema.column_values("r.b") == [2, 4]
+        assert schema.neighbors("r.a") == ["b"]
+        assert schema.column_values("r.missing") == []
+
+    def test_duplicate_schema_rejected(self):
+        corpus = Corpus()
+        corpus.add_schema(CorpusSchema("x"))
+        with pytest.raises(ValueError):
+            corpus.add_schema(CorpusSchema("x"))
+
+    def test_mapping_must_reference_known_schemas(self):
+        corpus = Corpus()
+        corpus.add_schema(CorpusSchema("a"))
+        with pytest.raises(ValueError):
+            corpus.add_mapping(MappingRecord("a", "ghost"))
+
+    def test_mappings_between(self):
+        corpus = small_corpus()
+        corpus.add_mapping(MappingRecord("s1", "s2", (("course.title", "class.title"),)))
+        assert len(corpus.mappings_between("s2", "s1")) == 1
+        assert corpus.mappings_from("s3") == []
+
+    def test_mapping_record_directions(self):
+        record = MappingRecord("a", "b", (("x", "y"),))
+        assert record.forward() == {"x": "y"}
+        assert record.backward() == {"y": "x"}
+
+
+class TestBasicStatistics:
+    def test_term_usage_roles(self):
+        stats = BasicStatistics(small_corpus(), StatisticsOptions(stem=False))
+        usage = stats.usage("title")
+        assert usage.role_counts["attribute"] == 3
+        assert stats.usage("course").role_counts["relation"] == 2
+
+    def test_data_role(self):
+        stats = BasicStatistics(small_corpus(), StatisticsOptions(stem=False))
+        assert stats.usage("Smith").role_counts["data"] == 1
+
+    def test_role_distribution_sums_to_one(self):
+        stats = BasicStatistics(small_corpus())
+        distribution = stats.role_distribution("title")
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_schema_frequency(self):
+        stats = BasicStatistics(small_corpus())
+        assert stats.schema_frequency("title") == pytest.approx(1.0)
+        assert stats.schema_frequency("enrollment") == pytest.approx(1 / 3)
+
+    def test_idf_rare_terms_higher(self):
+        stats = BasicStatistics(small_corpus())
+        assert stats.idf("enrollment") > stats.idf("title")
+
+    def test_co_occurring(self):
+        stats = BasicStatistics(small_corpus(), StatisticsOptions(stem=False))
+        co = dict(stats.co_occurring("title"))
+        assert "instructor" in co or "teacher" in co
+
+    def test_synonyms_conflate_co_occurrence(self):
+        options = StatisticsOptions(stem=False, synonyms=default_synonyms())
+        stats = BasicStatistics(small_corpus(), options)
+        # 'instructor' and 'teacher' collapse to one canonical term,
+        # so title's profile counts them together.
+        canonical = options.normalize("teacher")
+        co = dict(stats.co_occurring("title", limit=20))
+        assert canonical in co
+
+    def test_translations(self):
+        corpus = Corpus()
+        schema = CorpusSchema("it")
+        schema.add_relation("corso", ["titolo", "docente"])
+        corpus.add_schema(schema)
+        options = StatisticsOptions(translations=italian_english_dictionary())
+        stats = BasicStatistics(corpus, options)
+        assert stats.usage("course").role_counts["relation"] == 1
+
+    def test_mutually_exclusive(self):
+        stats = BasicStatistics(small_corpus(), StatisticsOptions(stem=False))
+        assert stats.mutually_exclusive("time", "room")
+        assert not stats.mutually_exclusive("title", "instructor")
+
+    def test_similar_names(self):
+        options = StatisticsOptions(stem=False)
+        stats = BasicStatistics(small_corpus(), options)
+        similar = dict(stats.similar_names("instructor"))
+        # 'teacher' co-occurs with title just like instructor does.
+        assert "teacher" in similar
+
+    def test_vocabulary(self):
+        stats = BasicStatistics(small_corpus(), StatisticsOptions(stem=False))
+        assert "title" in stats.vocabulary()
+
+    def test_relation_name_for(self):
+        stats = BasicStatistics(small_corpus(), StatisticsOptions(stem=False))
+        votes = dict(stats.relation_name_for(frozenset({"name", "email"})))
+        assert votes.get("ta") == 2
+
+
+class TestCompositeStatistics:
+    def test_frequent_structures(self):
+        composite = CompositeStatistics(small_corpus(), StatisticsOptions(stem=False))
+        structures = composite.frequent_structures()
+        attribute_sets = [s.attributes for s in structures]
+        assert frozenset({"name", "email"}) in attribute_sets
+
+    def test_typical_relation_names(self):
+        composite = CompositeStatistics(small_corpus(), StatisticsOptions(stem=False))
+        for structure in composite.frequent_structures():
+            if structure.attributes == frozenset({"name", "email"}):
+                assert "ta" in structure.typical_relation_names
+                break
+        else:
+            pytest.fail("expected the ta structure")
+
+    def test_support_exact(self):
+        composite = CompositeStatistics(small_corpus(), StatisticsOptions(stem=False))
+        assert composite.support(frozenset({"name", "email"})) == 2
+
+    def test_estimate_unseen_set(self):
+        composite = CompositeStatistics(small_corpus(), StatisticsOptions(stem=False))
+        # {title, instructor, time} was mined only in s1 (support 1 <
+        # min_support) but pairwise supports exist -> estimate > 0.
+        estimate = composite.estimate_support({"title", "instructor"})
+        assert estimate >= 2.0
+
+    def test_estimate_zero_when_pair_never_cooccurs(self):
+        composite = CompositeStatistics(small_corpus(), StatisticsOptions(stem=False))
+        assert composite.estimate_support({"time", "room"}) == 0.0
+
+    def test_min_support_respected(self):
+        composite = CompositeStatistics(
+            small_corpus(), StatisticsOptions(stem=False), min_support=3
+        )
+        assert all(s.support >= 3 for s in composite.frequent_structures(min_size=1))
+
+    def test_transaction_count(self):
+        composite = CompositeStatistics(small_corpus())
+        assert composite.transaction_count() == 5

@@ -1,0 +1,118 @@
+"""Tests for DESIGNADVISOR: proposals, auto-complete, layout advice."""
+
+import pytest
+
+from repro.corpus import Corpus, CorpusSchema, DesignAdvisor
+from repro.corpus.stats import StatisticsOptions
+from repro.datasets.perturb import PerturbationConfig, perturb_schema
+from repro.datasets.university import make_university_corpus, university_schema_instance
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_university_corpus(count=8, seed=2, courses=12)
+
+
+@pytest.fixture(scope="module")
+def advisor(corpus):
+    return DesignAdvisor(corpus)
+
+
+class TestProposals:
+    def test_fragment_finds_its_family(self, advisor):
+        # A fragment derived from the same reference should retrieve a
+        # corpus variant as its top proposal with decent fit.
+        reference = university_schema_instance(seed=2, courses=12)
+        fragment = CorpusSchema("frag")
+        fragment.add_relation(
+            "course",
+            ["title", "instructor", "time"],
+            [(r[1], r[2], r[3]) for r in reference.data["course"][:10]],
+        )
+        proposals = advisor.propose(fragment, limit=3)
+        assert proposals
+        assert proposals[0].fit > 0.0
+        assert len(proposals[0].mapping) > 0
+
+    def test_scores_sorted_descending(self, advisor):
+        fragment = CorpusSchema("frag")
+        fragment.add_relation("course", ["title", "teacher"])
+        proposals = advisor.propose(fragment, limit=5)
+        scores = [p.score for p in proposals]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_alpha_beta_weighting(self, corpus):
+        fragment = CorpusSchema("frag")
+        fragment.add_relation("course", ["title", "instructor"])
+        fit_only = DesignAdvisor(corpus, alpha=1.0, beta=0.0).propose(fragment, 1)[0]
+        pref_only = DesignAdvisor(corpus, alpha=0.0, beta=1.0).propose(fragment, 1)[0]
+        assert fit_only.score == pytest.approx(fit_only.fit)
+        assert pref_only.score == pytest.approx(pref_only.preference)
+
+    def test_standards_bonus_changes_ranking(self, corpus):
+        fragment = CorpusSchema("frag")
+        fragment.add_relation("course", ["title", "instructor"])
+        plain = DesignAdvisor(corpus, alpha=0.0, beta=1.0)
+        baseline = plain.propose(fragment, limit=10)
+        target = baseline[-1].schema.name
+        boosted = DesignAdvisor(corpus, alpha=0.0, beta=1.0, standards={target: 5.0})
+        assert boosted.propose(fragment, limit=1)[0].schema.name == target
+
+    def test_excludes_fragment_itself(self, corpus):
+        some_schema = next(iter(corpus.schemas.values()))
+        advisor = DesignAdvisor(corpus)
+        proposals = advisor.propose(some_schema, limit=20)
+        assert all(p.schema.name != some_schema.name for p in proposals)
+
+
+class TestAutocomplete:
+    def test_suggests_co_occurring_attributes(self, advisor):
+        fragment = CorpusSchema("frag")
+        fragment.add_relation("course", ["title", "instructor"])
+        suggestions = [term for term, _score in advisor.autocomplete(fragment, "course")]
+        # time/location/enrollment co-occur with title+instructor in the corpus.
+        normalized = " ".join(suggestions)
+        assert any(
+            token in normalized for token in ("time", "locat", "enrol", "depart")
+        )
+
+    def test_no_suggestions_for_empty_relation(self, advisor):
+        fragment = CorpusSchema("frag")
+        fragment.add_relation("course", [])
+        assert advisor.autocomplete(fragment, "course") == []
+
+    def test_present_attributes_not_suggested(self, advisor):
+        fragment = CorpusSchema("frag")
+        fragment.add_relation("course", ["title", "instructor", "time"])
+        suggested = {term for term, _ in advisor.autocomplete(fragment, "course")}
+        present = {advisor.options.normalize(a) for a in ("title", "instructor", "time")}
+        assert suggested.isdisjoint(present)
+
+
+class TestLayoutAdvice:
+    def test_ta_anecdote(self):
+        """The paper's walkthrough: TA info inlined into course should be
+        advised into a separate table, because the corpus models it so."""
+        corpus = make_university_corpus(count=8, seed=4, courses=10)
+        advisor = DesignAdvisor(corpus)
+        fragment = CorpusSchema("frag")
+        fragment.add_relation(
+            "course",
+            ["title", "instructor", "time", "name", "email", "office_hours"],
+        )
+        advice = advisor.advise_layout(fragment)
+        assert advice, "expected TA layout advice"
+        top = advice[0]
+        assert top.relation == "course"
+        normalize = advisor.options.normalize
+        assert normalize("name") in top.attributes or normalize("email") in top.attributes
+        assert "course" not in top.suggested_relation_name
+        assert "separate" in str(top)
+
+    def test_no_advice_for_conforming_layout(self):
+        corpus = make_university_corpus(count=8, seed=4, courses=10)
+        advisor = DesignAdvisor(corpus)
+        fragment = CorpusSchema("frag")
+        fragment.add_relation("course", ["title", "instructor", "time"])
+        advice = advisor.advise_layout(fragment)
+        assert advice == []

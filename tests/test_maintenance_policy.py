@@ -1,0 +1,67 @@
+"""Tests for the cost-based maintenance decision (Section 3.1.2)."""
+
+import random
+
+from repro.piazza import IncrementalView, Updategram
+from repro.piazza.parse import parse_query
+
+QUERY = "v(X, Z) :- r(X, Y), s(Y, Z)"
+
+
+def big_instance(size: int, seed: int = 0):
+    rng = random.Random(seed)
+    return {
+        "r": {(rng.randrange(size), rng.randrange(size)) for _ in range(size)},
+        "s": {(rng.randrange(size), rng.randrange(size)) for _ in range(size)},
+    }
+
+
+class TestCostEstimates:
+    def test_incremental_estimate_scales_with_delta(self):
+        view = IncrementalView(parse_query(QUERY), big_instance(200))
+        small = view.estimate_incremental_cost(Updategram().insert("r", [(999, 1)]))
+        large = view.estimate_incremental_cost(
+            Updategram().insert("r", [(1000 + i, 1) for i in range(100)])
+        )
+        assert small < large
+
+    def test_recompute_estimate_scales_with_base(self):
+        small_view = IncrementalView(parse_query(QUERY), big_instance(50))
+        large_view = IncrementalView(parse_query(QUERY), big_instance(500))
+        assert small_view.estimate_recompute_cost() < large_view.estimate_recompute_cost()
+
+    def test_untouched_updategram_costs_nothing(self):
+        view = IncrementalView(parse_query(QUERY), big_instance(100))
+        gram = Updategram().insert("unrelated", [(1, 2)])
+        assert view.estimate_incremental_cost(gram) == 0
+
+
+class TestMaintainChoice:
+    def test_small_delta_chooses_incremental(self):
+        view = IncrementalView(parse_query(QUERY), big_instance(300))
+        strategy, _delta = view.maintain(Updategram().insert("r", [(9999, 1)]))
+        assert strategy == "incremental"
+
+    def test_huge_delta_chooses_recompute(self):
+        view = IncrementalView(parse_query(QUERY), big_instance(20))
+        gram = Updategram().insert(
+            "r", [(1000 + i, i % 20) for i in range(500)]
+        ).insert("s", [(i % 20, 2000 + i) for i in range(500)])
+        strategy, _delta = view.maintain(gram)
+        assert strategy == "recompute"
+
+    def test_both_strategies_agree_on_result(self):
+        for size, delta_rows in ((50, 2), (20, 300)):
+            base = big_instance(size, seed=7)
+            chooser = IncrementalView(parse_query(QUERY), base)
+            reference = IncrementalView(parse_query(QUERY), base)
+            gram = Updategram().insert(
+                "r", [(5000 + i, i % size) for i in range(delta_rows)]
+            )
+            mirror = Updategram(
+                inserts={k: set(v) for k, v in gram.inserts.items()},
+                deletes={k: set(v) for k, v in gram.deletes.items()},
+            )
+            chooser.maintain(gram)
+            reference.recompute(mirror)
+            assert chooser.tuples() == reference.tuples()

@@ -1,0 +1,161 @@
+"""Tests for lightweight schemas and the in-place annotation language."""
+
+import pytest
+
+from repro.mangrove import AnnotatedDocument, AnnotationError, LightweightSchema
+from repro.mangrove.schema import SchemaRegistry, tag, university_schema
+
+COURSE_PAGE = """<html><body>
+<h1>CSE 143: Intro Programming</h1>
+<p>Taught by Pat Smith, MWF 10:30, in Gates 271.</p>
+<p>Office hours: Tue 2-4.</p>
+</body></html>"""
+
+
+@pytest.fixture
+def schema():
+    return university_schema()
+
+
+@pytest.fixture
+def doc(schema):
+    return AnnotatedDocument("http://uw.edu/cse143", COURSE_PAGE, schema)
+
+
+class TestLightweightSchema:
+    def test_paths(self, schema):
+        paths = schema.paths()
+        assert "course" in paths
+        assert "course.title" in paths
+        assert "course.ta.email" in paths
+
+    def test_entity_vs_property(self, schema):
+        assert schema.is_entity_path("course")
+        assert schema.is_entity_path("course.ta")
+        assert not schema.is_entity_path("course.title")
+
+    def test_allowed_children(self, schema):
+        assert "title" in schema.allowed_children("course")
+        assert "course" in schema.allowed_children()
+
+    def test_unknown_path(self, schema):
+        assert not schema.is_valid_path("course.price")
+        with pytest.raises(Exception):
+            schema.allowed_children("nope.nope")
+
+    def test_suggest(self, schema):
+        suggestions = schema.suggest("instructor")
+        assert "course.instructor" in suggestions
+
+    def test_suggest_via_abbreviation(self, schema):
+        suggestions = schema.suggest("ph")  # expands to phone
+        assert "person.phone" in suggestions
+
+    def test_registry(self, schema):
+        registry = SchemaRegistry([schema])
+        assert registry.get("university") is schema
+        assert registry.names() == ["university"]
+        with pytest.raises(Exception):
+            registry.get("other")
+
+
+class TestAnnotation:
+    def test_annotate_and_extract(self, doc):
+        doc.annotate_text("CSE 143: Intro Programming", "course")
+        doc.annotate_text("Intro Programming", "course.title")
+        annotations = doc.annotations()
+        assert len(annotations) == 2
+        inner = [a for a in annotations if a.tag_path == "course.title"][0]
+        outer = [a for a in annotations if a.tag_path == "course"][0]
+        assert inner.parent_id == outer.id
+        assert inner.text == "Intro Programming"
+
+    def test_markers_invisible_in_rendered_text(self, doc):
+        before = doc.rendered_text()
+        doc.annotate_text("Pat Smith", "course.instructor")
+        assert doc.rendered_text() == before
+
+    def test_unknown_tag_rejected(self, doc):
+        with pytest.raises(AnnotationError):
+            doc.annotate_text("Pat Smith", "course.salary")
+
+    def test_missing_text_rejected(self, doc):
+        with pytest.raises(AnnotationError):
+            doc.annotate_text("No Such Text", "course.title")
+
+    def test_occurrence_selection(self, schema):
+        doc = AnnotatedDocument("u", "<p>A B A</p>", schema)
+        doc.annotate_text("A", "person.name", occurrence=2)
+        annotation = doc.annotations()[0]
+        assert doc.html.index("<!--mg:begin") > doc.html.index("B")
+        assert annotation.text == "A"
+
+    def test_remove_annotation(self, doc):
+        annotation_id = doc.annotate_text("Pat Smith", "course.instructor")
+        assert doc.remove_annotation(annotation_id)
+        assert doc.annotations() == []
+        assert not doc.remove_annotation(annotation_id)
+
+    def test_bad_span_rejected(self, doc):
+        with pytest.raises(AnnotationError):
+            doc.annotate_span(5, 5, "course.title")
+
+    def test_span_cannot_split_tag(self, schema):
+        doc = AnnotatedDocument("u", "<p>hello</p>", schema)
+        start = doc.html.index("<p>") + 1
+        with pytest.raises(AnnotationError):
+            doc.annotate_span(start, start + 4, "person.name")
+
+
+class TestTripleExtraction:
+    def test_entity_and_properties(self, doc):
+        doc.annotate_text("CSE 143: Intro Programming", "course")
+        doc.annotate_text("Intro Programming", "course.title")
+        doc.annotate_text("Pat Smith", "course.instructor")
+        triples = doc.to_triples()
+        subjects = {t.subject for t in triples}
+        assert "http://uw.edu/cse143#course-1" in subjects
+        spo = {(t.predicate, t.object) for t in triples}
+        assert ("rdf:type", "course") in spo
+        assert ("course.title", "Intro Programming") in spo
+        assert ("course.instructor", "Pat Smith") in spo
+
+    def test_property_outside_entity_attaches_to_page(self, doc):
+        doc.annotate_text("Tue 2-4", "person.office")
+        triples = doc.to_triples()
+        assert triples[0].subject == "http://uw.edu/cse143"
+
+    def test_provenance_is_page_url(self, doc):
+        doc.annotate_text("Pat Smith", "course.instructor")
+        assert all(t.source == doc.url for t in doc.to_triples())
+
+    def test_two_entities_get_distinct_subjects(self, schema):
+        html = "<p>X taught by A</p><p>Y taught by B</p>"
+        doc = AnnotatedDocument("u", html, schema)
+        doc.annotate_text("X taught by A", "course")
+        doc.annotate_text("Y taught by B", "course")
+        doc.annotate_text("X", "course.title")
+        doc.annotate_text("Y", "course.title")
+        triples = doc.to_triples()
+        title_subjects = {t.subject for t in triples if t.predicate == "course.title"}
+        assert title_subjects == {"u#course-1", "u#course-2"}
+
+    def test_nested_entity_subjects(self, doc):
+        doc.annotate_text("CSE 143: Intro Programming", "course")
+        # The TA block nests inside the course.
+        doc.annotate_text("Pat Smith", "course.ta")
+        doc.annotate_text("Smith", "course.ta.name")
+        triples = doc.to_triples()
+        ta_name = [t for t in triples if t.predicate == "course.ta.name"][0]
+        assert ta_name.subject.endswith("#course.ta-1")
+
+    def test_annotation_text_strips_nested_markup(self, schema):
+        doc = AnnotatedDocument("u", "<p><b>Ancient</b> History</p>", schema)
+        doc.annotate_text("<b>Ancient</b> History", "course.title")
+        assert doc.annotations()[0].text == "Ancient History"
+
+    def test_extraction_idempotent(self, doc):
+        doc.annotate_text("Pat Smith", "course.instructor")
+        first = [(t.subject, t.predicate, t.object) for t in doc.to_triples()]
+        second = [(t.subject, t.predicate, t.object) for t in doc.to_triples()]
+        assert first == second

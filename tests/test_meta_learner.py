@@ -1,0 +1,102 @@
+"""Direct tests of the rank-fusion meta-learner combination."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.match.learners import BaseLearner, ElementSample
+from repro.corpus.match.meta import MetaLearner, _combine
+
+
+class FixedLearner(BaseLearner):
+    """Returns a fixed distribution keyed by the sample's name."""
+
+    def __init__(self, table):
+        self.table = table
+
+    def fit(self, samples, labels):
+        pass
+
+    def predict(self, sample):
+        return dict(self.table.get(sample.name, {}))
+
+
+class TestCombine:
+    def test_rank_fusion_is_scale_free(self):
+        # Learner A: diffuse but correct ordering; learner B: one-hot wrong.
+        diffuse = {"good": 0.30, "bad": 0.25, "ugly": 0.45}
+        onehot = {"good": 1e-9, "bad": 1.0, "ugly": 1e-12}
+        combined = _combine(
+            np.array([0.6, 0.4]), [diffuse, onehot], ["good", "bad", "ugly"]
+        )
+        # 'bad' is rank 2 for A and rank 1 for B; 'ugly' rank 1 for A.
+        # The magnitudes (1e-9 vs 0.25) never matter, only the ranks.
+        ranks_only = _combine(
+            np.array([0.6, 0.4]),
+            [{"good": 3, "bad": 2, "ugly": 5}, {"good": 1, "bad": 9, "ugly": 0.5}],
+            ["good", "bad", "ugly"],
+        )
+        assert combined == pytest.approx(ranks_only)
+
+    def test_zero_weight_learner_ignored(self):
+        a = {"x": 0.9, "y": 0.1}
+        b = {"x": 0.0, "y": 1.0}
+        combined = _combine(np.array([1.0, 0.0]), [a, b], ["x", "y"])
+        assert combined["x"] > combined["y"]
+
+    def test_output_is_distribution(self):
+        combined = _combine(
+            np.array([0.5, 0.5]),
+            [{"x": 0.2, "y": 0.8}, {"x": 0.7, "y": 0.3}],
+            ["x", "y"],
+        )
+        assert sum(combined.values()) == pytest.approx(1.0)
+
+    def test_overconfident_learner_cannot_veto(self):
+        # Two learners agree on 'x'; one wild learner is certain of 'z'.
+        agree_a = {"x": 0.4, "y": 0.3, "z": 0.3}
+        agree_b = {"x": 0.5, "y": 0.25, "z": 0.25}
+        wild = {"x": 1e-15, "y": 1e-15, "z": 1.0}
+        combined = _combine(
+            np.array([0.4, 0.4, 0.2]), [agree_a, agree_b, wild], ["x", "y", "z"]
+        )
+        assert max(combined, key=combined.get) == "x"
+
+
+class TestWeightSelection:
+    def samples(self):
+        names = ["a1", "a2", "b1", "b2", "a3", "b3"]
+        labels = ["A", "A", "B", "B", "A", "B"]
+        return [ElementSample(n, n, [], []) for n in names], labels
+
+    def test_good_learner_gets_weight(self):
+        samples, labels = self.samples()
+        # Learner 0 is always right, learner 1 always wrong.
+        right = FixedLearner(
+            {n: {"A": 0.9, "B": 0.1} if n.startswith("a") else {"A": 0.1, "B": 0.9} for n in "a1 a2 a3 b1 b2 b3".split()}
+        )
+        wrong = FixedLearner(
+            {n: {"A": 0.1, "B": 0.9} if n.startswith("a") else {"A": 0.9, "B": 0.1} for n in "a1 a2 a3 b1 b2 b3".split()}
+        )
+        meta = MetaLearner([right, wrong], stack_fraction=0.5)
+        meta.fit(samples, labels)
+        probe = ElementSample("a9", "a9", [], [])
+        right.table["a9"] = {"A": 0.9, "B": 0.1}
+        wrong.table["a9"] = {"A": 0.1, "B": 0.9}
+        prediction = meta.predict(probe)
+        assert prediction["A"] > prediction["B"]
+
+    def test_tiny_training_set_falls_back_to_uniform(self):
+        learner = FixedLearner({"x": {"A": 1.0}})
+        meta = MetaLearner([learner, FixedLearner({})])
+        meta.fit([ElementSample("x", "x", [], [])], ["A"])
+        assert meta.weights == pytest.approx([0.5, 0.5])
+
+    def test_predict_vector_aligned_with_labels(self):
+        samples, labels = self.samples()
+        learner = FixedLearner(
+            {n: {"A": 0.7, "B": 0.3} for n in "a1 a2 a3 b1 b2 b3".split()}
+        )
+        meta = MetaLearner([learner])
+        meta.fit(samples, labels)
+        vector = meta.predict_vector(ElementSample("a1", "a1", [], []))
+        assert len(vector) == len(meta.labels) == 2

@@ -1,0 +1,121 @@
+"""Property-based tests of PDMS invariants on randomized topologies.
+
+The key soundness/completeness contract: reformulation + evaluation
+over stored data must equal the certain answers computed by the chase,
+for any mapping topology without existentials (and must never exceed
+them in general).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.piazza import PDMS
+from repro.piazza.datalog import Atom, ConjunctiveQuery, Var
+
+
+def build_random_pdms(
+    peer_count: int, edges: list[tuple[int, int]], exact_flags: list[bool], rows_seed: int
+) -> PDMS:
+    """Peers with a binary relation, random mapping edges, random data."""
+    rng = random.Random(rows_seed)
+    pdms = PDMS()
+    for index in range(peer_count):
+        peer = pdms.add_peer(f"p{index}")
+        peer.add_relation("r", ["a", "b"])
+        peer.add_stored("s", ["a", "b"])
+        pdms.add_storage(f"p{index}", "s", f"p{index}.r")
+        rows = {
+            (rng.randint(0, 4), rng.randint(0, 4))
+            for _ in range(rng.randint(0, 4))
+        }
+        peer.insert("s", rows)
+    for edge_index, (a, b) in enumerate(edges):
+        pdms.add_mapping(
+            f"m{edge_index}",
+            f"m(X, Y) :- p{a % peer_count}.r(X, Y)",
+            f"m(X, Y) :- p{b % peer_count}.r(X, Y)",
+            exact=exact_flags[edge_index % len(exact_flags)] if exact_flags else False,
+        )
+    return pdms
+
+
+topologies = st.tuples(
+    st.integers(2, 4),  # peers
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=4),
+    st.lists(st.booleans(), min_size=1, max_size=4),
+    st.integers(0, 1000),
+)
+
+OPTIONS = {"max_depth": 20, "max_rule_uses": 2}
+
+
+class TestReformulationInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(topologies)
+    def test_answers_equal_certain_answers(self, topology):
+        peer_count, edges, exact_flags, rows_seed = topology
+        pdms = build_random_pdms(peer_count, edges, exact_flags, rows_seed)
+        query = ConjunctiveQuery(
+            Atom("q", (Var("x"), Var("y"))),
+            (Atom("p0.r", (Var("x"), Var("y"))),),
+        )
+        answers = pdms.answer(query, **OPTIONS)
+        certain = pdms.certain(query)
+        # With identity-shaped mappings (no existentials) the rule budget
+        # covers every path up to the depth bound, so the two coincide.
+        assert answers == certain
+
+    @settings(max_examples=25, deadline=None)
+    @given(topologies)
+    def test_rewritings_use_only_stored_relations(self, topology):
+        peer_count, edges, exact_flags, rows_seed = topology
+        pdms = build_random_pdms(peer_count, edges, exact_flags, rows_seed)
+        result = pdms.reformulate("q(X, Y) :- p0.r(X, Y)", **OPTIONS)
+        edb = pdms.edb_predicates()
+        for rewriting in result.rewritings:
+            assert all(atom.predicate in edb for atom in rewriting.body)
+
+    @settings(max_examples=25, deadline=None)
+    @given(topologies)
+    def test_local_data_always_answered(self, topology):
+        peer_count, edges, exact_flags, rows_seed = topology
+        pdms = build_random_pdms(peer_count, edges, exact_flags, rows_seed)
+        answers = pdms.answer("q(X, Y) :- p0.r(X, Y)", **OPTIONS)
+        assert pdms.peers["p0"].data["s"] <= answers
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.tuples(
+            st.integers(2, 3),
+            st.lists(
+                st.tuples(st.integers(0, 2), st.integers(0, 2)),
+                min_size=1,
+                max_size=2,
+            ),
+            st.lists(st.booleans(), min_size=1, max_size=2),
+            st.integers(0, 1000),
+        )
+    )
+    def test_pruning_never_changes_answers(self, topology):
+        # Small topologies and a tight depth bound: the unpruned search is
+        # exponential by design (that is what C3 measures), so the property
+        # check must stay within a tractable tree.
+        peer_count, edges, exact_flags, rows_seed = topology
+        pdms = build_random_pdms(peer_count, edges, exact_flags, rows_seed)
+        query = "q(X, Y) :- p0.r(X, Y)"
+        options = {"max_depth": 8, "max_rule_uses": 2}
+        pruned = pdms.answer(query, prune=True, **options)
+        unpruned = pdms.answer(query, prune=False, minimize=False, **options)
+        assert pruned == unpruned
+
+    @settings(max_examples=25, deadline=None)
+    @given(topologies)
+    def test_join_query_sound(self, topology):
+        peer_count, edges, exact_flags, rows_seed = topology
+        pdms = build_random_pdms(peer_count, edges, exact_flags, rows_seed)
+        query = "q(X, Z) :- p0.r(X, Y), p0.r(Y, Z)"
+        answers = pdms.answer(query, **OPTIONS)
+        certain = pdms.certain(query)
+        assert answers == certain

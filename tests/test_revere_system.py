@@ -1,0 +1,100 @@
+"""End-to-end tests of the REVERE facade (the Figure-1 architecture)."""
+
+import pytest
+
+from repro import RevereSystem
+from repro.datasets.html_gen import generate_department_site
+
+
+def build_two_university_system(courses_each: int = 4) -> RevereSystem:
+    system = RevereSystem()
+    for index, name in enumerate(("uw", "mit")):
+        node = system.add_node(name)
+        pages = generate_department_site(
+            f"http://{name}.edu", courses=courses_each, people=2, seed=index + 1
+        )
+        for document, _fields in pages:
+            node.publish_document(document)
+        node.export_entities("course", ["title", "instructor", "time", "location"])
+        node.export_entities("person", ["name", "email", "phone", "office"])
+    system.add_mapping(
+        "uw2mit",
+        "m(I, T, N, W, L) :- uw.course(I, T, N, W, L)",
+        "m(I, T, N, W, L) :- mit.course(I, T, N, W, L)",
+        exact=True,
+    )
+    return system
+
+
+class TestRevereEndToEnd:
+    def test_annotate_publish_query_locally(self):
+        system = RevereSystem()
+        node = system.add_node("uw")
+        session = node.annotate(
+            "http://uw.edu/cse143",
+            "<html><body><h1>Intro Programming</h1><p>MWF 10:30</p></body></html>",
+        )
+        session.highlight_and_tag(
+            "<h1>Intro Programming</h1><p>MWF 10:30</p>", "course"
+        )
+        session.highlight_and_tag("Intro Programming", "course.title")
+        session.highlight_and_tag("MWF 10:30", "course.time")
+        session.publish()
+        node.export_entities("course", ["title", "time"])
+        answers = node.query("q(T) :- uw.course(I, T, W)")
+        assert answers == {("Intro Programming",)}
+
+    def test_cross_node_query_through_mapping(self):
+        system = build_two_university_system()
+        uw_courses = {
+            row[1] for row in system.nodes["uw"].peer.data["course"]
+        }
+        mit_courses = {
+            row[1] for row in system.nodes["mit"].peer.data["course"]
+        }
+        answers = system.nodes["uw"].query("q(T) :- uw.course(I, T, N, W, L)")
+        titles = {t[0] for t in answers}
+        assert uw_courses <= titles
+        assert mit_courses <= titles
+
+    def test_reexport_replaces_rows(self):
+        system = RevereSystem()
+        node = system.add_node("uw")
+        session = node.annotate("http://u/c", "<html><body><p>DB MWF 9</p></body></html>")
+        session.highlight_and_tag("DB MWF 9", "course")
+        session.highlight_and_tag("DB", "course.title")
+        session.publish()
+        assert node.export_entities("course", ["title"]) == 1
+        assert node.export_entities("course", ["title"]) == 1  # no duplication
+        assert len(node.peer.data["course"]) == 1
+
+    def test_corpus_contribution_and_advisors(self):
+        system = build_two_university_system()
+        system.contribute_to_corpus("uw")
+        system.contribute_to_corpus("mit")
+        assert len(system.corpus) == 2
+        advisor = system.design_advisor()
+        from repro.corpus.model import CorpusSchema
+
+        fragment = CorpusSchema("frag")
+        fragment.add_relation("course", ["title", "instructor"])
+        proposals = advisor.propose(fragment)
+        assert proposals and proposals[0].fit > 0
+
+    def test_matching_advisor_over_node_schemas(self):
+        system = build_two_university_system()
+        system.contribute_to_corpus("uw")
+        system.contribute_to_corpus("mit")
+        advisor = system.matching_advisor()
+        uw_schema = system.nodes["uw"].schema_as_corpus_schema()
+        mit_schema = system.nodes["mit"].schema_as_corpus_schema()
+        result = advisor.match_by_correlation(uw_schema, mit_schema)
+        mapping = result.mapping()
+        # Identical vocabulary: title should match title, etc.
+        assert mapping.get("course.title") == "course.title"
+
+    def test_duplicate_node_rejected(self):
+        system = RevereSystem()
+        system.add_node("uw")
+        with pytest.raises(ValueError):
+            system.add_node("uw")

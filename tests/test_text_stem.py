@@ -1,0 +1,110 @@
+"""Tests for the Porter stemmer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import porter_stem, stem_tokens
+
+
+class TestPorterKnownPairs:
+    # Canonical pairs from Porter's paper and the standard test vocabulary.
+    @pytest.mark.parametrize(
+        ("word", "stem"),
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            # step 3 yields "electric"; step 4 (m>1, -ic) continues to "electr",
+            # matching the reference full-algorithm output.
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_pair(self, word, stem):
+        assert porter_stem(word) == stem
+
+
+class TestStemBehaviour:
+    def test_short_words_unchanged(self):
+        assert porter_stem("to") == "to"
+        assert porter_stem("a") == "a"
+
+    def test_schema_terms_conflate(self):
+        # The property the paper needs: morphological variants conflate.
+        assert porter_stem("courses") == porter_stem("course")
+        assert porter_stem("instructors") == porter_stem("instructor")
+        assert porter_stem("enrollments") == porter_stem("enrollment")
+
+    def test_stem_tokens(self):
+        assert stem_tokens(["courses", "titles"]) == ["cours", "titl"]
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=0, max_size=20))
+    def test_stem_never_longer(self, word):
+        assert len(porter_stem(word)) <= max(len(word), 1) + 1
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=20))
+    def test_stem_idempotent_for_plurals(self, word):
+        # Stemming the plural of a word equals stemming the word itself for
+        # simple s-plurals that do not end in s/e already.
+        if not word.endswith(("s", "e", "y", "i")):
+            assert porter_stem(word + "s") == porter_stem(word)

@@ -1,0 +1,106 @@
+"""Tests for TF/IDF vectorization and the cosine keyword index."""
+
+import pytest
+
+from repro.text import CosineIndex, TfIdfVectorizer, cosine_similarity
+from repro.text.synonyms import SynonymTable, default_synonyms, TranslationTable
+from repro.text.synonyms import italian_english_dictionary
+
+
+class TestCosine:
+    def test_parallel_vectors(self):
+        assert cosine_similarity({"a": 1.0}, {"a": 3.0}) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+
+class TestTfIdf:
+    def test_rare_terms_weigh_more(self):
+        vectorizer = TfIdfVectorizer(stem=False)
+        vectorizer.fit(["course course title", "course name", "course room"])
+        assert vectorizer.idf("title") > vectorizer.idf("course")
+
+    def test_similarity_prefers_overlap(self):
+        vectorizer = TfIdfVectorizer()
+        vectorizer.fit(["ancient history course", "database systems course"])
+        sim_history = vectorizer.similarity(
+            "history of ancient rome", "ancient history course"
+        )
+        sim_db = vectorizer.similarity(
+            "history of ancient rome", "database systems course"
+        )
+        assert sim_history > sim_db
+
+    def test_stemming_conflates(self):
+        vectorizer = TfIdfVectorizer(stem=True)
+        vectorizer.fit(["courses"])
+        assert vectorizer.similarity("course", "courses") == pytest.approx(1.0)
+
+    def test_token_sequence_input(self):
+        vectorizer = TfIdfVectorizer(stem=False)
+        vectorizer.fit([["alpha", "beta"], ["alpha"]])
+        assert "beta" in vectorizer.vocabulary
+
+
+class TestCosineIndex:
+    def test_search_ranks_relevant_first(self):
+        index = CosineIndex()
+        index.add("hist", "introductory ancient history course at berkeley")
+        index.add("db", "graduate database systems seminar")
+        index.add("ml", "machine learning for text corpora")
+        results = index.search("ancient history")
+        assert results[0][0] == "hist"
+
+    def test_remove(self):
+        index = CosineIndex()
+        index.add("a", "alpha beta")
+        index.remove("a")
+        assert index.search("alpha") == []
+
+    def test_limit(self):
+        index = CosineIndex()
+        for i in range(10):
+            index.add(f"d{i}", "common words everywhere")
+        assert len(index.search("common", limit=3)) == 3
+
+
+class TestSynonyms:
+    def test_classes_merge(self):
+        table = SynonymTable([["a", "b"], ["b", "c"]])
+        assert table.are_synonyms("a", "c")
+
+    def test_unknown_terms(self):
+        table = SynonymTable()
+        assert not table.are_synonyms("x", "y")
+        assert table.are_synonyms("x", "X")
+
+    def test_default_domain(self):
+        table = default_synonyms()
+        assert table.are_synonyms("course", "class")
+        assert table.are_synonyms("instructor", "professor")
+        assert not table.are_synonyms("course", "instructor")
+
+    def test_classes_listing(self):
+        table = SynonymTable([["q", "r"]])
+        assert {"q", "r"} in table.classes()
+
+
+class TestTranslation:
+    def test_roundtrip(self):
+        table = TranslationTable([("corso", "course")])
+        assert table.translate("corso") == "course"
+        assert table.translate_back("course") == "corso"
+
+    def test_unknown_passthrough(self):
+        table = TranslationTable()
+        assert table.translate("anything") == "anything"
+
+    def test_italian_dictionary(self):
+        dictionary = italian_english_dictionary()
+        assert dictionary.translate("docente") == "instructor"
+        synonyms = dictionary.as_synonyms()
+        assert synonyms.are_synonyms("corso", "course")

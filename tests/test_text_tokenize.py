@@ -1,0 +1,56 @@
+"""Tests for tokenization and identifier normalization."""
+
+from repro.text import normalize_term, tokenize, tokenize_identifier
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        assert tokenize("Ancient History 101") == ["ancient", "history", "101"]
+
+    def test_punctuation_split(self):
+        assert tokenize("intro, to: databases!") == ["intro", "to", "databases"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_only_punctuation(self):
+        assert tokenize("!!! --- ???") == []
+
+
+class TestTokenizeIdentifier:
+    def test_snake_case(self):
+        assert tokenize_identifier("office_hours") == ["office", "hours"]
+
+    def test_kebab_case(self):
+        assert tokenize_identifier("contact-phone") == ["contact", "phone"]
+
+    def test_camel_case(self):
+        assert tokenize_identifier("contactPhone") == ["contact", "phone"]
+
+    def test_upper_camel_runs(self):
+        assert tokenize_identifier("XMLSchemaName") == ["xml", "schema", "name"]
+
+    def test_dotted_path(self):
+        assert tokenize_identifier("course.title") == ["course", "title"]
+
+    def test_digits_kept(self):
+        assert tokenize_identifier("cse143") == ["cse143"]
+
+    def test_abbreviation_expansion(self):
+        assert tokenize_identifier("dept_ph", expand_abbreviations=True) == [
+            "department",
+            "phone",
+        ]
+
+    def test_no_expansion_by_default(self):
+        assert tokenize_identifier("dept") == ["dept"]
+
+
+class TestNormalizeTerm:
+    def test_canonical_form(self):
+        assert normalize_term("Contact-Phone") == "contact phone"
+
+    def test_same_for_variants(self):
+        variants = ["officeHours", "office_hours", "OFFICE-HOURS"]
+        normalized = {normalize_term(v) for v in variants}
+        assert len(normalized) == 1

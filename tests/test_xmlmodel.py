@@ -1,0 +1,241 @@
+"""Tests for the XML tree, parser, DTDs, paths and template mappings."""
+
+import pytest
+
+from repro.xmlmodel import (
+    Dtd,
+    DtdError,
+    MappingError,
+    TemplateMapping,
+    XmlParseError,
+    element,
+    parse_dtd,
+    parse_path,
+    parse_xml,
+)
+
+BERKELEY_DTD = """
+Element schedule(college*)
+Element college(name, dept*)
+Element dept(name, course*)
+Element course(title, size)
+Element name(#PCDATA)
+Element title(#PCDATA)
+Element size(#PCDATA)
+"""
+
+MIT_DTD = """
+Element catalog(course*)
+Element course(name, subject*)
+Element subject(title, enrollment)
+Element name(#PCDATA)
+Element title(#PCDATA)
+Element enrollment(#PCDATA)
+"""
+
+FIGURE4_MAPPING = """
+<catalog>
+  <course> {$c = document("Berkeley.xml")/schedule/college/dept}
+    <name> $c/name/text() </name>
+    <subject> { $s = $c/course }
+      <title> $s/title/text() </title>
+      <enrollment> $s/size/text() </enrollment>
+    </subject>
+  </course>
+</catalog>
+"""
+
+BERKELEY_DOC = """
+<schedule>
+  <college><name>Engineering</name>
+    <dept><name>EECS</name>
+      <course><title>Databases</title><size>100</size></course>
+      <course><title>Operating Systems</title><size>80</size></course>
+    </dept>
+    <dept><name>CivE</name>
+      <course><title>Statics</title><size>60</size></course>
+    </dept>
+  </college>
+</schedule>
+"""
+
+
+class TestParser:
+    def test_roundtrip(self):
+        root = parse_xml("<a x='1'><b>hello</b><c/></a>")
+        assert root.tag == "a"
+        assert root.attributes == {"x": "1"}
+        assert root.first("b").text_content() == "hello"
+        assert root.first("c").children == []
+
+    def test_entities(self):
+        root = parse_xml("<a>&lt;tag&gt; &amp; more</a>")
+        assert root.text_content() == "<tag> & more"
+
+    def test_comments_skipped(self):
+        root = parse_xml("<a><!-- note --><b/></a>")
+        assert [c.tag for c in root.child_elements()] == ["b"]
+
+    def test_prolog_and_doctype(self):
+        root = parse_xml('<?xml version="1.0"?><!DOCTYPE a><a/>')
+        assert root.tag == "a"
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<a><b></a></b>")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<a/><b/>")
+
+    def test_unquoted_attribute_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<a x=1/>")
+
+    def test_serialize_escapes(self):
+        root = element("a", "x < y & z")
+        assert parse_xml(root.serialize()).text_content() == "x < y & z"
+
+
+class TestTree:
+    def test_descendants_document_order(self):
+        root = parse_xml("<a><b><c/></b><d/></a>")
+        assert [node.tag for node in root.descendants()] == ["b", "c", "d"]
+
+    def test_equality_ignores_whitespace_nodes(self):
+        a = parse_xml("<a>\n  <b>x</b>\n</a>")
+        b = parse_xml("<a><b>x</b></a>")
+        assert a == b
+
+    def test_pretty_serialization_parses_back(self):
+        root = parse_xml(BERKELEY_DOC)
+        pretty = root.serialize(indent=2)
+        assert parse_xml(pretty) == root
+
+
+class TestPaths:
+    @pytest.fixture
+    def doc(self):
+        return parse_xml(BERKELEY_DOC)
+
+    def test_absolute_path(self, doc):
+        depts = parse_path("/schedule/college/dept").evaluate(doc)
+        assert len(depts) == 2
+
+    def test_text_extraction(self, doc):
+        titles = parse_path("/schedule/college/dept/course/title/text()").evaluate(doc)
+        assert titles == ["Databases", "Operating Systems", "Statics"]
+
+    def test_relative_path(self, doc):
+        dept = parse_path("/schedule/college/dept").first(doc)
+        names = parse_path("name/text()").evaluate(dept)
+        assert names == ["EECS"]
+
+    def test_descendant_axis(self, doc):
+        sizes = parse_path("//size/text()").evaluate(doc)
+        assert sizes == ["100", "80", "60"]
+
+    def test_wildcard(self, doc):
+        children = parse_path("/schedule/college/*").evaluate(doc)
+        assert [node.tag for node in children] == ["name", "dept", "dept"]
+
+    def test_absolute_root_mismatch(self, doc):
+        assert parse_path("/catalog/course").evaluate(doc) == []
+
+    def test_str_roundtrip(self):
+        assert str(parse_path("/a/b/text()")) == "/a/b/text()"
+
+
+class TestDtd:
+    def test_parse_figure3_syntax(self):
+        dtd = parse_dtd(BERKELEY_DTD)
+        assert dtd.root == "schedule"
+        assert dtd.elements["college"].child_names() == {"name", "dept"}
+
+    def test_parse_classic_syntax(self):
+        dtd = parse_dtd("<!ELEMENT a (b*, c?)><!ELEMENT b (#PCDATA)><!ELEMENT c EMPTY>")
+        assert dtd.root == "a"
+        assert dtd.elements["c"].empty
+
+    def test_validate_conforming_document(self):
+        dtd = parse_dtd(BERKELEY_DTD)
+        assert dtd.validate(parse_xml(BERKELEY_DOC)) == []
+
+    def test_validate_wrong_root(self):
+        dtd = parse_dtd(BERKELEY_DTD)
+        errors = dtd.validate(parse_xml("<catalog/>"))
+        assert any("root" in error for error in errors)
+
+    def test_validate_bad_content(self):
+        dtd = parse_dtd(BERKELEY_DTD)
+        doc = parse_xml("<schedule><college><dept/></college></schedule>")
+        errors = dtd.validate(doc)
+        assert errors  # college requires a leading <name>
+
+    def test_validate_undeclared_element(self):
+        dtd = parse_dtd(BERKELEY_DTD)
+        doc = parse_xml("<schedule><mystery/></schedule>")
+        errors = dtd.validate(doc)
+        assert any("undeclared" in error for error in errors)
+
+    def test_choice_model(self):
+        dtd = parse_dtd("<!ELEMENT a (b | c)+><!ELEMENT b EMPTY><!ELEMENT c EMPTY>")
+        assert dtd.is_valid(parse_xml("<a><b/><c/><b/></a>"))
+        assert not dtd.is_valid(parse_xml("<a/>"))
+
+    def test_optional_marker(self):
+        dtd = parse_dtd("<!ELEMENT a (b?)><!ELEMENT b EMPTY>")
+        assert dtd.is_valid(parse_xml("<a/>"))
+        assert dtd.is_valid(parse_xml("<a><b/></a>"))
+        assert not dtd.is_valid(parse_xml("<a><b/><b/></a>"))
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(DtdError):
+            parse_dtd("Element a(b)\nElement a(c)\nElement b(#PCDATA)\nElement c(#PCDATA)")
+
+    def test_element_paths(self):
+        dtd = parse_dtd(MIT_DTD)
+        paths = dtd.element_paths()
+        assert ("catalog", "course", "subject", "title") in paths
+
+
+class TestFigure4Mapping:
+    def test_exact_paper_mapping(self):
+        mapping = TemplateMapping.parse(FIGURE4_MAPPING)
+        result = mapping.apply({"Berkeley.xml": parse_xml(BERKELEY_DOC)})
+        # Two depts -> two courses in MIT's schema.
+        courses = result.child_elements("course")
+        assert [c.first("name").text_content() for c in courses] == ["EECS", "CivE"]
+        eecs_subjects = courses[0].child_elements("subject")
+        assert len(eecs_subjects) == 2
+        assert eecs_subjects[0].first("title").text_content() == "Databases"
+        assert eecs_subjects[0].first("enrollment").text_content() == "100"
+
+    def test_result_validates_against_mit_dtd(self):
+        mapping = TemplateMapping.parse(FIGURE4_MAPPING)
+        result = mapping.apply({"Berkeley.xml": parse_xml(BERKELEY_DOC)})
+        assert parse_dtd(MIT_DTD).validate(result) == []
+
+    def test_source_documents(self):
+        mapping = TemplateMapping.parse(FIGURE4_MAPPING)
+        assert mapping.source_documents() == {"Berkeley.xml"}
+
+    def test_missing_document_raises(self):
+        mapping = TemplateMapping.parse(FIGURE4_MAPPING)
+        with pytest.raises(MappingError):
+            mapping.apply({})
+
+    def test_unbound_variable_raises(self):
+        template = "<out><v> $nope/x/text() </v></out>"
+        with pytest.raises(MappingError):
+            TemplateMapping.parse(template).apply({})
+
+    def test_literal_text_passthrough(self):
+        template = '<out> {$d = document("d.xml")/r} <k>fixed</k> </out>'
+        result = TemplateMapping.parse(template).apply({"d.xml": parse_xml("<r/>")})
+        assert result.first("k").text_content() == "fixed"
+
+    def test_empty_binding_produces_no_instances(self):
+        template = '<out><row> {$d = document("d.xml")/r/item} </row></out>'
+        result = TemplateMapping.parse(template).apply({"d.xml": parse_xml("<r/>")})
+        assert result.child_elements("row") == []
