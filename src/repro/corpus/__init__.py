@@ -8,6 +8,11 @@ basic statistics of Section 4.2.1 (term usage, co-occurring schema
 elements, similar names) and :mod:`repro.corpus.composite` the
 composite statistics of Section 4.2.2 (frequent partial structures).
 
+Statistics build lazily and grow incrementally; their ranked-retrieval
+hot paths (similar names, relation naming, schema popularity) are
+served by the :mod:`repro.search` subsystem — an inverted index plus
+sparse top-k engine with identical results to the original scans.
+
 Two tools are built on top:
 
 * :class:`~repro.corpus.design_advisor.DesignAdvisor` — ranked schema

@@ -110,22 +110,14 @@ class DesignAdvisor:
         return matched / fragment_attributes if fragment_attributes else 0.0
 
     def _popularity(self, candidate: CorpusSchema) -> float:
-        """Fraction of corpus schemas sharing most relation concepts."""
-        normalize = self.options.normalize
-        candidate_names = {normalize(rel) for rel in candidate.relations}
-        if not candidate_names or len(self.corpus) <= 1:
-            return 0.0
-        similar = 0
-        for other in self.corpus.schemas.values():
-            if other.name == candidate.name:
-                continue
-            other_names = {normalize(rel) for rel in other.relations}
-            if not other_names:
-                continue
-            overlap = len(candidate_names & other_names) / len(candidate_names | other_names)
-            if overlap >= 0.5:
-                similar += 1
-        return similar / (len(self.corpus) - 1)
+        """Fraction of corpus schemas sharing most relation concepts.
+
+        Served by the search engine's relation-concept postings (only
+        schemas sharing a concept can clear the 0.5 Jaccard bar) with
+        an LRU cache — ``propose`` re-scores every candidate, so the
+        corpus-wide scan this replaces was quadratic per proposal run.
+        """
+        return self.stats.engine.schema_popularity(candidate.name)
 
     def _conciseness(self, fragment: CorpusSchema, candidate: CorpusSchema) -> float:
         """Smaller supersets are preferred over sprawling ones."""

@@ -37,6 +37,7 @@ from repro.corpus.match.meta import MetaLearner
 from repro.corpus.match.lsd import LSDMatcher
 from repro.corpus.match.matchers import (
     ComaLikeMatcher,
+    CorpusBoostMatcher,
     EditDistanceMatcher,
     HybridMatcher,
     InstanceMatcher,
@@ -47,6 +48,7 @@ from repro.corpus.match.advisor import MatchingAdvisor
 
 __all__ = [
     "ComaLikeMatcher",
+    "CorpusBoostMatcher",
     "Correspondence",
     "EditDistanceMatcher",
     "ElementSample",

@@ -20,13 +20,12 @@ Section 4.3.2 sketches two ways to use the corpus:
 
 from __future__ import annotations
 
-from __future__ import annotations
-
 import typing
 
 import numpy as np
 
 from repro.corpus.match.base import MatchResult
+from repro.search.postings import InvertedIndex
 
 if typing.TYPE_CHECKING:  # deferred to avoid a circular import
     from repro.corpus.design_advisor import DesignAdvisor
@@ -91,12 +90,31 @@ class MatchingAdvisor:
             sample.path: self.meta.predict_vector(sample)
             for sample in samples_of(schema_b)
         }
+        # Prune with concept postings: a pair can only reach a positive
+        # threshold if some concept dimension is nonzero on both sides
+        # (zero shared support means a zero dot product), so restricting
+        # scoring to posting-sharing candidates is exact.  The surviving
+        # pairs are scored with the identical expression, in the original
+        # target order, so results match the full double loop exactly.
+        index: InvertedIndex | None = None
+        if threshold > 0.0:
+            index = InvertedIndex()
+            for path_b, vector_b in vectors_b.items():
+                index.add(path_b, np.flatnonzero(vector_b).tolist())
         result = MatchResult()
         for path_a, vector_a in vectors_a.items():
             norm_a = np.linalg.norm(vector_a)
-            for path_b, vector_b in vectors_b.items():
+            if norm_a == 0.0:
+                continue
+            if index is not None:
+                candidates = index.candidates(np.flatnonzero(vector_a).tolist())
+                targets = [path_b for path_b in vectors_b if path_b in candidates]
+            else:
+                targets = list(vectors_b)
+            for path_b in targets:
+                vector_b = vectors_b[path_b]
                 norm_b = np.linalg.norm(vector_b)
-                if norm_a == 0.0 or norm_b == 0.0:
+                if norm_b == 0.0:
                     continue
                 score = float(vector_a @ vector_b / (norm_a * norm_b))
                 if score >= threshold:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.corpus.match.base import MatchResult
 from repro.corpus.match.learners import format_features
 from repro.corpus.model import CorpusSchema
+from repro.corpus.stats import BasicStatistics
 from repro.text import (
     SynonymTable,
     jaccard,
@@ -122,6 +123,44 @@ class InstanceMatcher(PairwiseMatcher):
 
 
 @dataclass
+class CorpusBoostMatcher(PairwiseMatcher):
+    """A base matcher boosted with corpus "similar names" evidence.
+
+    Two attribute names the corpus uses with similar co-occurrence
+    profiles (e.g. ``instructor`` / ``teacher``) score high even when
+    every string measure fails.  The lookup routes through the
+    :class:`~repro.search.engine.CorpusSearchEngine` behind
+    ``BasicStatistics.similar_names``, so scoring a full similarity
+    matrix stays cheap: each name's top-k is retrieved once (indexed)
+    and served from the engine's LRU cache thereafter.
+    """
+
+    name = "corpus-boost"
+    stats: BasicStatistics = None
+    base: PairwiseMatcher | None = None
+    boost_limit: int = 5
+
+    def __post_init__(self):  # noqa: D105
+        if self.stats is None:
+            raise ValueError("CorpusBoostMatcher requires corpus statistics")
+        self._base = self.base or NameMatcher()
+
+    def score(self, source, source_path, target, target_path) -> float:
+        base = self._base.score(source, source_path, target, target_path)
+        if base >= 0.95:
+            return base
+        normalize = self.stats.options.normalize
+        source_local, target_local = _local(source_path), _local(target_path)
+        if normalize(source_local) == normalize(target_local):
+            return 1.0
+        target_term = normalize(target_local)
+        for similar, similarity in self.stats.similar_names(source_local, limit=self.boost_limit):
+            if similar == target_term:
+                return max(base, 0.6 + 0.3 * similarity)
+        return base
+
+
+@dataclass
 class ComaLikeMatcher(PairwiseMatcher):
     """COMA-style composite: aggregate several measures, pick by
     threshold-and-delta within each source element's candidates."""
@@ -178,9 +217,17 @@ class HybridMatcher(PairwiseMatcher):
     name_weight: float = 0.5
     instance_weight: float = 0.35
     structure_weight: float = 0.15
+    stats: BasicStatistics | None = None
 
     def __post_init__(self):  # noqa: D105
-        self._name = NameMatcher(synonyms=self.synonyms)
+        # With corpus statistics the name signal is corpus-boosted
+        # (engine-served similar-names evidence); without, behaviour is
+        # unchanged from the corpus-free configuration.
+        name_matcher = NameMatcher(synonyms=self.synonyms)
+        if self.stats is not None:
+            self._name = CorpusBoostMatcher(stats=self.stats, base=name_matcher)
+        else:
+            self._name = name_matcher
         self._instance = InstanceMatcher()
 
     def score(self, source, source_path, target, target_path) -> float:

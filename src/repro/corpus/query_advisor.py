@@ -80,10 +80,14 @@ class QueryAdvisor:
             score = 1.0
         # Corpus help: terms whose usage profile resembles the keyword's
         # also vote for the element (the "similar names" statistic).
+        # Routed through the CorpusSearchEngine: the LRU cache makes the
+        # per-(keyword, attribute) repetition of this lookup O(1) after
+        # the first retrieval.
         if score < 0.95 and self.stats is not None:
-            for similar, similarity in self.stats.similar_names(keyword, limit=5):
-                if similar == self.options.normalize(local):
-                    score = max(score, 0.6 + 0.3 * similarity)
+            similar = dict(self.stats.similar_names(keyword, limit=5))
+            similarity = similar.get(self.options.normalize(local))
+            if similarity is not None:
+                score = max(score, 0.6 + 0.3 * similarity)
         return score
 
     def suggest_from_keywords(

@@ -15,19 +15,36 @@ Every statistic respects :class:`StatisticsOptions`: "we maintain
 different versions, depending on whether we take into consideration
 word stemming, synonym tables, inter-language dictionaries, or any
 combination of these three."
+
+Scale: statistics build **lazily** (first access) and grow
+**incrementally** (:meth:`BasicStatistics.add_schema` folds one schema
+in without a rebuild).  The ranked retrieval statistics — similar
+names, relation names for an attribute set — route through the
+:class:`~repro.search.engine.CorpusSearchEngine`, which replaces the
+original brute-force scans with posting-pruned indexed top-k while
+returning bitwise-identical rankings; the ``*_brute_force`` variants
+keep the reference implementations for parity tests and benchmarks.
 """
 
 from __future__ import annotations
 
 import math
+import typing
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.corpus.model import Corpus
+from repro.corpus.model import Corpus, CorpusSchema
 from repro.text import SynonymTable, TranslationTable, porter_stem, tokenize_identifier
 from repro.text.tfidf import cosine_similarity
 
+if typing.TYPE_CHECKING:
+    from repro.search.engine import CorpusSearchEngine
+
 ROLES = ("relation", "attribute", "data")
+
+# Memoized normalizations per StatisticsOptions instance are capped so a
+# pathological stream of distinct data values cannot grow without bound.
+_NORMALIZE_MEMO_LIMIT = 200_000
 
 
 @dataclass
@@ -39,8 +56,19 @@ class StatisticsOptions:
     translations: TranslationTable | None = None
     expand_abbreviations: bool = True
 
+    def __post_init__(self):  # noqa: D105
+        self._memo: dict[str, str] = {}
+
     def normalize(self, term: str) -> str:
-        """Canonical form of one term under the options."""
+        """Canonical form of one term under the options (memoized).
+
+        Corpus construction normalizes every data-value occurrence;
+        values repeat heavily, so the raw-term memo turns the dominant
+        build cost into a dict hit.
+        """
+        cached = self._memo.get(term)
+        if cached is not None:
+            return cached
         tokens = tokenize_identifier(term, expand_abbreviations=self.expand_abbreviations)
         normalized: list[str] = []
         for token in tokens:
@@ -51,7 +79,25 @@ class StatisticsOptions:
             if self.stem:
                 token = porter_stem(token)
             normalized.append(token)
-        return " ".join(normalized)
+        result = " ".join(normalized)
+        if len(self._memo) >= _NORMALIZE_MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[term] = result
+        return result
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity of the normalization configuration.
+
+        Used in search-cache keys so entries computed under different
+        options can never collide.  Tables are identified by object
+        identity: options are treated as immutable once in use.
+        """
+        return (
+            self.stem,
+            self.expand_abbreviations,
+            id(self.synonyms) if self.synonyms is not None else None,
+            id(self.translations) if self.translations is not None else None,
+        )
 
 
 @dataclass
@@ -73,7 +119,15 @@ class TermUsage:
 
 
 class BasicStatistics:
-    """Compute and serve the Section 4.2.1 statistics for a corpus."""
+    """Compute and serve the Section 4.2.1 statistics for a corpus.
+
+    Construction is cheap: nothing is computed until the first
+    statistic is requested (``ensure_built``).  Schemas added
+    afterwards — through :meth:`add_schema` or directly via
+    ``Corpus.add_schema`` — are folded in incrementally (eagerly or on
+    the next access, respectively): counters updated in place, and
+    only the touched terms re-indexed by the search engine.
+    """
 
     def __init__(self, corpus: Corpus, options: StatisticsOptions | None = None):  # noqa: D107
         self.corpus = corpus
@@ -82,8 +136,23 @@ class BasicStatistics:
         self._cooccur: dict[str, Counter] = {}
         self._attr_schema_count: Counter = Counter()
         self._relation_signatures: list[tuple[str, frozenset]] = []
+        self._schema_relation_terms: dict[str, frozenset] = {}
         self._schema_count = 0
-        self._build()
+        self._built = False
+        self._version = 0
+        self._engine: "CorpusSearchEngine | None" = None
+        # Similar-names scoring uses each term's *re-normalized alias*
+        # (normalize is not idempotent under stemming: "cours id" ->
+        # "cour id"); the alias maps let the engine replicate the
+        # original brute-force semantics exactly and re-index every
+        # affected term when an alias row changes.
+        self._alias: dict[str, str] = {}
+        self._alias_docs: dict[str, set[str]] = {}
+        # Engine drain state: what changed since the engine last synced.
+        self._dirty_rows: set[str] = set()
+        self._new_docs: set[str] = set()
+        self._dirty_schemas: list[str] = []
+        self._drained_signatures = 0
 
     # -- construction ---------------------------------------------------------
     def _note(self, term: str, role: str, schema: str) -> None:
@@ -91,35 +160,128 @@ class BasicStatistics:
         usage.role_counts[role] += 1
         usage.schemas.add(schema)
 
-    def _build(self) -> None:
+    def _ingest(self, schema: CorpusSchema) -> None:
+        """Fold one schema into every statistic (the incremental unit)."""
         normalize = self.options.normalize
-        self._schema_count = len(self.corpus.schemas)
+        relation_terms: set[str] = set()
+        for relation, attributes in schema.relations.items():
+            relation_term = normalize(relation)
+            relation_terms.add(relation_term)
+            self._note(relation_term, "relation", schema.name)
+            normalized_attrs = []
+            for attribute in attributes:
+                term = normalize(attribute)
+                normalized_attrs.append(term)
+                self._note(term, "attribute", schema.name)
+                self._attr_schema_count[term] += 1
+            signature = frozenset(normalized_attrs)
+            self._relation_signatures.append((relation_term, signature))
+            for term_a in signature:
+                cooccur_row = self._cooccur.get(term_a)
+                if cooccur_row is None:
+                    cooccur_row = self._cooccur[term_a] = Counter()
+                    alias = normalize(term_a)
+                    self._alias[term_a] = alias
+                    self._alias_docs.setdefault(alias, set()).add(term_a)
+                    self._new_docs.add(term_a)
+                self._dirty_rows.add(term_a)
+                for term_b in signature:
+                    if term_a != term_b:
+                        cooccur_row[term_b] += 1
+            for rows in (schema.data.get(relation, []),):
+                for data_row in rows:
+                    for value in data_row:
+                        if isinstance(value, str) and value:
+                            self._note(normalize(value), "data", schema.name)
+        self._schema_relation_terms[schema.name] = frozenset(relation_terms)
+        self._dirty_schemas.append(schema.name)
+        self._schema_count += 1
+        self._version += 1
+
+    def ensure_built(self) -> None:
+        """Catch the statistics up with the corpus, lazily.
+
+        First call ingests every corpus schema; afterwards an O(1)
+        count check guards the common path, and schemas registered
+        directly through ``Corpus.add_schema`` since the last access
+        are folded in incrementally — statistics always reflect the
+        live corpus at query time.
+        """
+        if self._built and len(self.corpus.schemas) == self._schema_count:
+            return
+        self._built = True
         for schema in self.corpus.schemas.values():
-            for relation, attributes in schema.relations.items():
-                relation_term = normalize(relation)
-                self._note(relation_term, "relation", schema.name)
-                normalized_attrs = []
-                for attribute in attributes:
-                    term = normalize(attribute)
-                    normalized_attrs.append(term)
-                    self._note(term, "attribute", schema.name)
-                    self._attr_schema_count[term] += 1
-                signature = frozenset(normalized_attrs)
-                self._relation_signatures.append((relation_term, signature))
-                for term_a in signature:
-                    row = self._cooccur.setdefault(term_a, Counter())
-                    for term_b in signature:
-                        if term_a != term_b:
-                            row[term_b] += 1
-                for rows in (schema.data.get(relation, []),):
-                    for row in rows:
-                        for value in row:
-                            if isinstance(value, str) and value:
-                                self._note(normalize(value), "data", schema.name)
+            if schema.name not in self._schema_relation_terms:
+                self._ingest(schema)
+
+    def add_schema(self, schema: CorpusSchema) -> None:
+        """Register ``schema`` and fold it into the statistics incrementally.
+
+        Registers with the corpus if needed.  Before the lazy build has
+        run this is just corpus registration (the build will pick the
+        schema up); afterwards it updates every counter in place — no
+        rebuild — and marks the touched terms for engine re-indexing.
+        (Schemas registered directly with ``Corpus.add_schema`` are
+        also caught up on the next statistic access; this entry point
+        just does the fold-in eagerly.)
+        """
+        if schema.name not in self.corpus:
+            self.corpus.add_schema(schema)
+        if self._built and schema.name not in self._schema_relation_terms:
+            self._ingest(schema)
+
+    # -- search-engine protocol ------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (one tick per ingested schema)."""
+        return self._version
+
+    @property
+    def engine(self) -> "CorpusSearchEngine":
+        """The (single) search engine serving this statistics instance."""
+        if self._engine is None:
+            from repro.search.engine import CorpusSearchEngine
+
+            self._engine = CorpusSearchEngine(self)
+        return self._engine
+
+    def drain_index_updates(self) -> tuple[set[str], list[tuple[str, frozenset]], list[tuple[str, frozenset]]]:
+        """Consume the changes since the last drain (engine sync protocol).
+
+        Returns ``(terms whose similarity profile must be re-indexed,
+        new signature rows, new (schema, relation-terms) pairs)``.
+        Single consumer: the owning engine.
+        """
+        self.ensure_built()
+        dirty_docs = set(self._new_docs)
+        for row_term in self._dirty_rows:
+            dirty_docs |= self._alias_docs.get(row_term, set())
+        self._new_docs = set()
+        self._dirty_rows = set()
+        new_rows = self._relation_signatures[self._drained_signatures:]
+        self._drained_signatures = len(self._relation_signatures)
+        dirty_schemas, self._dirty_schemas = self._dirty_schemas, []
+        new_schemas = [
+            (name, self._schema_relation_terms[name]) for name in dirty_schemas
+        ]
+        return dirty_docs, new_rows, new_schemas
+
+    def profile_row_for(self, term: str) -> Counter:
+        """The live co-occurrence row that *scores* ``term``.
+
+        This is the row of the term's re-normalized alias — exactly the
+        vector ``co_occurrence_vector(term)`` returns — which the
+        engine copies at indexing time.
+        """
+        alias = self._alias.get(term)
+        if alias is None:
+            alias = self.options.normalize(term)
+        return self._cooccur.get(alias, Counter())
 
     # -- term usage ---------------------------------------------------------------
     def usage(self, term: str) -> TermUsage:
         """Usage profile (zeros if the term never occurs)."""
+        self.ensure_built()
         return self._usage.get(self.options.normalize(term), TermUsage(term))
 
     def role_distribution(self, term: str) -> dict[str, float]:
@@ -129,22 +291,26 @@ class BasicStatistics:
 
     def schema_frequency(self, term: str) -> float:
         """Fraction of corpus schemas in which the term occurs at all."""
+        self.ensure_built()
         if not self._schema_count:
             return 0.0
         return len(self.usage(term).schemas) / self._schema_count
 
     def idf(self, term: str) -> float:
         """Inverse schema frequency — the TF/IDF analogue over structures."""
+        self.ensure_built()
         df = len(self.usage(term).schemas)
         return math.log((1 + self._schema_count) / (1 + df)) + 1.0
 
     def vocabulary(self) -> set[str]:
         """All normalized terms seen."""
+        self.ensure_built()
         return set(self._usage)
 
     # -- co-occurrence --------------------------------------------------------------
     def co_occurring(self, term: str, limit: int = 10) -> list[tuple[str, float]]:
         """Attribute terms most associated with ``term``, by PMI."""
+        self.ensure_built()
         term = self.options.normalize(term)
         row = self._cooccur.get(term)
         if not row:
@@ -163,12 +329,14 @@ class BasicStatistics:
 
     def co_occurrence_vector(self, term: str) -> dict[str, float]:
         """The raw co-occurrence profile (counts) of a term."""
+        self.ensure_built()
         term = self.options.normalize(term)
         return dict(self._cooccur.get(term, {}))
 
     def mutually_exclusive(self, term_a: str, term_b: str) -> bool:
         """Both terms appear as attributes, but never in the same relation
         — the "mutually exclusive uses" signal of Section 4.2.1."""
+        self.ensure_built()
         a = self.options.normalize(term_a)
         b = self.options.normalize(term_b)
         if self._attr_schema_count[a] == 0 or self._attr_schema_count[b] == 0:
@@ -177,7 +345,19 @@ class BasicStatistics:
 
     # -- similar names -----------------------------------------------------------------
     def similar_names(self, term: str, limit: int = 5) -> list[tuple[str, float]]:
-        """Terms whose co-occurrence profile resembles ``term``'s."""
+        """Terms whose co-occurrence profile resembles ``term``'s.
+
+        Served by the search engine: posting-pruned, norm-precomputed
+        top-k cosine with an LRU cache — identical output to
+        :meth:`similar_names_brute_force`.
+        """
+        self.ensure_built()
+        target = self.options.normalize(term)
+        return self.engine.similar_terms(target, limit)
+
+    def similar_names_brute_force(self, term: str, limit: int = 5) -> list[tuple[str, float]]:
+        """Reference O(vocabulary) scan (parity tests, benchmark C10)."""
+        self.ensure_built()
         target = self.options.normalize(term)
         target_vector = self.co_occurrence_vector(target)
         if not target_vector:
@@ -196,14 +376,23 @@ class BasicStatistics:
     def relation_signatures(self) -> list[tuple[str, frozenset]]:
         """(normalized relation name, normalized attribute set) per corpus
         relation — the raw material for layout advice."""
+        self.ensure_built()
         return list(self._relation_signatures)
 
     def relation_name_for(self, attributes: frozenset) -> list[tuple[str, int]]:
         """Relation names used in the corpus for similar attribute sets.
 
         Returns (relation term, votes) sorted by votes — used by the
-        DesignAdvisor's layout advice.
+        DesignAdvisor's layout advice.  Served by the search engine's
+        signature postings; identical output to
+        :meth:`relation_name_for_brute_force`.
         """
+        self.ensure_built()
+        return self.engine.relation_names_for(frozenset(attributes))
+
+    def relation_name_for_brute_force(self, attributes: frozenset) -> list[tuple[str, int]]:
+        """Reference full-signature scan (parity tests, benchmark C10)."""
+        self.ensure_built()
         votes: Counter = Counter()
         for relation_term, signature in self._relation_signatures:
             if not attributes or not signature:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 
-from repro.corpus.model import CorpusSchema
+from repro.corpus.model import Corpus, CorpusSchema
 from repro.datasets.perturb import PerturbationConfig, perturb_schema
 from repro.datasets.university import university_schema_instance
 from repro.piazza.datalog import Atom, ConjunctiveQuery, Var
@@ -57,6 +57,53 @@ def _original_of(variant_relation: str, gold: dict[str, str]) -> str:
         if renamed == variant_relation and "." not in original:
             return original
     return variant_relation
+
+
+def _tag_schema(schema: CorpusSchema, tag: str) -> None:
+    """Move a schema into its own vocabulary cluster.
+
+    Every relation and attribute name gets a domain token, modelling
+    the disjoint per-domain vocabularies of a real multi-domain corpus
+    (a university schema and an auto-parts schema share almost no
+    terms).
+    """
+    relations: dict[str, list[str]] = {}
+    for relation, attributes in schema.relations.items():
+        tagged = f"{relation}_{tag}"
+        relations[tagged] = [f"{attribute}_{tag}" for attribute in attributes]
+        if relation in schema.data:
+            schema.data[tagged] = schema.data.pop(relation)
+    schema.relations = relations
+
+
+def synthetic_schema_corpus(
+    count: int,
+    seed: int = 0,
+    level: float = 0.4,
+    courses: int = 4,
+    with_data: bool = True,
+    domains: int = 1,
+) -> Corpus:
+    """A corpus of ``count`` independently perturbed university variants.
+
+    The scale generator for the search benchmarks (C10): each schema is
+    a rename-perturbed variant of the reference with its own data.
+    With ``domains > 1``, schemas are spread round-robin over that many
+    disjoint vocabulary clusters (see :func:`_tag_schema`), so corpus
+    vocabulary grows with ``count`` the way a real structure corpus's
+    does.  ``with_data=False`` skips instance rows for
+    schema-statistics-only workloads.
+    """
+    reference = university_schema_instance("u-ref", seed=seed, courses=courses)
+    corpus = Corpus()
+    for index in range(count):
+        variant, _gold = _variant(reference, f"peer{index:05d}", seed + index, level)
+        if not with_data:
+            variant.data = {}
+        if domains > 1:
+            _tag_schema(variant, f"d{index % domains}")
+        corpus.add_schema(variant)
+    return corpus
 
 
 def derive_mapping(

@@ -1,0 +1,28 @@
+"""The corpus retrieval substrate: postings, sparse top-k, query cache.
+
+The ROADMAP's north star ("fast as the hardware allows", corpora far
+past toy scale) needs a real retrieval engine under the Section 4
+statistics.  This package provides it:
+
+* :mod:`repro.search.postings` — incrementally maintained inverted
+  index (term -> posting list over schemas / relations / terms);
+* :mod:`repro.search.vectors` — sparse-vector store with precomputed
+  norms and heap-based top-k cosine that scores only posting-sharing
+  candidates, bitwise-identical to a brute-force scan;
+* :mod:`repro.search.cache` — bounded LRU query cache invalidated by
+  index epoch;
+* :mod:`repro.search.engine` — :class:`CorpusSearchEngine`, the facade
+  the corpus statistics and advisors route through.
+"""
+
+from repro.search.cache import LRUQueryCache
+from repro.search.engine import CorpusSearchEngine
+from repro.search.postings import InvertedIndex
+from repro.search.vectors import SparseVectorStore
+
+__all__ = [
+    "CorpusSearchEngine",
+    "InvertedIndex",
+    "LRUQueryCache",
+    "SparseVectorStore",
+]

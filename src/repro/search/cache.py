@@ -1,0 +1,65 @@
+"""Bounded LRU query cache, invalidated by index epoch.
+
+Hot corpus queries repeat heavily — the QueryAdvisor probes the same
+keyword's "similar names" once per candidate attribute, the
+DesignAdvisor re-scores the same schema's popularity per proposal — so
+a small LRU in front of the search engine removes most retrieval work.
+
+Entries are keyed by the caller (typically ``(kind, normalized term,
+options fingerprint)``) and stamped with the index ``epoch`` they were
+computed at; a lookup under any other epoch is a miss and evicts the
+stale entry, so incremental corpus growth can never serve stale
+rankings.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable
+
+
+class LRUQueryCache:
+    """A bounded least-recently-used cache with epoch validation."""
+
+    def __init__(self, capacity: int = 1024):  # noqa: D107
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, tuple[int, object]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, epoch: int):
+        """Cached value for ``key`` at ``epoch``, or None on miss.
+
+        An entry computed at a different epoch is treated as a miss and
+        dropped (the index has changed under it).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry[0] != epoch:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[1]
+
+    def put(self, key: Hashable, epoch: int, value) -> None:
+        """Store ``value`` for ``key`` at ``epoch``; evict LRU overflow."""
+        if self.capacity <= 0:
+            return
+        self._entries[key] = (epoch, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries

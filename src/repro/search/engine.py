@@ -1,0 +1,187 @@
+"""CorpusSearchEngine: the retrieval substrate under the corpus tools.
+
+Ties the pieces of :mod:`repro.search` together over one
+:class:`~repro.corpus.stats.BasicStatistics` instance:
+
+* a :class:`~repro.search.vectors.SparseVectorStore` over term
+  co-occurrence profiles (powers ``similar_names`` — top-k cosine with
+  posting-list candidate pruning instead of a vocabulary scan);
+* an :class:`~repro.search.postings.InvertedIndex` from attribute terms
+  to relation-signature rows (powers ``relation_name_for`` — only
+  signatures sharing an attribute can clear the 0.5 Jaccard bar);
+* an inverted index from relation concepts to schemas (powers the
+  DesignAdvisor's popularity preference);
+* an epoch-validated :class:`~repro.search.cache.LRUQueryCache` over
+  all of the above.
+
+The engine *pulls* from the statistics lazily: nothing is indexed until
+the first query, and after incremental schema adds only the dirty terms
+and new rows are re-indexed (``BasicStatistics.drain_index_updates`` is
+the producer side of that protocol).  Every ranked result is bitwise
+identical to the brute-force scans it replaces — see the parity notes
+in :mod:`repro.search.vectors` and the ``*_brute_force`` references in
+:mod:`repro.corpus.stats`.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import Counter
+
+from repro.search.cache import LRUQueryCache
+from repro.search.postings import InvertedIndex
+from repro.search.vectors import SparseVectorStore
+
+if typing.TYPE_CHECKING:  # circularity guard: stats owns its engine
+    from repro.corpus.stats import BasicStatistics
+
+
+class CorpusSearchEngine:
+    """Indexed retrieval over one corpus's statistics.
+
+    Obtain via ``BasicStatistics.engine`` — the statistics object owns
+    exactly one engine, and the incremental-update drain protocol
+    assumes a single consumer.
+    """
+
+    def __init__(self, stats: "BasicStatistics", cache_size: int = 1024):  # noqa: D107
+        self.stats = stats
+        self.cache = LRUQueryCache(cache_size)
+        self._terms = SparseVectorStore()
+        self._signatures = InvertedIndex()
+        self._signature_rows: list[tuple[str, frozenset]] = []
+        self._schema_names = InvertedIndex()
+        self._schema_relation_terms: dict[str, frozenset] = {}
+        self._synced_version = -1
+        # Constant per engine (one stats instance, one options object);
+        # kept in cache keys so entries can never collide across engines
+        # that might one day share a cache.
+        self._options_fingerprint = stats.options.fingerprint()
+
+    # -- synchronisation ------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Statistics version this engine last indexed (cache token)."""
+        return self._synced_version
+
+    def sync(self) -> None:
+        """Catch the indexes up with the statistics, incrementally.
+
+        First call builds everything (the statistics build lazily too,
+        so corpus ingestion costs nothing until a query arrives); later
+        calls only re-index terms whose co-occurrence rows changed and
+        append the new signature/schema rows.
+        """
+        stats = self.stats
+        stats.ensure_built()
+        if self._synced_version == stats.version:
+            return
+        dirty_terms, new_rows, new_schemas = stats.drain_index_updates()
+        for term in dirty_terms:
+            self._terms.put(term, stats.profile_row_for(term))
+        for name, signature in new_rows:
+            self._signature_rows.append((name, signature))
+            self._signatures.add(len(self._signature_rows) - 1, signature)
+        for name, relation_terms in new_schemas:
+            self._schema_relation_terms[name] = relation_terms
+            self._schema_names.add(name, relation_terms)
+        self._synced_version = stats.version
+
+    def _fingerprint(self) -> tuple:
+        return self._options_fingerprint
+
+    # -- similar names --------------------------------------------------------
+    def similar_terms(self, term: str, limit: int = 5) -> list[tuple[str, float]]:
+        """Top ``limit`` terms by co-occurrence-profile cosine.
+
+        ``term`` must already be normalized (``BasicStatistics``
+        normalizes before routing here).  Results match the brute-force
+        vocabulary scan exactly, ties broken by term.
+        """
+        self.sync()
+        key = ("similar", term, limit, self._fingerprint())
+        cached = self.cache.get(key, self._synced_version)
+        if cached is not None:
+            return list(cached)
+        vector = self._terms.vector(term)
+        if vector is None:
+            # Not a vocabulary term, but its alias row may still exist
+            # (brute force scores any term through its alias profile).
+            vector = self.stats.profile_row_for(term)
+        if not vector:
+            result: list[tuple[str, float]] = []
+        else:
+            result = self._terms.top_k(vector, limit, exclude=(term,))
+        self.cache.put(key, self._synced_version, result)
+        return list(result)
+
+    def top_k_vector(self, query: dict, limit: int, exclude=()) -> list[tuple[str, float]]:
+        """Top-k over the co-occurrence profile store for an ad-hoc query
+        vector (uncached: ad-hoc vectors rarely repeat)."""
+        self.sync()
+        return self._terms.top_k(query, limit, exclude=exclude)
+
+    # -- relation names for an attribute set ----------------------------------
+    def relation_names_for(self, attributes: frozenset) -> list[tuple[str, int]]:
+        """Corpus relation names used for similar attribute sets.
+
+        Candidate signatures come from the attribute-term postings; the
+        Jaccard >= 0.5 vote and the ``Counter.most_common`` tie order
+        (first corpus appearance) replicate the brute-force scan.
+        """
+        self.sync()
+        key = ("relation-names", tuple(sorted(attributes)), self._fingerprint())
+        cached = self.cache.get(key, self._synced_version)
+        if cached is not None:
+            return list(cached)
+        votes: Counter = Counter()
+        if attributes:
+            # Ascending row order preserves first-seen Counter insertion,
+            # hence most_common tie-breaking, exactly as the full scan.
+            for row in sorted(self._signatures.candidates(attributes)):
+                relation_term, signature = self._signature_rows[row]
+                overlap = len(attributes & signature) / len(attributes | signature)
+                if overlap >= 0.5:
+                    votes[relation_term] += 1
+        result = votes.most_common()
+        self.cache.put(key, self._synced_version, result)
+        return list(result)
+
+    # -- schema popularity ----------------------------------------------------
+    def schema_popularity(self, schema_name: str) -> float:
+        """Fraction of other corpus schemas sharing most relation concepts
+        (Jaccard >= 0.5 over normalized relation-name sets)."""
+        self.sync()
+        key = ("popularity", schema_name, self._fingerprint())
+        cached = self.cache.get(key, self._synced_version)
+        if cached is not None:
+            return cached
+        names = self._schema_relation_terms.get(schema_name, frozenset())
+        total = len(self._schema_relation_terms)
+        if not names or total <= 1:
+            result = 0.0
+        else:
+            similar = 0
+            for other in self._schema_names.candidates(names):
+                if other == schema_name:
+                    continue
+                other_names = self._schema_relation_terms[other]
+                overlap = len(names & other_names) / len(names | other_names)
+                if overlap >= 0.5:
+                    similar += 1
+            result = similar / (total - 1)
+        self.cache.put(key, self._synced_version, result)
+        return result
+
+    # -- introspection --------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """Index sizes and cache counters (benchmarks / telemetry)."""
+        return {
+            "epoch": self._synced_version,
+            "term_vectors": len(self._terms),
+            "signature_rows": len(self._signature_rows),
+            "schemas": len(self._schema_relation_terms),
+            "cache_entries": len(self.cache),
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+        }

@@ -122,8 +122,13 @@ class XmlElement(XmlNode):
             if isinstance(child, XmlElement):
                 parts.append(newline + child.serialize(indent, _level + 1))
             elif child.value.strip():
-                child_pad = "" if indent is None else " " * (indent * (_level + 1))
-                parts.append(newline + child_pad + _escape_text(child.value.strip()))
+                if indent is None:
+                    # Compact mode must round-trip: text verbatim, including
+                    # surrounding whitespace (pretty mode may normalize).
+                    parts.append(_escape_text(child.value))
+                else:
+                    child_pad = " " * (indent * (_level + 1))
+                    parts.append(newline + child_pad + _escape_text(child.value.strip()))
         parts.append(f"{newline}{pad}</{self.tag}>")
         return "".join(parts)
 

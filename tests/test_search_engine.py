@@ -1,0 +1,307 @@
+"""Tests for the corpus search subsystem (repro.search).
+
+The load-bearing guarantees:
+
+* engine-served rankings (`similar_names`, `relation_name_for`) are
+  **byte-identical** to the retained brute-force reference
+  implementations, across normalization options and corpora;
+* building incrementally (one `add_schema` at a time, with queries
+  interleaved) converges to the same state as building from the full
+  corpus at once;
+* the LRU cache is bounded and epoch-invalidated — corpus growth can
+  never serve stale rankings.
+"""
+
+import pytest
+
+from repro.corpus import BasicStatistics, Corpus, CorpusSchema, StatisticsOptions
+from repro.corpus.match.matchers import CorpusBoostMatcher, HybridMatcher
+from repro.datasets.university import make_university_corpus
+from repro.search import InvertedIndex, LRUQueryCache, SparseVectorStore
+from repro.text import default_synonyms
+from repro.text.tfidf import cosine_similarity
+
+
+def options_variants():
+    return [
+        StatisticsOptions(),
+        StatisticsOptions(stem=False),
+        StatisticsOptions(synonyms=default_synonyms()),
+        StatisticsOptions(stem=False, expand_abbreviations=False),
+    ]
+
+
+def small_corpus() -> Corpus:
+    corpus = Corpus()
+    s1 = CorpusSchema("s1")
+    s1.add_relation("course", ["title", "instructor", "time"],
+                    [("DB", "Smith", "MWF 10")])
+    s1.add_relation("ta", ["name", "email"])
+    corpus.add_schema(s1)
+    s2 = CorpusSchema("s2")
+    s2.add_relation("class", ["title", "teacher", "room"])
+    s2.add_relation("ta", ["name", "email", "office"])
+    corpus.add_schema(s2)
+    s3 = CorpusSchema("s3")
+    s3.add_relation("course", ["title", "instructor", "enrollment"])
+    s3.add_relation("lonely", ["singleton"])
+    corpus.add_schema(s3)
+    return corpus
+
+
+# -- primitives ----------------------------------------------------------------
+
+class TestInvertedIndex:
+    def test_add_and_candidates(self):
+        index = InvertedIndex()
+        index.add("d1", ["a", "b"])
+        index.add("d2", {"b": 2.0, "c": 1.0})
+        assert index.candidates(["a"]) == {"d1"}
+        assert index.candidates(["b"]) == {"d1", "d2"}
+        assert index.candidates(["z"]) == set()
+        assert dict(index.postings("b")) == {"d1": 1.0, "d2": 2.0}
+
+    def test_replace_removes_stale_postings(self):
+        index = InvertedIndex()
+        index.add("d1", ["a", "b"])
+        index.add("d1", ["b", "c"])
+        assert index.candidates(["a"]) == set()
+        assert index.candidates(["c"]) == {"d1"}
+
+    def test_remove_and_epoch(self):
+        index = InvertedIndex()
+        before = index.epoch
+        index.add("d1", ["a"])
+        assert index.epoch > before
+        index.remove("d1")
+        assert index.candidates(["a"]) == set()
+        assert len(index) == 0
+        # removing an unknown doc is a no-op (no epoch bump)
+        epoch = index.epoch
+        index.remove("ghost")
+        assert index.epoch == epoch
+
+
+class TestSparseVectorStore:
+    def test_top_k_matches_exhaustive_cosine(self):
+        store = SparseVectorStore()
+        vectors = {
+            "a": {"x": 1.0, "y": 2.0},
+            "b": {"y": 2.0, "z": 1.0},
+            "c": {"z": 3.0},
+            "d": {"w": 1.0},
+            "empty": {},
+        }
+        for doc, vector in vectors.items():
+            store.put(doc, vector)
+        query = {"y": 1.0, "z": 1.0}
+        expected = sorted(
+            (
+                (doc, cosine_similarity(query, vector))
+                for doc, vector in vectors.items()
+                if cosine_similarity(query, vector) > 0.0
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )[:2]
+        assert store.top_k(query, 2) == expected
+
+    def test_exclude_and_replace(self):
+        store = SparseVectorStore()
+        store.put("a", {"x": 1.0})
+        store.put("b", {"x": 1.0})
+        assert [doc for doc, _s in store.top_k({"x": 1.0}, 5, exclude=("a",))] == ["b"]
+        store.put("b", {"y": 1.0})  # replacement drops the old dimension
+        assert [doc for doc, _s in store.top_k({"x": 1.0}, 5)] == ["a"]
+        assert store.norm("b") == 1.0
+
+
+class TestLRUQueryCache:
+    def test_bounded_lru_eviction(self):
+        cache = LRUQueryCache(capacity=2)
+        cache.put("a", 1, "va")
+        cache.put("b", 1, "vb")
+        assert cache.get("a", 1) == "va"  # refresh a
+        cache.put("c", 1, "vc")  # evicts b (least recent)
+        assert cache.get("b", 1) is None
+        assert cache.get("a", 1) == "va"
+        assert cache.get("c", 1) == "vc"
+
+    def test_epoch_invalidation(self):
+        cache = LRUQueryCache(capacity=4)
+        cache.put("k", 1, "stale")
+        assert cache.get("k", 2) is None  # epoch moved: miss + eviction
+        assert "k" not in cache
+        cache.put("k", 2, "fresh")
+        assert cache.get("k", 2) == "fresh"
+
+    def test_zero_capacity_disables(self):
+        cache = LRUQueryCache(capacity=0)
+        cache.put("k", 1, "v")
+        assert cache.get("k", 1) is None
+
+
+# -- engine / brute-force parity ----------------------------------------------
+
+class TestEngineParity:
+    @pytest.mark.parametrize("options_index", range(4))
+    def test_similar_names_parity_university(self, options_index):
+        options = options_variants()[options_index]
+        stats = BasicStatistics(
+            make_university_corpus(count=8, seed=options_index, courses=5), options
+        )
+        probes = sorted(stats.vocabulary()) + ["email", "E-Mail", "officeHours", "nope"]
+        for term in probes:
+            for limit in (1, 3, 5, 10):
+                assert stats.similar_names(term, limit) == \
+                    stats.similar_names_brute_force(term, limit), term
+
+    def test_similar_names_parity_small(self):
+        stats = BasicStatistics(small_corpus(), StatisticsOptions(stem=False))
+        for term in sorted(stats.vocabulary()):
+            assert stats.similar_names(term) == stats.similar_names_brute_force(term)
+
+    def test_relation_name_parity(self):
+        for options in (StatisticsOptions(), StatisticsOptions(stem=False)):
+            stats = BasicStatistics(
+                make_university_corpus(count=8, seed=4, courses=5), options
+            )
+            signatures = stats.relation_signatures()
+            probes = [signature for _name, signature in signatures]
+            probes += [
+                frozenset(),
+                frozenset({"nothing shared"}),
+                next(iter(probes)) | {"extra term"},
+            ]
+            for signature in probes:
+                assert stats.relation_name_for(signature) == \
+                    stats.relation_name_for_brute_force(signature)
+
+    def test_singleton_relation_term_has_no_similars(self):
+        # "singleton" has an empty co-occurrence row: brute force and the
+        # engine must both return nothing for and never rank it.
+        stats = BasicStatistics(small_corpus(), StatisticsOptions(stem=False))
+        assert stats.similar_names("singleton") == []
+        for term in stats.vocabulary():
+            assert "singleton" not in dict(stats.similar_names(term, 50))
+
+
+# -- incremental == rebuild ----------------------------------------------------
+
+class TestIncrementalEquivalence:
+    def test_add_schema_converges_to_full_build(self):
+        full_corpus = make_university_corpus(count=8, seed=2, courses=4)
+        full = BasicStatistics(full_corpus)
+
+        incremental = BasicStatistics(Corpus())
+        for step, schema in enumerate(full_corpus.schemas.values()):
+            incremental.add_schema(schema)
+            # Interleave queries so the engine syncs (and must invalidate
+            # its cache) mid-stream, not only at the end.
+            if step % 2 == 0:
+                incremental.similar_names("instructor")
+                incremental.relation_name_for(frozenset({"name", "email"}))
+
+        assert incremental.vocabulary() == full.vocabulary()
+        for term in sorted(full.vocabulary()):
+            assert incremental.similar_names(term, 10) == full.similar_names(term, 10)
+            assert incremental.usage(term).role_counts == full.usage(term).role_counts
+        for _name, signature in full.relation_signatures():
+            assert incremental.relation_name_for(signature) == \
+                full.relation_name_for(signature)
+
+    def test_incremental_results_reflect_new_schema(self):
+        corpus = small_corpus()
+        stats = BasicStatistics(corpus, StatisticsOptions(stem=False))
+        before = stats.similar_names("room", 10)
+
+        addition = CorpusSchema("s4")
+        addition.add_relation("class", ["title", "teacher", "room"])
+        addition.add_relation("office", ["room", "phone"])
+        stats.add_schema(addition)
+
+        after = stats.similar_names("room", 10)
+        assert "s4" in corpus
+        assert after == stats.similar_names_brute_force("room", 10)
+        assert after != before  # the new co-occurrences changed the ranking
+
+    def test_add_schema_before_first_query_is_lazy(self):
+        corpus = small_corpus()
+        stats = BasicStatistics(corpus)
+        addition = CorpusSchema("s4")
+        addition.add_relation("course", ["title", "credits"])
+        stats.add_schema(addition)  # before any build: registration only
+        assert stats.version == 0
+        assert stats.schema_frequency("credits") == pytest.approx(1 / 4)
+
+    def test_direct_corpus_add_is_caught_up(self):
+        # Schemas registered through Corpus.add_schema (not
+        # stats.add_schema) after the first query must still be
+        # reflected — the DesignAdvisor iterates the live corpus.
+        corpus = small_corpus()
+        stats = BasicStatistics(corpus, StatisticsOptions(stem=False))
+        stats.similar_names("title")  # build + index
+        clone = CorpusSchema("s3-clone")
+        clone.add_relation("course", ["title", "instructor", "enrollment"])
+        clone.add_relation("lonely", ["singleton"])
+        corpus.add_schema(clone)
+        assert "s3-clone" in stats.usage("enrollment").schemas
+        assert stats.engine.schema_popularity("s3-clone") > 0.0
+        assert stats.similar_names("title", 10) == \
+            stats.similar_names_brute_force("title", 10)
+
+    def test_engine_epoch_and_cache_counters(self):
+        stats = BasicStatistics(small_corpus(), StatisticsOptions(stem=False))
+        engine = stats.engine
+        stats.similar_names("title")
+        stats.similar_names("title")
+        assert engine.cache.hits >= 1
+        epoch = engine.epoch
+        addition = CorpusSchema("s5")
+        addition.add_relation("seminar", ["title", "speaker"])
+        stats.add_schema(addition)
+        stats.similar_names("title")
+        assert engine.epoch > epoch
+
+
+# -- corpus-boosted matching ---------------------------------------------------
+
+class TestCorpusBoostMatcher:
+    def _schemas(self):
+        source = CorpusSchema("src")
+        source.add_relation("course", ["instructor"])
+        target = CorpusSchema("tgt")
+        target.add_relation("class", ["teacher"])
+        return source, target
+
+    def _boost_corpus(self):
+        # "instructor" and "teacher" share co-occurrence company
+        # ("title"/"room") across schemas, so the corpus ranks them as
+        # similar names even though the strings share nothing.
+        corpus = Corpus()
+        for index, word in enumerate(["instructor", "teacher"] * 2):
+            schema = CorpusSchema(f"u{index}")
+            schema.add_relation("course", ["title", "room", word])
+            corpus.add_schema(schema)
+        return corpus
+
+    def test_corpus_evidence_boosts_dissimilar_names(self):
+        stats = BasicStatistics(self._boost_corpus(), StatisticsOptions(stem=False))
+        matcher = CorpusBoostMatcher(stats=stats)
+        source, target = self._schemas()
+        boosted = matcher.score(source, "course.instructor", target, "class.teacher")
+        plain = matcher._base.score(source, "course.instructor", target, "class.teacher")
+        assert boosted > plain
+        assert boosted >= 0.6
+
+    def test_hybrid_matcher_accepts_stats(self):
+        stats = BasicStatistics(self._boost_corpus(), StatisticsOptions(stem=False))
+        source, target = self._schemas()
+        with_corpus = HybridMatcher(stats=stats)
+        without = HybridMatcher()
+        assert with_corpus.score(source, "course.instructor", target, "class.teacher") > \
+            without.score(source, "course.instructor", target, "class.teacher")
+        assert CorpusBoostMatcher in type(with_corpus._name).__mro__
+
+    def test_requires_stats(self):
+        with pytest.raises(ValueError):
+            CorpusBoostMatcher()
