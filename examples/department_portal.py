@@ -1,17 +1,25 @@
-"""A department portal on MANGROVE (Sections 2.2-2.3 of the paper).
+"""A department portal on MANGROVE, then the PDMS coalition it joins.
 
-Generates a department's worth of heterogeneous HTML pages, publishes
-their annotations, and drives the instant-gratification applications:
-the calendar, Who's Who, the paper database and the semantic search
-engine.  Then it gets realistic: conflicting phone numbers are
-published from third-party pages (integrity constraints are deferred!),
-and the phone directory's source-URL cleaning policy handles it, while
-the proactive constraint checker drafts notifications to the authors.
+Part 1 (Sections 2.2-2.3 of the paper): generates a department's worth
+of heterogeneous HTML pages, publishes their annotations, and drives
+the instant-gratification applications: the calendar, Who's Who, the
+paper database and the semantic search engine.  Then it gets realistic:
+conflicting phone numbers are published from third-party pages
+(integrity constraints are deferred!), and the phone directory's
+source-URL cleaning policy handles it, while the proactive constraint
+checker drafts notifications to the authors.
+
+Part 2 (Section 3): the department's university joins the Figure-2
+coalition of peers.  A query in the local schema is reformulated over
+the transitive closure of the mappings (served by the cached
+MappingIndex) and executed with per-peer batched fetches — the full
+walkthrough of this part lives in ``docs/pdms.md``.
 
 Run:  python examples/department_portal.py
 """
 
 from repro.datasets.html_gen import generate_department_site
+from repro.datasets.pdms_gen import figure2_pdms
 from repro.mangrove import (
     AnnotatedDocument,
     ConstraintChecker,
@@ -23,6 +31,7 @@ from repro.mangrove import (
     WhoIsWho,
 )
 from repro.mangrove.schema import university_schema
+from repro.piazza import DistributedExecutor
 from repro.rdf import Triple, TripleStore
 
 
@@ -82,6 +91,29 @@ def main() -> None:
     for author, violations in sorted(queue.items()):
         print(f"notify {author}: {len(violations)} violation(s) — "
               f"{violations[0].detail}")
+
+    # --- Section 3: the university joins the PDMS coalition ---------------
+    print("\nthe university joins the Figure-2 coalition of peers...")
+    pdms = figure2_pdms(seed=0, courses=6)
+    gold = pdms.generator_info["golds"]["stanford"]
+    course = gold["course"]
+    arity = len(pdms.peers["stanford"].schema[course])
+    variables = ", ".join(f"?v{i}" for i in range(arity))
+    query = f"q(?v1) :- stanford.{course}({variables})"
+
+    result = pdms.reformulate(query)
+    index = pdms.mapping_index().stats_snapshot()
+    print(f"mapping index: {index['rules']} compiled rules over "
+          f"{index['head_predicates']} head predicates")
+    print(f"reformulation: {len(result)} rewritings over stored relations "
+          f"({result.nodes_expanded} goals expanded, "
+          f"{result.index_hits} served from the index)")
+
+    executor = DistributedExecutor(pdms)
+    stats = executor.execute(query, at_peer="stanford")
+    print(f"distributed execution: {len(stats.answers)} course titles, "
+          f"{stats.peers_contacted} remote peers, {stats.messages} messages, "
+          f"{stats.tuples_shipped} tuples shipped")
 
 
 if __name__ == "__main__":

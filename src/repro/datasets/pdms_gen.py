@@ -20,15 +20,28 @@ from repro.piazza.peer import PDMS, Peer
 from repro.text.synonyms import italian_english_dictionary
 
 
-def _install_peer(pdms: PDMS, name: str, schema: CorpusSchema, with_data: bool = True) -> Peer:
-    """Create a peer from a CorpusSchema; stored relations mirror it."""
+def _install_peer(
+    pdms: PDMS,
+    name: str,
+    schema: CorpusSchema,
+    with_data: bool = True,
+    with_storage: bool = True,
+) -> Peer:
+    """Create a peer from a CorpusSchema; stored relations mirror it.
+
+    ``with_storage=False`` installs a *schema-only* peer — one of the
+    paper's Section-3.1 membership modes: it contributes a schema and
+    mappings but no stored relations (it joined the coalition, mapped
+    itself in, and has not loaded data yet).
+    """
     peer = pdms.add_peer(name)
     for relation, attributes in schema.relations.items():
         peer.add_relation(relation, attributes)
-        peer.add_stored(relation, attributes)
-        pdms.add_storage(name, relation, f"{name}.{relation}")
-        if with_data:
-            peer.insert(relation, schema.data.get(relation, []))
+        if with_storage:
+            peer.add_stored(relation, attributes)
+            pdms.add_storage(name, relation, f"{name}.{relation}")
+            if with_data:
+                peer.insert(relation, schema.data.get(relation, []))
     return peer
 
 
@@ -138,7 +151,8 @@ def derive_mapping(
 
 def _build(edges: list[tuple[int, int]], count: int, seed: int, level: float,
            courses: int, translations: dict[int, object] | None = None,
-           peer_names: list[str] | None = None) -> PDMS:
+           peer_names: list[str] | None = None,
+           dataless: set[int] | frozenset[int] = frozenset()) -> PDMS:
     reference = university_schema_instance("ref", seed=seed, courses=courses)
     translations = translations or {}
     names = peer_names or [f"p{i}" for i in range(count)]
@@ -152,9 +166,20 @@ def _build(edges: list[tuple[int, int]], count: int, seed: int, level: float,
             level=level,
             translation=translations.get(index),
         )
-        _install_peer(pdms, names[index], variant)
+        _install_peer(pdms, names[index], variant, with_storage=index not in dataless)
         golds.append(gold)
     for a, b in edges:
+        if a in dataless or b in dataless:
+            # A schema-only peer maps *itself into* its neighbour (one
+            # inclusion, not an equality): its relations stay virtual, so
+            # the compiled rules pointing at them are dead ends the
+            # MappingIndex relevance closure can prove and prune.
+            source, target = (a, b) if a in dataless else (b, a)
+            derive_mapping(
+                pdms, names[source], golds[source], names[target], golds[target],
+                reference, exact=False,
+            )
+            continue
         derive_mapping(pdms, names[a], golds[a], names[b], golds[b], reference)
     # Expose the generation ground truth for examples and benchmarks:
     # the reference schema and, per peer, the reference->peer renaming.
@@ -177,16 +202,43 @@ def star_pdms(count: int, seed: int = 0, level: float = 0.4, courses: int = 8) -
     return _build(edges, count, seed, level, courses)
 
 
-def random_tree_pdms(count: int, seed: int = 0, level: float = 0.4, courses: int = 8) -> PDMS:
+def random_tree_pdms(
+    count: int,
+    seed: int = 0,
+    level: float = 0.4,
+    courses: int = 8,
+    extra_edges: int = 0,
+    dataless_peers: int = 0,
+) -> PDMS:
     """Random recursive tree: each new peer maps to a random earlier one.
 
     This is the paper's growth story: "as other universities agree to
     join the coalition, they form mappings to the schema most similar to
-    theirs".
+    theirs".  Two scale knobs for the C11 benchmark networks:
+
+    * ``extra_edges`` — additional random cross-mappings beyond the
+      spanning tree (denser mapping graphs, more redundant paths for
+      the reformulation pruners to collapse);
+    * ``dataless_peers`` — additional schema-only members appended
+      after the ``count`` data peers (total ``count + dataless_peers``
+      peers).  Each maps itself one-directionally into a random data
+      peer, so its relations are rule dead ends — visible to the
+      mapping index's relevance closure but re-explored from scratch by
+      the unindexed search.
     """
     rng = random.Random(seed)
     edges = [(rng.randrange(i), i) for i in range(1, count)]
-    return _build(edges, count, seed, level, courses)
+    seen = set(edges)
+    for _ in range(extra_edges):  # up to this many distinct cross edges
+        a, b = rng.randrange(count), rng.randrange(count)
+        edge = (min(a, b), max(a, b))
+        if a != b and edge not in seen:
+            seen.add(edge)
+            edges.append(edge)
+    total = count + dataless_peers
+    dataless = frozenset(range(count, total))
+    edges.extend((index, rng.randrange(count)) for index in dataless)
+    return _build(edges, total, seed, level, courses, dataless=dataless)
 
 
 FIGURE2_UNIVERSITIES = ["stanford", "berkeley", "mit", "oxford", "roma", "tsinghua"]

@@ -13,6 +13,9 @@ Modules:
   unification, bottom-up evaluation and the chase (certain answers).
 * :mod:`repro.piazza.reformulation` -- the rule-goal tree reformulation
   engine with the pruning heuristics of Section 3.1.1.
+* :mod:`repro.piazza.mapping_index` -- the scale layer's rule index:
+  by-head-predicate lookup plus the relevance/reachability closures that
+  keep reformulation off dead mapping paths (see ``docs/pdms.md``).
 * :mod:`repro.piazza.peer` -- peers, mappings, storage descriptions and
   the :class:`~repro.piazza.peer.PDMS` itself.
 * :mod:`repro.piazza.network` / :mod:`repro.piazza.execution` --
@@ -24,7 +27,20 @@ Modules:
   baseline the paper argues "scales poorly".
 """
 
-from repro.piazza.datalog import Atom, ConjunctiveQuery, Const, Func, Rule, Var
+from repro.piazza.datalog import (
+    Atom,
+    ConjunctiveQuery,
+    Const,
+    Func,
+    Rule,
+    Var,
+    evaluate_query,
+    evaluate_query_brute_force,
+    evaluate_union,
+    evaluate_union_brute_force,
+    minimize_union,
+)
+from repro.piazza.mapping_index import MappingIndex
 from repro.piazza.peer import (
     DefinitionalMapping,
     InclusionMapping,
@@ -47,6 +63,7 @@ __all__ = [
     "Func",
     "InclusionMapping",
     "IncrementalView",
+    "MappingIndex",
     "PDMS",
     "Peer",
     "ReformulationResult",
@@ -55,5 +72,10 @@ __all__ = [
     "StorageDescription",
     "Updategram",
     "Var",
+    "evaluate_query",
+    "evaluate_query_brute_force",
+    "evaluate_union",
+    "evaluate_union_brute_force",
+    "minimize_union",
     "reformulate",
 ]

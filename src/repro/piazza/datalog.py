@@ -12,6 +12,21 @@ same rule set drives both:
 
 Terms are plain Python values (constants), :class:`Var` or :class:`Func`
 (Skolem functions standing for unknown existential values).
+
+Evaluation comes in two flavours with a parity contract between them
+(``tests/test_pdms_scale.py``):
+
+* :func:`evaluate_query` — **hash-join** evaluation: per body atom, a
+  hash table over the facts keyed on the argument positions already
+  bound, probed once per pending substitution.  This is the scale path;
+  a shared table cache (:func:`evaluate_union`) lets a UCQ's rewritings
+  reuse each other's tables.
+* :func:`evaluate_query_brute_force` — the original nested-loop join,
+  kept as the oracle the hash path is proven identical to.
+
+Facts are always ground (stored tuples, chase-derived tuples whose
+groundness is checked before insertion, or frozen canonical databases),
+which is what makes position-level hash keys sound.
 """
 
 from __future__ import annotations
@@ -28,6 +43,14 @@ class Var:
     """A logical variable."""
 
     name: str
+
+    def __post_init__(self) -> None:
+        # Variables live in substitution dicts on the hottest paths;
+        # caching the hash beats re-hashing the name tuple every lookup.
+        object.__setattr__(self, "_hash", hash(("Var", self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:
         return self.name.upper() if self.name.islower() else f"?{self.name}"
@@ -49,6 +72,12 @@ class Func:
 
     name: str
     args: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(("Func", self.name, self.args)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:
         return f"{self.name}({', '.join(map(repr, self.args))})"
@@ -151,49 +180,53 @@ def occurs(var: Var, term: Term, subst: Subst) -> bool:
     return False
 
 
+def _unify_into(a: Term, b: Term, subst: Subst) -> bool:
+    """Unify two terms *into* ``subst``, mutating it.
+
+    Internal fast path: the public entry points copy the caller's
+    substitution exactly once and discard the copy on failure, instead
+    of re-copying the (at scale, large) dict per variable binding.
+    Partial bindings left behind by a failed branch are harmless because
+    the whole copy is dropped.
+    """
+    a = walk(a, subst)
+    b = walk(b, subst)
+    if a == b:
+        return True
+    if isinstance(a, Var):
+        if occurs(a, b, subst):
+            return False
+        subst[a] = b
+        return True
+    if isinstance(b, Var):
+        return _unify_into(b, a, subst)
+    if isinstance(a, Func) and isinstance(b, Func):
+        if a.name != b.name or len(a.args) != len(b.args):
+            return False
+        return all(
+            _unify_into(arg_a, arg_b, subst) for arg_a, arg_b in zip(a.args, b.args)
+        )
+    return False
+
+
 def unify(a: Term, b: Term, subst: Subst | None = None) -> Subst | None:
     """Most general unifier of two terms, extending ``subst``.
 
     Returns ``None`` on failure; never mutates the input substitution.
     """
-    if subst is None:
-        subst = {}
-    a = walk(a, subst)
-    b = walk(b, subst)
-    if a == b:
-        return subst
-    if isinstance(a, Var):
-        if occurs(a, b, subst):
-            return None
-        extended = dict(subst)
-        extended[a] = b
-        return extended
-    if isinstance(b, Var):
-        return unify(b, a, subst)
-    if isinstance(a, Func) and isinstance(b, Func):
-        if a.name != b.name or len(a.args) != len(b.args):
-            return None
-        for arg_a, arg_b in zip(a.args, b.args):
-            result = unify(arg_a, arg_b, subst)
-            if result is None:
-                return None
-            subst = result
-        return subst
-    return None
+    extended = {} if subst is None else dict(subst)
+    return extended if _unify_into(a, b, extended) else None
 
 
 def unify_atoms(a: Atom, b: Atom, subst: Subst | None = None) -> Subst | None:
     """Unify two atoms (same predicate, pairwise-unifiable arguments)."""
     if a.predicate != b.predicate or len(a.args) != len(b.args):
         return None
-    if subst is None:
-        subst = {}
+    extended = {} if subst is None else dict(subst)
     for arg_a, arg_b in zip(a.args, b.args):
-        result = unify(arg_a, arg_b, subst)
-        if result is None:
+        if not _unify_into(arg_a, arg_b, extended):
             return None
-        subst = result
-    return subst
+    return extended
 
 
 @dataclass(frozen=True)
@@ -302,18 +335,21 @@ def _match_fact(atom: Atom, fact: tuple, subst: Subst) -> Subst | None:
     """Unify an atom against one ground fact tuple."""
     if len(atom.args) != len(fact):
         return None
+    extended = dict(subst)
     for arg, value in zip(atom.args, fact):
-        result = unify(arg, value, subst)
-        if result is None:
+        if not _unify_into(arg, value, extended):
             return None
-        subst = result
-    return subst
+    return extended
 
 
 def _eval_body(
     body: tuple, instance: Instance, subst: Subst, stats: dict | None = None
 ) -> Iterator[Subst]:
     """All substitutions satisfying ``body`` over ``instance``.
+
+    This is the original nested-loop join, kept as the brute-force
+    oracle for the hash-join path (and still used directly by the
+    incremental-maintenance layer, whose delta relations are tiny).
 
     ``stats`` (optional) accumulates ``match_attempts`` — the number of
     atom-vs-fact unification attempts, the work metric reported by the
@@ -339,8 +375,129 @@ def _eval_body(
             yield from _eval_body(rest, instance, extended, stats)
 
 
-def evaluate_query(query: ConjunctiveQuery, instance: Instance) -> set[tuple]:
-    """All head tuples of ``query`` over ``instance`` (may contain Skolems)."""
+def _term_variables(term: Term) -> set[Var]:
+    """All variables occurring in a term (Consts stripped, Funcs walked)."""
+    term = _unconst(term)
+    if isinstance(term, Var):
+        return {term}
+    if isinstance(term, Func):
+        found: set[Var] = set()
+        for arg in term.args:
+            found |= _term_variables(arg)
+        return found
+    return set()
+
+
+def _strip_const(term: Term) -> Term:
+    """Deeply unwrap ``Const`` so hash keys match unification semantics.
+
+    Probe keys go through :func:`apply_subst`, which unconsts terms (and
+    recurses into ``Func`` args); fact-side keys must normalize the same
+    way or ``Const``-wrapped stored values would silently miss their
+    bucket despite unifying in the brute-force path.
+    """
+    term = _unconst(term)
+    if isinstance(term, Func):
+        return Func(term.name, tuple(_strip_const(arg) for arg in term.args))
+    return term
+
+
+# A shared hash-table cache for one instance: (predicate, key positions)
+# -> fact hash table.  Sound only while the instance is unmodified.
+JoinTableCache = dict
+
+
+def _eval_body_hash(
+    body: tuple,
+    instance: Instance,
+    subst: Subst,
+    table_cache: JoinTableCache | None = None,
+) -> list[Subst]:
+    """Hash-join evaluation of ``body`` over ``instance``.
+
+    Atoms are joined one at a time (greedily most-bound-first, ties to
+    the smaller relation); for each atom a hash table over its facts is
+    built keyed on the positions whose variables are already bound, and
+    each pending substitution probes exactly its matching bucket instead
+    of scanning every fact.  Because facts are ground, joining an atom
+    grounds all of its variables, so the bound-variable set is uniform
+    across pending substitutions and position-level keys are sound.
+
+    ``table_cache`` shares built tables across calls over the *same,
+    unmodified* instance — the batched-union trick in
+    :func:`evaluate_union`.  (The incremental-maintenance layer's
+    ``match_attempts`` work metric stays on :func:`_eval_body`, whose
+    delta relations are too small to benefit from hashing.)
+    """
+    if not body:
+        return [subst]
+    atoms = [apply_subst_atom(atom, subst) for atom in body] if subst else list(body)
+    atom_vars = [atom.variables() for atom in atoms]
+    substs: list[Subst] = [subst]
+    bound: set[Var] = set()
+    remaining = list(range(len(atoms)))
+    while remaining and substs:
+        # Most bound positions first; ties broken by relation size.
+        def rank(position: int) -> tuple:
+            atom = atoms[position]
+            bound_positions = sum(
+                1 for arg in atom.args if _term_variables(arg) <= bound
+            )
+            return (bound_positions, -len(instance.get(atom.predicate, ())))
+
+        choice = max(remaining, key=rank)
+        remaining.remove(choice)
+        atom = atoms[choice]
+        facts = instance.get(atom.predicate, ())
+        key_positions = tuple(
+            i for i, arg in enumerate(atom.args) if _term_variables(arg) <= bound
+        )
+        cache_key = (atom.predicate, key_positions, len(atom.args))
+        table = table_cache.get(cache_key) if table_cache is not None else None
+        if table is None:
+            table = {}
+            arity = len(atom.args)
+            for fact in facts:
+                if len(fact) != arity:
+                    continue
+                table.setdefault(
+                    tuple(_strip_const(fact[i]) for i in key_positions), []
+                ).append(fact)
+            if table_cache is not None:
+                table_cache[cache_key] = table
+        next_substs: list[Subst] = []
+        for pending in substs:
+            key = tuple(apply_subst(atom.args[i], pending) for i in key_positions)
+            bucket = table.get(key, ())
+            for fact in bucket:
+                extended = _match_fact(atom, fact, pending)
+                if extended is not None:
+                    next_substs.append(extended)
+        substs = next_substs
+        bound |= atom_vars[choice]
+    return substs
+
+
+def evaluate_query(
+    query: ConjunctiveQuery,
+    instance: Instance,
+    table_cache: JoinTableCache | None = None,
+) -> set[tuple]:
+    """All head tuples of ``query`` over ``instance`` (may contain Skolems).
+
+    Hash-join evaluation; answers are identical to
+    :func:`evaluate_query_brute_force` (the parity suite asserts it).
+    """
+    results: set[tuple] = set()
+    for subst in _eval_body_hash(query.body, instance, {}, table_cache=table_cache):
+        head = apply_subst_atom(query.head, subst)
+        if all(is_ground(arg) for arg in head.args):
+            results.add(head.args)
+    return results
+
+
+def evaluate_query_brute_force(query: ConjunctiveQuery, instance: Instance) -> set[tuple]:
+    """Nested-loop evaluation — the oracle :func:`evaluate_query` matches."""
     results: set[tuple] = set()
     for subst in _eval_body(query.body, instance, {}):
         head = apply_subst_atom(query.head, subst)
@@ -350,10 +507,27 @@ def evaluate_query(query: ConjunctiveQuery, instance: Instance) -> set[tuple]:
 
 
 def evaluate_union(queries: Iterable[ConjunctiveQuery], instance: Instance) -> set[tuple]:
-    """Union of the answers of several conjunctive queries."""
+    """Union of the answers of several conjunctive queries.
+
+    Batched: all member queries share one hash-table cache, so a UCQ
+    whose rewritings touch the same stored relations (the common case
+    after reformulation) builds each join table once, not once per
+    member.
+    """
+    results: set[tuple] = set()
+    table_cache: JoinTableCache = {}
+    for query in queries:
+        results |= evaluate_query(query, instance, table_cache=table_cache)
+    return results
+
+
+def evaluate_union_brute_force(
+    queries: Iterable[ConjunctiveQuery], instance: Instance
+) -> set[tuple]:
+    """Nested-loop union evaluation (the pre-scale-layer behaviour)."""
     results: set[tuple] = set()
     for query in queries:
-        results |= evaluate_query(query, instance)
+        results |= evaluate_query_brute_force(query, instance)
     return results
 
 
@@ -375,8 +549,11 @@ def chase(
     chased: Instance = {pred: set(facts) for pred, facts in instance.items()}
     for _round in range(max_rounds):
         new_facts: list[tuple[str, tuple]] = []
+        # The instance is frozen within a round, so every rule shares
+        # the round's join tables.
+        table_cache: JoinTableCache = {}
         for rule in rules:
-            for subst in _eval_body(rule.body, chased, {}):
+            for subst in _eval_body_hash(rule.body, chased, {}, table_cache=table_cache):
                 head = apply_subst_atom(rule.head, subst)
                 if not all(is_ground(arg) for arg in head.args):
                     continue
@@ -441,18 +618,94 @@ def is_contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
     return frozen_head in evaluate_query(q2, canonical_db)
 
 
+def is_contained_in_brute_force(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Containment via the nested-loop evaluator (the pre-scale path)."""
+    if len(q1.head.args) != len(q2.head.args):
+        return False
+    canonical_db, frozen_head = freeze(q1)
+    return frozen_head in evaluate_query_brute_force(q2, canonical_db)
+
+
 def minimize_union(queries: list[ConjunctiveQuery]) -> list[ConjunctiveQuery]:
-    """Drop union members contained in another member (UCQ minimization)."""
+    """Drop union members contained in another member (UCQ minimization).
+
+    Output order is deterministic: survivors keep their input order, and
+    mutually-equivalent pairs keep exactly the earlier member.
+
+    Candidate filter: ``q ⊆ other`` needs a homomorphism from ``other``'s
+    body into ``q``'s canonical database, so every body predicate of
+    ``other`` must occur in ``q``'s body.  Grouping by body-predicate
+    sets skips the (at scale, overwhelmingly dominant) pairs that fail
+    this test without running a containment check — this is what keeps
+    minimization of a hundreds-of-rewritings union off the quadratic
+    cliff (see ``benchmarks/bench_c11_pdms_scale.py``).
+    """
+    predicate_sets = [frozenset(query.predicates()) for query in queries]
+    # For each distinct predicate set, the positions using it; a query's
+    # containment candidates are queries whose predicate set it covers.
+    by_predicates: dict[frozenset, list[int]] = {}
+    for position, predicates in enumerate(predicate_sets):
+        by_predicates.setdefault(predicates, []).append(position)
+    # Bodies are small (a handful of atoms), so candidates are found by
+    # enumerating subsets of the query's own predicate set; queries with
+    # unusually wide bodies fall back to scanning the distinct groups.
+    _SUBSET_ENUMERATION_LIMIT = 12
+    candidate_cache: dict[frozenset, list[int]] = {}
+
+    def candidates_for(predicates: frozenset) -> list[int]:
+        cached = candidate_cache.get(predicates)
+        if cached is not None:
+            return cached
+        positions: list[int] = []
+        if len(predicates) <= _SUBSET_ENUMERATION_LIMIT:
+            ordered = sorted(predicates)
+            for size in range(len(ordered) + 1):
+                for subset in itertools.combinations(ordered, size):
+                    positions.extend(by_predicates.get(frozenset(subset), ()))
+        else:
+            for other_predicates, members in by_predicates.items():
+                if other_predicates <= predicates:
+                    positions.extend(members)
+        positions.sort()
+        candidate_cache[predicates] = positions
+        return positions
+
+    kept: list[ConjunctiveQuery] = []
+    for i, query in enumerate(queries):
+        redundant = False
+        for j in candidates_for(predicate_sets[i]):
+            if i == j:
+                continue
+            other = queries[j]
+            if is_contained_in(query, other):
+                # Break ties deterministically so mutually-equivalent pairs
+                # keep exactly one member.
+                if is_contained_in(other, query) and i < j:
+                    continue
+                redundant = True
+                break
+        if not redundant:
+            kept.append(query)
+    return kept
+
+
+def minimize_union_brute_force(
+    queries: list[ConjunctiveQuery],
+) -> list[ConjunctiveQuery]:
+    """The pre-scale UCQ minimization: all-pairs containment, nested-loop
+    evaluation inside each test.  Output is identical to
+    :func:`minimize_union` (same candidate order, same tie-breaks) — the
+    candidate filter only skips pairs that provably fail — and the C11
+    benchmark measures the quadratic cliff this kept the seed on.
+    """
     kept: list[ConjunctiveQuery] = []
     for i, query in enumerate(queries):
         redundant = False
         for j, other in enumerate(queries):
             if i == j:
                 continue
-            if is_contained_in(query, other):
-                # Break ties deterministically so mutually-equivalent pairs
-                # keep exactly one member.
-                if is_contained_in(other, query) and i < j:
+            if is_contained_in_brute_force(query, other):
+                if is_contained_in_brute_force(other, query) and i < j:
                     continue
                 redundant = True
                 break

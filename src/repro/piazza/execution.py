@@ -1,15 +1,32 @@
 """Distributed execution of reformulated queries (Section 3.1.2).
 
 The paper rejects the central-server design in favour of peer-based
-processing with materialized views placed at peers.  The executor here:
+processing with materialized views placed at peers ("processing is
+distributed among the peers" / "materialized views of data at other
+nodes").  The executor here:
 
-* ships each stored-relation fetch as a request/response message pair
-  over the :class:`~repro.piazza.network.SimulatedNetwork`;
-* caches fetched relations at the querying peer for the duration of one
-  query (no duplicate fetches);
+* ships stored-relation fetches as request/response message pairs over
+  the :class:`~repro.piazza.network.SimulatedNetwork`;
+* **batches per peer**: one round trip per remote peer carries every
+  stored relation any rewriting in the union needs, so
+  :class:`ExecutionStats` records messages, tuples and latency once per
+  peer, not once per relation (the pre-scale per-relation path survives
+  as :meth:`DistributedExecutor.execute_brute_force`);
+* evaluates the union with the shared-table hash join of
+  :func:`repro.piazza.datalog.evaluate_union`, fetching only the
+  relations the rewritings mention instead of materializing the global
+  instance;
 * consults *materialized views* — a peer may materialize the result of a
   whole conjunctive query; syntactically equal (up to renaming) CQs are
   then answered from the materialization without touching the sources.
+
+Knobs: ``reformulation_options`` passes straight through to
+:meth:`repro.piazza.peer.PDMS.reformulate` (depth/budget/pruning, and
+``indexed=False`` to ablate the mapping index); the network's
+``default_latency_ms`` / ``per_tuple_ms`` set the simulated cost model.
+Benchmark C11 (``benchmarks/bench_c11_pdms_scale.py``) measures the
+batched-vs-brute gap on large generated networks; the parity suite
+(``tests/test_pdms_scale.py``) proves both return identical answers.
 """
 
 from __future__ import annotations
@@ -19,7 +36,8 @@ from dataclasses import dataclass, field
 from repro.piazza.datalog import (
     ConjunctiveQuery,
     Instance,
-    evaluate_query,
+    evaluate_query_brute_force,
+    evaluate_union,
 )
 from repro.piazza.network import SimulatedNetwork
 from repro.piazza.peer import PDMS, owner_of
@@ -27,13 +45,20 @@ from repro.piazza.peer import PDMS, owner_of
 
 @dataclass
 class ExecutionStats:
-    """Accounting for one distributed execution."""
+    """Accounting for one distributed execution.
+
+    ``peers_contacted`` counts remote peers that served at least one
+    stored relation; in the batched executor each costs exactly one
+    request/response pair, and ``tuples_shipped`` aggregates its whole
+    payload once.
+    """
 
     messages: int = 0
     tuples_shipped: int = 0
     latency_ms: float = 0.0
     view_hits: int = 0
     relations_fetched: int = 0
+    peers_contacted: int = 0
     answers: set = field(default_factory=set)
 
 
@@ -75,17 +100,98 @@ class DistributedExecutor:
         return count
 
     # -- execution -------------------------------------------------------------
+    def _stored_tuples(self, predicate: str) -> set[tuple]:
+        """The live tuple set behind a ``peer!relation`` predicate."""
+        owner, relation = predicate.split("!", 1)
+        peer = self.pdms.peers.get(owner)
+        if peer is None:
+            return set()
+        return peer.data.get(relation, set())
+
     def execute(
         self,
         query: str | ConjunctiveQuery,
         at_peer: str,
         reformulation_options: dict | None = None,
     ) -> ExecutionStats:
-        """Reformulate at ``at_peer``, fetch remote relations, join locally."""
+        """Reformulate at ``at_peer``, batch-fetch per peer, hash-join locally.
+
+        The union's rewritings are inspected up front (view-served
+        members drop out), the stored relations they mention are grouped
+        by owning peer, and each remote peer is charged exactly one
+        request/response round trip for its whole relation batch.
+        """
         if isinstance(query, str):
             query = self.pdms.query(query)
         stats = ExecutionStats()
         result = self.pdms.reformulate(query, **(reformulation_options or {}))
+
+        pending: list[ConjunctiveQuery] = []
+        for rewriting in result.rewritings:
+            view = self.view_for(at_peer, rewriting)
+            if view is not None:
+                stats.view_hits += 1
+                stats.answers |= set(view.tuples)
+            else:
+                pending.append(rewriting)
+        if not pending:
+            return stats
+
+        # One fetch plan for the whole union: predicate -> owner, grouped
+        # by owner in first-mention order for deterministic messaging.
+        by_owner: dict[str, list[str]] = {}
+        planned: set[str] = set()
+        for rewriting in pending:
+            for atom in rewriting.body:
+                if atom.predicate in planned:
+                    continue
+                planned.add(atom.predicate)
+                by_owner.setdefault(owner_of(atom.predicate), []).append(
+                    atom.predicate
+                )
+
+        fetched: Instance = {}
+        for owner, predicates in by_owner.items():
+            payload = 0
+            for predicate in predicates:
+                tuples = self._stored_tuples(predicate)
+                fetched[predicate] = tuples
+                payload += len(tuples)
+            stats.relations_fetched += len(predicates)
+            if owner != at_peer:
+                stats.peers_contacted += 1
+                stats.messages += 2  # one batched request + response
+                stats.latency_ms += self.network.send(
+                    at_peer, owner, 1, kind="request"
+                )
+                stats.latency_ms += self.network.send(
+                    owner, at_peer, payload, kind="response"
+                )
+                stats.tuples_shipped += payload
+
+        stats.answers |= evaluate_union(pending, fetched)
+        return stats
+
+    def execute_brute_force(
+        self,
+        query: str | ConjunctiveQuery,
+        at_peer: str,
+        reformulation_options: dict | None = None,
+    ) -> ExecutionStats:
+        """The pre-scale-layer executor, kept as the C11 baseline.
+
+        Unindexed reformulation, a full global-instance materialization,
+        one request/response pair per stored relation, and nested-loop
+        evaluation per rewriting.  Answers are identical to
+        :meth:`execute` (the parity suite asserts it); the stats differ
+        exactly where batching saves work.
+        """
+        if isinstance(query, str):
+            query = self.pdms.query(query)
+        stats = ExecutionStats()
+        result = self.pdms.reformulate_brute_force(
+            query, **(reformulation_options or {})
+        )
         instance = self.pdms.instance()
         fetched: Instance = {}
         for rewriting in result.rewritings:
@@ -100,7 +206,7 @@ class DistributedExecutor:
                 owner = owner_of(atom.predicate)
                 tuples = instance.get(atom.predicate, set())
                 if owner != at_peer:
-                    stats.messages += 2  # request + response
+                    stats.messages += 2  # per-relation request + response
                     stats.latency_ms += self.network.send(
                         at_peer, owner, 1, kind="request"
                     )
@@ -110,5 +216,8 @@ class DistributedExecutor:
                     stats.tuples_shipped += len(tuples)
                 stats.relations_fetched += 1
                 fetched[atom.predicate] = tuples
-            stats.answers |= evaluate_query(rewriting, fetched)
+            stats.answers |= evaluate_query_brute_force(rewriting, fetched)
+        stats.peers_contacted = len(
+            {owner_of(p) for p in fetched} - {at_peer}
+        )
         return stats

@@ -1,9 +1,30 @@
-"""A simulated overlay network of peers.
+"""A simulated overlay network of peers (Section 3.1.2's substrate).
 
-The paper's Piazza runs over the Internet; the reproduction substitutes
-a latency/message simulation (see DESIGN.md).  The executor charges one
-request message per remote fetch and a response whose size is the
-number of tuples shipped; latency accumulates per round trip.
+The paper's Piazza "will be spread across the Internet", with query
+processing "distributed among the peers" — so the interesting costs are
+round trips and payload volume, not local CPU.  The reproduction
+substitutes this latency/message simulation: the executor
+(:mod:`repro.piazza.execution`) charges one request message per remote
+fetch and a response whose size is the number of tuples shipped;
+latency accumulates per round trip.  With the batched executor a remote
+peer is charged exactly one round trip per query regardless of how many
+of its stored relations the union touches — which is precisely the gap
+benchmark C11 reports against the per-relation brute-force path.
+
+Cost-model knobs:
+
+* ``default_latency_ms`` — flat pairwise latency (20 ms default);
+  :meth:`SimulatedNetwork.set_latency` /
+  :meth:`SimulatedNetwork.randomize_latencies` install heterogeneous
+  topologies (seeded, for reproducible experiments);
+* ``per_tuple_ms`` — marginal shipping cost per tuple, so big payloads
+  are not free even over one round trip;
+* local (same-peer) transfers are free and unrecorded.
+
+Accounting: every :meth:`SimulatedNetwork.send` appends a
+:class:`Message`, so ``message_count`` / ``bytes_shipped`` /
+``total_latency_ms`` audit a whole run; :meth:`SimulatedNetwork.reset`
+clears traffic but keeps the latency matrix.
 """
 
 from __future__ import annotations

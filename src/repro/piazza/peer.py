@@ -1,16 +1,43 @@
 """Peers, mappings, storage descriptions and the PDMS itself.
 
+This is the assembly point for Section 3 of the paper: peers join with
+any subset of the three content types of Section 3.1 — data (stored
+relations), a peer schema, and mappings — and :class:`PDMS` compiles
+everything into the single (inverse) datalog rule set shared by the
+reformulation engine (Section 3.1.1), the distributed executor
+(Section 3.1.2) and the certain-answer chase it is all measured
+against.
+
 Naming convention for predicates:
 
 * ``Peer.relation`` — a *peer relation* (logical schema element),
 * ``Peer!relation`` — a *stored relation* (materialized source data).
 
-A peer contributes any of the three content types of Section 3.1: data
-(stored relations), a peer schema, and mappings.  Mappings are GLAV
-inclusions between conjunctive queries over two (sets of) peers'
-schemas; storage descriptions relate a peer's stored relations to its
-own schema.  Everything is compiled to (inverse) datalog rules shared by
-the reformulation engine and the certain-answer chase.
+Mapping formalisms (Section 3.1.1's "mappings are local"):
+
+* :class:`StorageDescription` — LAV-style ``Peer!stored ⊆ view over
+  Peer's schema`` (``exact=True`` for closed-world sources);
+* :class:`InclusionMapping` — GLAV ``Q_source ⊆ Q_target`` between two
+  peers' schemas (``exact=True`` compiles both directions);
+* :class:`DefinitionalMapping` — GAV-style view definition.
+
+Caching and scale knobs (everything is invalidated on any topology
+change — ``add_peer`` / ``add_mapping`` / ``add_storage`` /
+``add_definition``):
+
+* ``rules()`` — the compiled rule set, built once per topology;
+* ``mapping_index()`` — the :class:`~repro.piazza.mapping_index.MappingIndex`
+  over those rules, served to every :meth:`reformulate` call unless
+  ``indexed=False`` requests the brute-force path (the benchmark C11
+  baseline);
+* :meth:`answer` evaluates the reformulated union with the hash-join
+  batched evaluator; :meth:`answer_brute_force` keeps the pre-scale
+  nested-loop path for parity testing.
+
+Reformulation knobs (``max_depth``, ``max_rule_uses``, ``prune``,
+``minimize``, ``max_rewritings``) pass through ``**options`` to
+:func:`repro.piazza.reformulation.reformulate`; see that module for the
+pruning inventory.
 """
 
 from __future__ import annotations
@@ -28,9 +55,12 @@ from repro.piazza.datalog import (
     apply_subst_atom,
     certain_answers,
     evaluate_union,
+    evaluate_union_brute_force,
     fresh_suffix,
+    minimize_union_brute_force,
     unify,
 )
+from repro.piazza.mapping_index import MappingIndex
 from repro.piazza.parse import parse_query
 from repro.piazza.reformulation import ReformulationResult, reformulate
 
@@ -230,6 +260,7 @@ class PDMS:
         self.mappings: list = []
         self.storage: list[StorageDescription] = []
         self._rules_cache: list[Rule] | None = None
+        self._index_cache: MappingIndex | None = None
 
     # -- construction -----------------------------------------------------
     def add_peer(self, name: str) -> Peer:
@@ -239,6 +270,7 @@ class PDMS:
         peer = Peer(name)
         self.peers[name] = peer
         self._rules_cache = None
+        self._index_cache = None
         return peer
 
     def add_storage(
@@ -268,6 +300,7 @@ class PDMS:
         description = StorageDescription(view, exact=exact)
         self.storage.append(description)
         self._rules_cache = None
+        self._index_cache = None
         return description
 
     def add_mapping(
@@ -285,6 +318,7 @@ class PDMS:
         mapping = InclusionMapping(name, source, target, exact=exact)
         self.mappings.append(mapping)
         self._rules_cache = None
+        self._index_cache = None
         return mapping
 
     def add_definition(self, name: str, definition: str | ConjunctiveQuery) -> DefinitionalMapping:
@@ -294,6 +328,7 @@ class PDMS:
         mapping = DefinitionalMapping(name, definition)
         self.mappings.append(mapping)
         self._rules_cache = None
+        self._index_cache = None
         return mapping
 
     def _peer(self, name: str) -> Peer:
@@ -322,6 +357,18 @@ class PDMS:
             for rel in peer.stored
         }
 
+    def mapping_index(self) -> MappingIndex:
+        """The cached rule index + relevance closure for this topology.
+
+        Rebuilt whenever the compiled rules or the stored-relation set
+        change (``Peer.add_stored`` can grow the latter without going
+        through the PDMS, so the EDB set is re-checked here).
+        """
+        edb = self.edb_predicates()
+        if self._index_cache is None or self._index_cache.edb_predicates != edb:
+            self._index_cache = MappingIndex(self.rules(), edb)
+        return self._index_cache
+
     def instance(self) -> Instance:
         """The global instance of stored data."""
         return {
@@ -336,17 +383,50 @@ class PDMS:
 
     # -- answering -------------------------------------------------------------
     def reformulate(
-        self, query: str | ConjunctiveQuery, **options
+        self, query: str | ConjunctiveQuery, indexed: bool = True, **options
     ) -> ReformulationResult:
-        """Rewrite a query to stored relations via the rule-goal tree."""
+        """Rewrite a query to stored relations via the rule-goal tree.
+
+        ``indexed=True`` (the default) serves the search from the cached
+        :meth:`mapping_index`; ``indexed=False`` is the pre-scale-layer
+        path that rebuilds the rule lookup per call — same rewritings,
+        kept for the C11 baseline and the parity suite.
+        """
         if isinstance(query, str):
             query = parse_query(query)
-        return reformulate(query, self.rules(), self.edb_predicates(), **options)
+        if indexed:
+            index = self.mapping_index()
+            edb = index.edb_predicates  # already computed for the index
+        else:
+            index = None
+            edb = self.edb_predicates()
+        return reformulate(query, self.rules(), edb, index=index, **options)
 
     def answer(self, query: str | ConjunctiveQuery, **options) -> set[tuple]:
-        """Answer by reformulation + evaluation over stored data."""
+        """Answer by reformulation + batched hash-join evaluation."""
         result = self.reformulate(query, **options)
         return evaluate_union(result.rewritings, self.instance())
+
+    def reformulate_brute_force(
+        self, query: str | ConjunctiveQuery, **options
+    ) -> ReformulationResult:
+        """The seed's whole reformulation pipeline: unindexed rule lookup
+        and quadratic nested-loop UCQ minimization.  Same rewritings as
+        :meth:`reformulate` — this is the C11 baseline and parity oracle.
+        """
+        minimize = options.pop("minimize", True)
+        options.pop("indexed", None)  # this path is unindexed by definition
+        result = self.reformulate(query, indexed=False, minimize=False, **options)
+        if minimize and len(result.rewritings) > 1:
+            result.rewritings = minimize_union_brute_force(result.rewritings)
+        return result
+
+    def answer_brute_force(self, query: str | ConjunctiveQuery, **options) -> set[tuple]:
+        """The pre-scale answering path: unindexed reformulation,
+        quadratic minimization and nested-loop union evaluation.  Parity
+        oracle for :meth:`answer`."""
+        result = self.reformulate_brute_force(query, **options)
+        return evaluate_union_brute_force(result.rewritings, self.instance())
 
     def certain(self, query: str | ConjunctiveQuery, max_skolem_depth: int = 3) -> set[tuple]:
         """Ground-truth certain answers via the chase."""

@@ -22,6 +22,16 @@ those are (ablated in benchmark C3):
   are deduplicated;
 * **UCQ minimization** — rewritings contained in other rewritings are
   dropped from the final union.
+
+At scale a fifth, *structural* pruning layer rides on top: passing a
+prebuilt :class:`~repro.piazza.mapping_index.MappingIndex` (``index=``)
+serves each goal expansion from the cached by-head-predicate rule lists
+and skips rules whose bodies can never reach a stored relation (the
+relevance closure).  The result counters then also report ``index_hits``
+(expansions served by the index) and ``rules_skipped`` (dead-end rules
+never renamed or unified).  Indexing never changes the rewriting set —
+only the work done to find it (parity: ``tests/test_pdms_scale.py``;
+speed: ``benchmarks/bench_c11_pdms_scale.py``).
 """
 
 from __future__ import annotations
@@ -44,12 +54,21 @@ from repro.piazza.datalog import (
 
 @dataclass
 class ReformulationResult:
-    """Outcome of a reformulation run, with search-effort counters."""
+    """Outcome of a reformulation run, with search-effort counters.
+
+    ``index_hits`` / ``rules_skipped`` are only non-zero when the run
+    was served by a :class:`~repro.piazza.mapping_index.MappingIndex`:
+    the former counts goal expansions answered from the index, the
+    latter counts candidate rules the relevance closure proved dead and
+    never renamed or unified.
+    """
 
     rewritings: list[ConjunctiveQuery]
     nodes_expanded: int = 0
     nodes_pruned: int = 0
     depth_limit_hit: bool = False
+    index_hits: int = 0
+    rules_skipped: int = 0
 
     def __iter__(self):
         return iter(self.rewritings)
@@ -86,16 +105,25 @@ def reformulate(
     prune: bool = True,
     minimize: bool = True,
     max_rewritings: int = 10_000,
+    index=None,
 ) -> ReformulationResult:
     """Rewrite ``query`` into a union of CQs over ``edb_predicates``.
 
     ``prune=False`` disables goal memoization and duplicate collapsing
     (the C3 ablation); the rule budget and depth bound always apply, or
     cyclic mapping graphs would never terminate.
+
+    ``index`` (a :class:`~repro.piazza.mapping_index.MappingIndex`
+    built over the same ``rules``/``edb_predicates``) replaces the
+    per-call by-head dictionary build with cached lookups and skips
+    relevance-pruned rules; the rewriting set is identical either way.
     """
     rules_by_predicate: dict[str, list[tuple[int, Rule]]] = {}
-    for index, rule in enumerate(rules):
-        rules_by_predicate.setdefault(rule.head.predicate, []).append((index, rule))
+    if index is None:
+        for position, rule in enumerate(rules):
+            rules_by_predicate.setdefault(rule.head.predicate, []).append(
+                (position, rule)
+            )
 
     result = ReformulationResult(rewritings=[])
     seen_states: set[tuple] = set()
@@ -108,9 +136,9 @@ def reformulate(
             break
         # Find the first goal not over a stored relation.
         pending_index = None
-        for index, goal in enumerate(state.goals):
+        for goal_position, goal in enumerate(state.goals):
             if goal.predicate not in edb_predicates:
-                pending_index = index
+                pending_index = goal_position
                 break
         if pending_index is None:
             # Complete rewriting: all goals are stored relations.
@@ -153,12 +181,24 @@ def reformulate(
             seen_states.add(fingerprint)
 
         result.nodes_expanded += 1
-        for rule_index, rule in rules_by_predicate.get(goal.predicate, ()):
+        if index is not None:
+            result.index_hits += 1
+            result.rules_skipped += index.dead_rules_for(goal.predicate)
+            candidates = index.rules_for(goal.predicate)
+        else:
+            candidates = rules_by_predicate.get(goal.predicate, ())
+        for candidate in candidates:
+            # Indexed candidates are RuleEntry (cached variable sets);
+            # unindexed ones are (position, Rule).  Both rename to a Rule.
+            if index is not None:
+                rule_index, renameable = candidate.position, candidate
+            else:
+                rule_index, renameable = candidate
             uses = state.rule_uses.get(rule_index, 0)
             if uses >= max_rule_uses:
                 result.nodes_pruned += 1
                 continue
-            fresh = rule.rename(fresh_suffix())
+            fresh = renameable.rename(fresh_suffix())
             unified = unify_atoms(goal, fresh.head, state.subst)
             if unified is None:
                 continue

@@ -1,0 +1,41 @@
+"""Docs must not rot: links resolve, walkthrough snippets execute.
+
+Runs the same checker the CI docs job uses (``tools/check_docs.py``) —
+in-process for the fine-grained cases, as a subprocess for the
+end-to-end gate.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+class TestDocsChecker:
+    def test_all_relative_links_resolve(self):
+        problems = []
+        for path in check_docs.markdown_files():
+            problems.extend(check_docs.broken_links(path))
+        assert problems == []
+
+    def test_pdms_walkthrough_executes(self):
+        failures = check_docs.run_walkthrough(REPO_ROOT / "docs" / "pdms.md")
+        assert failures == []
+
+    def test_checker_cli_passes(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_broken_link_detected(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [missing](./does-not-exist.md)")
+        assert check_docs.broken_links(bad)

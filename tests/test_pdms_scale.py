@@ -1,0 +1,289 @@
+"""Parity suite for the PDMS scale layer (benchmark C11's correctness leg).
+
+Everything the scale layer accelerates must be *provably identical* to
+the brute-force path it replaces:
+
+* hash-join evaluation == nested-loop evaluation (answers),
+* indexed reformulation == unindexed reformulation (rewriting sets),
+* the fast UCQ minimizer == the quadratic one (same survivors, same
+  deterministic order),
+* the batched executor == the per-relation executor (answers + views),
+
+checked on randomized ``pdms_gen`` networks (with schema-only peers and
+cross edges) and on targeted hand-built topologies for the closure
+logic.
+"""
+
+import random
+
+from repro.datasets.pdms_gen import random_tree_pdms
+from repro.piazza import (
+    DistributedExecutor,
+    MappingIndex,
+    PDMS,
+    evaluate_query,
+    evaluate_query_brute_force,
+    evaluate_union,
+    evaluate_union_brute_force,
+    minimize_union,
+)
+from repro.piazza.datalog import minimize_union_brute_force
+from repro.piazza.parse import parse_query, parse_rule
+
+
+def _random_networks():
+    for seed in (1, 5, 11):
+        yield random_tree_pdms(
+            9, seed=seed, courses=3, extra_edges=3, dataless_peers=2
+        )
+
+
+def _sample_queries(pdms) -> list[str]:
+    gold = pdms.generator_info["golds"]["p0"]
+    course, instructor, ta = gold["course"], gold["instructor"], gold["ta"]
+    return [
+        f"q(?t) :- p0.{course}(?c, ?t, ?n, ?w, ?l, ?en, ?d)",
+        f"q(?t, ?e) :- p0.{course}(?c, ?t, ?n, ?w, ?l, ?en, ?d), "
+        f"p0.{instructor}(?i, ?n, ?e, ?ph, ?o)",
+        f"q(?n, ?ta) :- p0.{course}(?c, ?t, ?n, ?w, ?l, ?en, ?d), "
+        f"p0.{ta}(?i, ?c, ?ta, ?e, ?h)",
+    ]
+
+
+class TestEvaluationParity:
+    def test_hash_join_equals_brute_force_on_random_instances(self):
+        rng = random.Random(42)
+        for _ in range(25):
+            instance = {
+                pred: {
+                    tuple(rng.randint(0, 3) for _ in range(arity))
+                    for _ in range(rng.randint(0, 6))
+                }
+                for pred, arity in (("r", 2), ("s", 2), ("t", 3))
+            }
+            query = parse_query(
+                rng.choice(
+                    [
+                        "q(X) :- r(X, Y)",
+                        "q(X, Z) :- r(X, Y), s(Y, Z)",
+                        "q(X) :- r(X, X)",
+                        "q(X, W) :- r(X, Y), s(Y, Z), t(Z, W, V)",
+                        "q(X) :- r(X, Y), s(X, Y)",
+                        "q(X) :- r(0, X)",
+                    ]
+                )
+            )
+            assert evaluate_query(query, instance) == evaluate_query_brute_force(
+                query, instance
+            )
+
+    def test_const_wrapped_facts_match_like_brute_force(self):
+        # Regression: fact-side hash keys must unconst like probe keys,
+        # including Consts nested inside Skolem terms.
+        from repro.piazza import Const, Func
+
+        instance = {
+            "p": {(Const("a"), "b")},
+            "f": {(Func("sk", (Const("a"),)), "c")},
+        }
+        for text in ("q(X) :- p('a', X)", "q(X) :- p(Y, X)"):
+            query = parse_query(text)
+            assert evaluate_query(query, instance) == evaluate_query_brute_force(
+                query, instance
+            ) == {("b",)}
+        join = parse_query("q(X, Z) :- f(Y, X), f(Y, Z)")
+        assert evaluate_query(join, instance) == evaluate_query_brute_force(
+            join, instance
+        ) == {("c", "c")}
+
+    def test_union_parity_on_generated_networks(self):
+        for pdms in _random_networks():
+            instance = pdms.instance()
+            for query in _sample_queries(pdms):
+                result = pdms.reformulate(query)
+                assert evaluate_union(
+                    result.rewritings, instance
+                ) == evaluate_union_brute_force(result.rewritings, instance)
+
+    def test_answer_parity_and_certain_answers(self):
+        pdms = random_tree_pdms(5, seed=7, courses=2)
+        for query in _sample_queries(pdms):
+            fast = pdms.answer(query)
+            brute = pdms.answer_brute_force(query)
+            assert fast == brute
+            # Equality mappings + identity storage: reformulation is
+            # complete, so both must equal the chase's certain answers.
+            assert fast == pdms.certain(query)
+
+
+class TestReformulationParity:
+    def test_indexed_equals_unindexed_rewritings(self):
+        for pdms in _random_networks():
+            for query in _sample_queries(pdms):
+                indexed = pdms.reformulate(query)
+                unindexed = pdms.reformulate(query, indexed=False)
+                assert [r.canonical() for r in indexed.rewritings] == [
+                    r.canonical() for r in unindexed.rewritings
+                ]
+                assert indexed.index_hits > 0
+                assert unindexed.index_hits == 0
+
+    def test_brute_force_entry_points_accept_indexed_knob(self):
+        # Regression: the documented ablation knob must be harmless on
+        # the (by definition unindexed) brute-force paths.
+        pdms = random_tree_pdms(4, seed=2, courses=2)
+        query = _sample_queries(pdms)[0]
+        executor = DistributedExecutor(pdms)
+        assert pdms.answer_brute_force(query, indexed=False) == pdms.answer(query)
+        brute = executor.execute_brute_force(
+            query, "p0", reformulation_options={"indexed": False}
+        )
+        assert brute.answers == pdms.answer(query)
+
+    def test_scale_pipeline_equals_seed_pipeline(self):
+        for pdms in _random_networks():
+            for query in _sample_queries(pdms):
+                fast = pdms.reformulate(query)
+                seed_path = pdms.reformulate_brute_force(query)
+                assert [r.canonical() for r in fast.rewritings] == [
+                    r.canonical() for r in seed_path.rewritings
+                ]
+
+    def test_relevance_closure_skips_dead_rules(self):
+        # The schema-only peers of the generated network map themselves
+        # one-directionally into data peers, so their relations are dead
+        # ends the index proves unreachable-to-storage.
+        pdms = random_tree_pdms(6, seed=3, courses=2, dataless_peers=3)
+        index = pdms.mapping_index()
+        assert index.stats.dead_rules > 0
+        result = pdms.reformulate(_sample_queries(pdms)[0], max_depth=30)
+        assert result.rules_skipped > 0
+
+
+class TestMappingIndex:
+    def _chain(self, length: int) -> PDMS:
+        pdms = PDMS()
+        for i in range(length):
+            peer = pdms.add_peer(f"p{i}")
+            peer.add_relation("r", ["a"])
+            peer.add_stored("s", ["a"])
+            pdms.add_storage(f"p{i}", "s", f"p{i}.r")
+        for i in range(length - 1):
+            pdms.add_mapping(
+                f"m{i}", f"m(X) :- p{i}.r(X)", f"m(X) :- p{i + 1}.r(X)",
+                exact=True,
+            )
+        return pdms
+
+    def test_productive_closure(self):
+        rules = [
+            parse_rule("a.r(X) :- src!s(X)"),
+            parse_rule("b.r(X) :- a.r(X)"),
+            parse_rule("c.r(X) :- dead.r(X)"),  # dead.r has no derivation
+            parse_rule("c.r(X) :- b.r(X)"),
+        ]
+        index = MappingIndex(rules, {"src!s"})
+        assert index.is_productive("a.r")
+        assert index.is_productive("c.r")
+        assert not index.is_productive("dead.r")
+        # c.r keeps only its live rule.
+        assert len(index.rules_for("c.r")) == 1
+        assert index.dead_rules_for("c.r") == 1
+        assert index.stats.dead_rules == 1
+
+    def test_reachability_closure(self):
+        pdms = self._chain(4)
+        index = pdms.mapping_index()
+        reachable = index.reachable("p3.r")
+        assert {"p0!s", "p1!s", "p2!s", "p3!s"} <= reachable
+        assert index.relevant_edb({"p3.r"}) == {
+            "p0!s", "p1!s", "p2!s", "p3!s",
+        }
+
+    def test_cache_invalidation_on_topology_change(self):
+        pdms = self._chain(2)
+        first = pdms.mapping_index()
+        assert pdms.mapping_index() is first  # cached
+        peer = pdms.add_peer("late")
+        peer.add_relation("r", ["a"])
+        peer.add_stored("s", ["a"], [("fresh",)])
+        pdms.add_storage("late", "s", "late.r")
+        pdms.add_mapping("late_m", "m(X) :- late.r(X)", "m(X) :- p0.r(X)",
+                         exact=True)
+        rebuilt = pdms.mapping_index()
+        assert rebuilt is not first
+        assert pdms.answer("q(X) :- p0.r(X)") >= {("fresh",)}
+
+    def test_snapshot_counts(self):
+        pdms = self._chain(3)
+        snapshot = pdms.mapping_index().stats_snapshot()
+        assert snapshot["rules"] == len(pdms.rules())
+        assert snapshot["edb_predicates"] == 3
+        assert snapshot["dead_rules"] == 0
+
+
+class TestMinimizeUnion:
+    QUERIES = [
+        "q(X) :- src!a(X), src!b(X)",   # contained in the next member
+        "q(X) :- src!a(X)",
+        "q(Y) :- src!a(Y)",             # equivalent to the previous one
+        "q(X) :- src!c(X)",
+        "q(X) :- src!a(X), src!c(X)",   # contained in both singles
+    ]
+
+    def test_matches_brute_force_exactly(self):
+        queries = [parse_query(text) for text in self.QUERIES]
+        assert minimize_union(queries) == minimize_union_brute_force(queries)
+
+    def test_output_order_deterministic(self):
+        queries = [parse_query(text) for text in self.QUERIES]
+        first = minimize_union(list(queries))
+        second = minimize_union(list(queries))
+        assert first == second
+        # Survivors keep their input order (a subsequence of the input).
+        positions = [queries.index(kept) for kept in first]
+        assert positions == sorted(positions)
+        # Of the equivalent pair, exactly the earlier member survives.
+        assert queries[1] in first
+        assert queries[2] not in first
+
+    def test_matches_brute_force_on_generated_unions(self):
+        for pdms in _random_networks():
+            for query in _sample_queries(pdms):
+                raw = pdms.reformulate(query, minimize=False).rewritings
+                assert minimize_union(raw) == minimize_union_brute_force(raw)
+
+
+class TestExecutorParity:
+    def test_batched_equals_brute_answers_and_views(self):
+        for pdms in _random_networks():
+            executor = DistributedExecutor(pdms)
+            for query in _sample_queries(pdms):
+                fast = executor.execute(query, at_peer="p0")
+                brute = executor.execute_brute_force(query, at_peer="p0")
+                assert fast.answers == brute.answers
+                assert fast.peers_contacted == brute.peers_contacted
+                assert fast.messages <= brute.messages
+
+    def test_batching_halves_messages_on_two_relation_query(self):
+        pdms = random_tree_pdms(6, seed=2, courses=2)
+        query = _sample_queries(pdms)[1]
+        executor = DistributedExecutor(pdms)
+        options = {"minimize": False}
+        fast = executor.execute(query, "p0", reformulation_options=options)
+        brute = executor.execute_brute_force(
+            query, "p0", reformulation_options=options
+        )
+        assert fast.answers == brute.answers
+        assert brute.messages == 2 * fast.messages
+
+    def test_view_hits_short_circuit_fetches(self):
+        pdms = random_tree_pdms(4, seed=2, courses=2)
+        query = _sample_queries(pdms)[0]
+        executor = DistributedExecutor(pdms)
+        for rewriting in pdms.reformulate(query).rewritings:
+            executor.materialize("p0", rewriting)
+        served = executor.execute(query, at_peer="p0")
+        assert served.view_hits > 0
+        assert served.messages == 0
+        assert served.answers == pdms.answer(query)

@@ -1,0 +1,101 @@
+"""Docs CI: relative-link checking and runnable walkthrough execution.
+
+Two jobs, both stdlib-only:
+
+* **Links** — every relative markdown link in ``README.md`` and
+  ``docs/`` must point at a file or directory that exists in the repo
+  (external ``http(s)``/``mailto`` targets and pure ``#anchors`` are
+  skipped — no network access here).
+* **Walkthroughs** — every fenced ```` ```python ```` block in
+  ``docs/pdms.md`` is executed verbatim, in order, in one shared
+  namespace, so the documented API calls and asserted outputs cannot
+  drift from the code.
+
+Run:  PYTHONPATH=src python tools/check_docs.py
+Exit status is non-zero on any broken link or failing snippet; the CI
+docs job and ``tests/test_docs.py`` both gate on it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _display(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+PYTHON_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+EXECUTABLE_DOCS = ("docs/pdms.md",)
+
+
+def markdown_files() -> list[Path]:
+    """README plus everything under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("**/*.md")))
+    return [path for path in files if path.exists()]
+
+
+def broken_links(path: Path) -> list[str]:
+    """Relative link targets in ``path`` that do not exist."""
+    problems = []
+    for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(f"{_display(path)}: broken link -> {target}")
+    return problems
+
+
+def run_walkthrough(path: Path) -> list[str]:
+    """Execute the doc's python blocks in one namespace; return failures."""
+    blocks = PYTHON_BLOCK_RE.findall(path.read_text(encoding="utf-8"))
+    namespace: dict = {"__name__": f"docs.{path.stem}"}
+    for number, block in enumerate(blocks, start=1):
+        try:
+            exec(compile(block, f"{path.name}[block {number}]", "exec"), namespace)
+        except Exception as error:  # noqa: BLE001 - report, don't crash the checker
+            return [
+                f"{_display(path)}: block {number} failed: "
+                f"{type(error).__name__}: {error}"
+            ]
+    return []
+
+
+def main() -> int:
+    """Check links in all docs, execute the runnable ones; 0 iff clean."""
+    problems: list[str] = []
+    checked_links = 0
+    for path in markdown_files():
+        checked_links += len(LINK_RE.findall(path.read_text(encoding="utf-8")))
+        problems.extend(broken_links(path))
+    executed = []
+    for relative in EXECUTABLE_DOCS:
+        path = REPO_ROOT / relative
+        if not path.exists():
+            problems.append(f"missing executable doc: {relative}")
+            continue
+        problems.extend(run_walkthrough(path))
+        executed.append(relative)
+    if problems:
+        print("docs check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"docs check ok: {checked_links} links across "
+        f"{len(markdown_files())} files, walkthroughs executed: "
+        f"{', '.join(executed)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
