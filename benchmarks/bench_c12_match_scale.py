@@ -1,0 +1,142 @@
+"""Experiment C12 — corpus-scale schema matching (the LSD workflow at scale).
+
+The claim under test: "the first few data sources be manually mapped
+... the system should be able to predict mappings for subsequent data
+sources" (Section 4.3.2) only crosses the chasm if prediction stays
+tractable when the *subsequent data sources* number in the thousands
+and the mediated schema spans many domains.  The seed path scores every
+element against every mediated label with per-sample Python loops,
+re-featurizing the element inside every learner.  The scale layer
+(PR C12, same index-accelerate-and-prove-parity pattern as C10/C11):
+
+* **batched prediction** — ``MetaLearner.predict_batch`` featurizes
+  each element once (the ``ElementSample`` feature memo), scores
+  tokens-then-labels over precomputed count arrays, and memoizes name
+  similarities.  Bitwise identical to the seed per-sample path, which
+  survives as ``predict_brute_force`` / ``match_source_brute_force``;
+* **candidate blocking** — ``CorpusSearchEngine`` top-k over schema
+  term profiles restricts scoring to the labels of the most similar
+  training sources.
+
+Workload: ``synthetic_matching_workload`` — a mediated schema uniting
+``domains`` vocabulary-disjoint (caesar-ciphered) domain fragments,
+two manually mapped training sources per domain, and ``count``
+ground-truthed incoming schemas (perturbed variants whose perturbation
+gold supplies the mapping).
+
+Asserted per scale, each path on a fresh pipeline (cold memos):
+
+* the batched path is **bitwise identical** to brute force on every
+  corpus schema — hence *identical precision/recall/F1*, asserted
+  explicitly via ``corpus_match_prf`` equality;
+* blocking preserves quality on the ground-truthed workload: label
+  restriction shifts the rank-fusion geometry, so its output is not
+  bitwise-pinned — a handful of per-element flips per thousand schemas,
+  in both directions (it mostly prunes cross-domain distractors) — and
+  its P/R/F1 must stay within ``BLOCKING_TOLERANCE`` of brute force;
+* the full pipeline (batching + blocking) clears the end-to-end
+  speedup bar over ``match_source_brute_force`` at the headline scale:
+  >= 10x at the 1k-schema corpus (>= 4x in quick mode, which CI runs
+  as a blocking gate with ``BENCH_C12_QUICK=1``).
+"""
+
+import os
+import time
+
+from repro.bench import ResultTable, corpus_match_prf
+from repro.corpus.match import CorpusMatchPipeline
+from repro.datasets.pdms_gen import synthetic_matching_workload
+
+QUICK = os.environ.get("BENCH_C12_QUICK", "") not in ("", "0")
+# (corpus schemas, domains): the label space grows with the domain
+# count the way a real multi-domain mediated schema's does.
+SCALES = ((120, 6),) if QUICK else ((200, 6), (1000, 8))
+HEADLINE = SCALES[-1]
+SPEEDUP_BAR = 4.0 if QUICK else 10.0
+BLOCKING_TOLERANCE = 0.01  # max absolute P/R/F1 drift the blocked path may show
+SEED = 7
+
+
+def _fresh_pipeline(workload) -> tuple[CorpusMatchPipeline, float]:
+    """A newly trained pipeline (cold memos) + incremental train time (ms)."""
+    pipeline = CorpusMatchPipeline(workload.mediated)
+    started = time.perf_counter()
+    for schema, mapping in workload.training:
+        pipeline.add_training_source(schema, mapping)
+    return pipeline, (time.perf_counter() - started) * 1000.0
+
+
+def _rows(result) -> list[tuple[str, str, float]]:
+    return [(c.source, c.target, c.score) for c in result]
+
+
+class TestC12MatchScale:
+    def test_batched_and_blocked_vs_brute_force(self):
+        table = ResultTable(
+            "C12: corpus matching, brute force vs batched vs blocked",
+            ["schemas", "labels", "train (ms)", "brute (s)", "batched (s)",
+             "blocked (s)", "speedup", "F1 brute", "F1 blocked",
+             "labels scored"],
+        )
+        speedups: dict[tuple[int, int], float] = {}
+        for count, domains in SCALES:
+            workload = synthetic_matching_workload(
+                count=count, seed=SEED, domains=domains
+            )
+
+            # Each path runs end-to-end on its own freshly trained
+            # pipeline: cold caches, honest amortization across the
+            # corpus (the memo warm-up is part of the measured cost).
+            brute_pipe, train_ms = _fresh_pipeline(workload)
+            started = time.perf_counter()
+            brute = {
+                name: brute_pipe.match_source_brute_force(schema)
+                for name, schema in workload.corpus.schemas.items()
+            }
+            brute_s = time.perf_counter() - started
+
+            batched_pipe, _ = _fresh_pipeline(workload)
+            started = time.perf_counter()
+            batched = {
+                name: batched_pipe.match_source(schema, blocking=False)
+                for name, schema in workload.corpus.schemas.items()
+            }
+            batched_s = time.perf_counter() - started
+
+            blocked_pipe, _ = _fresh_pipeline(workload)
+            started = time.perf_counter()
+            blocked = blocked_pipe.match_corpus(workload.corpus)
+            blocked_s = time.perf_counter() - started
+
+            # Parity 1 (bitwise): the batched path IS the seed path.
+            for name in brute:
+                assert _rows(batched[name]) == _rows(brute[name])
+
+            # Parity 2 (metrics): identical P/R/F1 to brute force.
+            brute_prf = corpus_match_prf(brute, workload.gold)
+            assert corpus_match_prf(batched, workload.gold) == brute_prf
+
+            # Parity 3 (quality gate): blocking's re-ranking stays
+            # within tolerance of brute force on the ground truth.
+            blocked_prf = corpus_match_prf(blocked, workload.gold)
+            for metric in ("precision", "recall", "f1"):
+                drift = abs(blocked_prf[metric] - brute_prf[metric])
+                assert drift <= BLOCKING_TOLERANCE, (metric, drift)
+
+            speedups[(count, domains)] = brute_s / blocked_s
+            snapshot = blocked_pipe.stats_snapshot()
+            table.add_row(
+                count, blocked_pipe.label_count, train_ms, brute_s, batched_s,
+                blocked_s, speedups[(count, domains)], brute_prf["f1"],
+                blocked_prf["f1"],
+                f"{snapshot['label_fraction_scored']:.0%}",
+            )
+        table.note(
+            "per scale: batched output asserted bitwise-identical to brute "
+            "force (=> identical P/R/F1, asserted on corpus_match_prf), "
+            f"blocked P/R/F1 asserted within {BLOCKING_TOLERANCE} of brute "
+            f"force; speedup bar {SPEEDUP_BAR:.0f}x at the headline scale"
+            + (" (quick mode)" if QUICK else "")
+        )
+        table.show()
+        assert speedups[HEADLINE] >= SPEEDUP_BAR

@@ -1,6 +1,6 @@
 """Benchmark harness helpers: result tables and metrics."""
 
 from repro.bench.runner import ResultTable
-from repro.bench.metrics import completeness, mean
+from repro.bench.metrics import completeness, corpus_match_prf, matching_prf, mean
 
-__all__ = ["ResultTable", "completeness", "mean"]
+__all__ = ["ResultTable", "completeness", "corpus_match_prf", "matching_prf", "mean"]

@@ -14,3 +14,41 @@ def mean(values) -> float:
     """Arithmetic mean (0.0 for empty input)."""
     values = list(values)
     return sum(values) / len(values) if values else 0.0
+
+
+def matching_prf(predicted: set, gold: set) -> dict[str, float]:
+    """Micro precision/recall/F1 of predicted pairs against gold pairs.
+
+    Pairs may be any hashable tuples — (source, target) for one schema,
+    (schema, source, target) for a whole corpus run.
+    """
+    true_positives = len(predicted & gold)
+    precision = true_positives / len(predicted) if predicted else 0.0
+    recall = true_positives / len(gold) if gold else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def corpus_match_prf(results: dict, gold: dict) -> dict[str, float]:
+    """Micro P/R/F1 of per-schema match results against per-schema gold.
+
+    ``results`` maps schema name -> ``MatchResult`` (anything iterable
+    over correspondences with ``source``/``target``); ``gold`` maps
+    schema name -> {source path: mediated path}.  Used by benchmark C12
+    to assert that blocking preserves the brute-force quality exactly.
+    """
+    predicted_pairs = {
+        (name, c.source, c.target)
+        for name, result in results.items()
+        for c in result
+    }
+    gold_pairs = {
+        (name, source, target)
+        for name, mapping in gold.items()
+        for source, target in mapping.items()
+    }
+    return matching_prf(predicted_pairs, gold_pairs)

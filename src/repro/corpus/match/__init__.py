@@ -16,7 +16,10 @@ package provides:
 * :mod:`~repro.corpus.match.matchers` — direct schema-to-schema
   matchers and baselines (edit distance, Jaccard, COMA-like composite);
 * :mod:`~repro.corpus.match.advisor` — MATCHINGADVISOR: the
-  classifier-correlation method and the DesignAdvisor-pivot method.
+  classifier-correlation method and the DesignAdvisor-pivot method;
+* :mod:`~repro.corpus.match.pipeline` — the corpus-scale pipeline:
+  search-engine candidate blocking, batched prediction, incremental
+  training, with the seed per-sample path kept as the parity oracle.
 """
 
 from repro.corpus.match.base import (
@@ -45,9 +48,11 @@ from repro.corpus.match.matchers import (
     NameMatcher,
 )
 from repro.corpus.match.advisor import MatchingAdvisor
+from repro.corpus.match.pipeline import CorpusMatchPipeline
 
 __all__ = [
     "ComaLikeMatcher",
+    "CorpusMatchPipeline",
     "CorpusBoostMatcher",
     "Correspondence",
     "EditDistanceMatcher",

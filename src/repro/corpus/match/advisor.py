@@ -82,14 +82,22 @@ class MatchingAdvisor:
         """Correlate ensemble predictions on both schemas' elements."""
         if not self._trained:
             self.train()
-        vectors_a = {
-            sample.path: self.meta.predict_vector(sample)
-            for sample in samples_of(schema_a)
-        }
-        vectors_b = {
-            sample.path: self.meta.predict_vector(sample)
-            for sample in samples_of(schema_b)
-        }
+        # Batched ensemble predictions: element features computed once
+        # per sample and shared across the learners.
+        samples_a = samples_of(schema_a)
+        samples_b = samples_of(schema_b)
+        vectors_a = dict(
+            zip(
+                (sample.path for sample in samples_a),
+                self.meta.predict_vector_batch(samples_a),
+            )
+        )
+        vectors_b = dict(
+            zip(
+                (sample.path for sample in samples_b),
+                self.meta.predict_vector_batch(samples_b),
+            )
+        )
         # Prune with concept postings: a pair can only reach a positive
         # threshold if some concept dimension is nonzero on both sides
         # (zero shared support means a zero dot product), so restricting

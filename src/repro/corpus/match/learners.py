@@ -19,6 +19,28 @@ etc)." (Section 4.3.2.)  Four learners cover those signals:
 Every learner maps an :class:`ElementSample` to a score per label and
 normalizes scores into a distribution, so the meta-learner can combine
 them.
+
+Scale (PR 3): every learner supports three prediction paths —
+
+* ``predict_brute_force`` — the seed per-sample implementation, kept
+  verbatim as the parity oracle and honest benchmark baseline (it
+  re-tokenizes and re-featurizes the sample on every call);
+* ``predict`` — the restructured fast path.  The naive-Bayes learners
+  iterate tokens-then-labels over precomputed per-token log-probability
+  rows (numpy accumulation over the label axis); the name learner
+  memoizes pair similarities; the structure learner memoizes profiles.
+  Every float is produced by the *same expression in the same order* as
+  the brute-force path, so results are bitwise identical (the tests in
+  ``tests/test_match_pipeline.py`` pin this);
+* ``predict_batch`` — ``predict`` over many samples with element
+  features computed once per sample and shared across learners (the
+  :class:`ElementSample` feature memo), optionally restricted to a
+  candidate label subset (the pipeline's blocking).
+
+``fit`` is ``reset + partial_fit`` for all four learners: their state
+is additive (exemplar sets, token/feature counters, neighbour
+profiles), so :meth:`BaseLearner.partial_fit` folds new training
+sources in incrementally with state identical to a full refit.
 """
 
 from __future__ import annotations
@@ -28,9 +50,12 @@ import re
 from collections import Counter
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.corpus.model import CorpusSchema
 from repro.text import (
     SynonymTable,
+    jaccard,
     jaro_winkler,
     token_set_similarity,
     tokenize,
@@ -38,16 +63,66 @@ from repro.text import (
 )
 from repro.text.tfidf import cosine_similarity
 
+# Similarity/feature memos are bounded so pathological value streams
+# cannot grow them without bound (mirrors the stats normalize memo).
+_MEMO_LIMIT = 200_000
+
+
+def _value_tokens(values: list) -> list[str]:
+    """Word tokens of a value list (the naive-Bayes vocabulary unit)."""
+    tokens: list[str] = []
+    for value in values:
+        if isinstance(value, (int, float)):
+            tokens.append("#number")
+            continue
+        tokens.extend(tokenize(str(value)))
+    return tokens
+
 
 @dataclass
 class ElementSample:
-    """Everything the learners may look at for one attribute."""
+    """Everything the learners may look at for one attribute.
+
+    The private ``_feature_memo`` caches derived features (value
+    tokens, per-value format features, the neighbour token profile) so
+    that featurization happens once per sample even when several
+    learners — or several prediction calls across a corpus run — look
+    at the same element.  The brute-force oracle paths deliberately
+    bypass the memo.
+    """
 
     path: str  # "relation.attribute"
     name: str  # attribute name
     values: list = field(default_factory=list)
     neighbors: list = field(default_factory=list)
     relation: str = ""
+    _feature_memo: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def value_tokens(self) -> list[str]:
+        """Memoized word tokens of the instance values."""
+        tokens = self._feature_memo.get("tokens")
+        if tokens is None:
+            tokens = self._feature_memo["tokens"] = _value_tokens(self.values)
+        return tokens
+
+    def format_feature_lists(self) -> list[list[str]]:
+        """Memoized per-value shape features (aligned with ``values``)."""
+        lists = self._feature_memo.get("formats")
+        if lists is None:
+            lists = self._feature_memo["formats"] = [
+                format_features(value) for value in self.values
+            ]
+        return lists
+
+    def neighbor_profile(self) -> dict[str, int]:
+        """Memoized token profile of the sibling attributes."""
+        profile = self._feature_memo.get("neighbors")
+        if profile is None:
+            tokens: Counter = Counter()
+            for neighbor in self.neighbors:
+                tokens.update(tokenize_identifier(neighbor, expand_abbreviations=True))
+            profile = self._feature_memo["neighbors"] = dict(tokens)
+        return profile
 
 
 def samples_of(schema: CorpusSchema, max_values: int = 50) -> list[ElementSample]:
@@ -85,9 +160,42 @@ class BaseLearner:
         """Train from samples paired with their true labels."""
         raise NotImplementedError
 
+    def partial_fit(self, samples: list[ElementSample], labels: list[str]) -> None:
+        """Fold additional labeled samples in without a full refit.
+
+        The four built-in learners implement this with state identical
+        to refitting on the concatenation; learners that cannot should
+        leave it unimplemented (callers fall back to ``fit``).
+        """
+        raise NotImplementedError
+
     def predict(self, sample: ElementSample) -> dict[str, float]:
         """Distribution over labels (higher = more likely)."""
         raise NotImplementedError
+
+    def predict_brute_force(self, sample: ElementSample) -> dict[str, float]:
+        """Per-sample reference path (defaults to :meth:`predict`)."""
+        return self.predict(sample)
+
+    def predict_batch(
+        self, samples: list[ElementSample], labels: set | None = None
+    ) -> list[dict[str, float]]:
+        """Distributions for many samples, optionally restricted to a
+        candidate ``labels`` subset (the pipeline's blocking).
+
+        Default: per-sample :meth:`predict` with a filter-and-
+        renormalize restriction.  The built-in learners override this
+        with batched scoring.
+        """
+        results = []
+        for sample in samples:
+            scores = self.predict(sample)
+            if labels is not None:
+                scores = _normalize_scores(
+                    {label: value for label, value in scores.items() if label in labels}
+                )
+            results.append(scores)
+        return results
 
 
 class NameLearner(BaseLearner):
@@ -105,9 +213,23 @@ class NameLearner(BaseLearner):
         self.synonyms = synonyms
         self.path_weight = path_weight
         self._exemplars_per_label: dict[str, set[tuple[str, str]]] = {}
+        # Pair-similarity memo: schema corpora reuse a small name
+        # vocabulary, so across a 1k-schema run almost every
+        # (sample name, exemplar) pair repeats.
+        self._similarity_memo: dict[tuple[str, str], float] = {}
+        # Per-string derived features (lowercase form, identifier token
+        # set, synonym-canonical set): qualified paths are unique per
+        # schema so their *pairs* rarely repeat, but each side's
+        # tokenization is reused across every label it is scored
+        # against.
+        self._string_features: dict[str, tuple[str, frozenset, frozenset]] = {}
 
     def fit(self, samples: list[ElementSample], labels: list[str]) -> None:
         self._exemplars_per_label = {}
+        self._similarity_memo = {}
+        self.partial_fit(samples, labels)
+
+    def partial_fit(self, samples: list[ElementSample], labels: list[str]) -> None:
         for sample, label in zip(samples, labels):
             exemplars = self._exemplars_per_label.setdefault(label, set())
             exemplars.add((sample.name, sample.path))
@@ -127,7 +249,67 @@ class NameLearner(BaseLearner):
                 score = max(score, 0.8)
         return score
 
+    def _features_of(self, text: str) -> tuple[str, frozenset, frozenset]:
+        features = self._string_features.get(text)
+        if features is None:
+            if len(self._string_features) >= _MEMO_LIMIT:
+                self._string_features.clear()
+            tokens = tokenize_identifier(text, expand_abbreviations=True)
+            # token_set_similarity's set, reproduced: identifier tokens
+            # with "of" discarded.
+            token_set = set(tokens)
+            token_set.discard("of")
+            if self.synonyms is not None:
+                canon = frozenset(self.synonyms.canonical(t) for t in tokens)
+            else:
+                canon = frozenset()
+            features = self._string_features[text] = (
+                text.lower(),
+                frozenset(token_set),
+                canon,
+            )
+        return features
+
+    def _similarity_cached(self, a: str, b: str) -> float:
+        """:meth:`_name_similarity` from cached per-string features.
+
+        Same expressions on the same inputs — bitwise identical — with
+        each side's tokenization and canonicalization computed once per
+        distinct string instead of once per pair.
+        """
+        key = (a, b)
+        hit = self._similarity_memo.get(key)
+        if hit is None:
+            if len(self._similarity_memo) >= _MEMO_LIMIT:
+                self._similarity_memo.clear()
+            lower_a, tokens_a, canon_a = self._features_of(a)
+            lower_b, tokens_b, canon_b = self._features_of(b)
+            score = max(jaro_winkler(lower_a, lower_b), jaccard(tokens_a, tokens_b))
+            if self.synonyms is not None:
+                if canon_a and canon_a == canon_b:
+                    score = max(score, 1.0)
+                elif canon_a & canon_b:
+                    score = max(score, 0.8)
+            hit = self._similarity_memo[key] = score
+        return hit
+
+    def _score_labels(self, sample: ElementSample, labels) -> dict[str, float]:
+        sample_path = sample.path or sample.name
+        scores: dict[str, float] = {}
+        for label in labels:
+            best = 0.0
+            for exemplar_name, exemplar_path in self._exemplars_per_label[label]:
+                local = self._similarity_cached(sample.name, exemplar_name)
+                path = self._similarity_cached(sample_path, exemplar_path)
+                best = max(best, (1 - self.path_weight) * local + self.path_weight * path)
+            scores[label] = best
+        return _normalize_scores(scores)
+
     def predict(self, sample: ElementSample) -> dict[str, float]:
+        return self._score_labels(sample, self._exemplars_per_label)
+
+    def predict_brute_force(self, sample: ElementSample) -> dict[str, float]:
+        """Seed path: every pair similarity recomputed from scratch."""
         sample_path = sample.path or sample.name
         scores: dict[str, float] = {}
         for label, exemplars in self._exemplars_per_label.items():
@@ -139,11 +321,32 @@ class NameLearner(BaseLearner):
             scores[label] = best
         return _normalize_scores(scores)
 
+    def predict_batch(
+        self, samples: list[ElementSample], labels: set | None = None
+    ) -> list[dict[str, float]]:
+        if labels is None:
+            chosen = self._exemplars_per_label
+        else:
+            chosen = [label for label in self._exemplars_per_label if label in labels]
+        return [self._score_labels(sample, chosen) for sample in samples]
 
-class NaiveBayesLearner(BaseLearner):
-    """Multinomial naive Bayes over the word tokens of data values."""
 
-    name = "naive-bayes"
+class _TokenBayes(BaseLearner):
+    """Shared machinery of the two multinomial naive-Bayes learners.
+
+    Subclasses provide the per-sample token extraction (word tokens of
+    values, or value shape features); fitting counts tokens per label,
+    prediction accumulates per-token log probabilities.
+
+    The fast path precomputes, per distinct token, the vector of
+    ``log((count + smoothing) / denominator)`` across labels (rows are
+    built lazily and memoized — query vocabularies repeat heavily).
+    Accumulating those rows token-by-token over a numpy label axis
+    performs the *same IEEE additions in the same order* as the seed's
+    label-by-label Python loop, so predictions are bitwise identical
+    while the per-token cost drops from a dict lookup + division + log
+    per label to one vectorized add.
+    """
 
     def __init__(self, smoothing: float = 1.0):  # noqa: D107
         self.smoothing = smoothing
@@ -151,31 +354,131 @@ class NaiveBayesLearner(BaseLearner):
         self._label_totals: Counter = Counter()
         self._label_priors: Counter = Counter()
         self._vocabulary: set[str] = set()
+        self._tables_stale = True
+        self._labels_in_order: list[str] = []
+        self._log_priors: np.ndarray | None = None
+        self._denominators: list[float] = []
+        self._token_rows: dict[str, np.ndarray] = {}
+        self._default_row: np.ndarray | None = None
 
-    @staticmethod
-    def _tokens(values: list) -> list[str]:
-        tokens: list[str] = []
-        for value in values:
-            if isinstance(value, (int, float)):
-                tokens.append("#number")
-                continue
-            tokens.extend(tokenize(str(value)))
-        return tokens
+    # -- training -------------------------------------------------------------
+    def _sample_token_groups(self, sample: ElementSample) -> list[list[str]]:
+        """Token groups of one training sample (one group per counting
+        unit: the whole sample for word tokens, one per value for
+        format features)."""
+        raise NotImplementedError
 
     def fit(self, samples: list[ElementSample], labels: list[str]) -> None:
         self._token_counts = {}
         self._label_totals = Counter()
         self._label_priors = Counter()
         self._vocabulary = set()
+        self.partial_fit(samples, labels)
+
+    def partial_fit(self, samples: list[ElementSample], labels: list[str]) -> None:
         for sample, label in zip(samples, labels):
             counts = self._token_counts.setdefault(label, Counter())
-            tokens = self._tokens(sample.values)
-            counts.update(tokens)
-            self._label_totals[label] += len(tokens)
+            for tokens in self._sample_token_groups(sample):
+                counts.update(tokens)
+                self._label_totals[label] += len(tokens)
+                self._vocabulary.update(tokens)
             self._label_priors[label] += 1
-            self._vocabulary.update(tokens)
+        self._tables_stale = True
+
+    # -- precomputed scoring tables ---------------------------------------------
+    def _ensure_tables(self) -> None:
+        if not self._tables_stale:
+            return
+        total_samples = sum(self._label_priors.values())
+        vocabulary_size = max(len(self._vocabulary), 1)
+        # Label order = priors insertion order, exactly the iteration
+        # order of the seed's per-label loop.
+        self._labels_in_order = list(self._label_priors)
+        self._log_priors = np.array(
+            [
+                math.log(prior / total_samples)
+                for prior in self._label_priors.values()
+            ]
+        )
+        self._denominators = [
+            self._label_totals[label] + self.smoothing * vocabulary_size
+            for label in self._labels_in_order
+        ]
+        self._token_rows = {}
+        self._default_row = np.array(
+            [math.log(self.smoothing / d) for d in self._denominators]
+        )
+        self._tables_stale = False
+
+    def _token_row(self, token: str) -> np.ndarray:
+        row = self._token_rows.get(token)
+        if row is None:
+            if len(self._token_rows) >= _MEMO_LIMIT:
+                self._token_rows.clear()
+            empty: Counter = Counter()
+            row = np.array(
+                [
+                    math.log(
+                        (self._token_counts.get(label, empty).get(token, 0) + self.smoothing)
+                        / denominator
+                    )
+                    for label, denominator in zip(self._labels_in_order, self._denominators)
+                ]
+            )
+            self._token_rows[token] = row
+        return row
+
+    def _predict_tokens(
+        self, tokens: list[str], labels: set | None
+    ) -> dict[str, float]:
+        if not self._label_priors:
+            return {}
+        self._ensure_tables()
+        accumulated = self._log_priors.copy()
+        default_row = self._default_row
+        for token in tokens:
+            if token in self._vocabulary:
+                accumulated += self._token_row(token)
+            else:
+                accumulated += default_row
+        log_scores = {
+            label: accumulated[index]
+            for index, label in enumerate(self._labels_in_order)
+            if labels is None or label in labels
+        }
+        if not log_scores:
+            return {}
+        # Soften to a distribution (log-sum-exp) — seed tail, verbatim.
+        peak = max(log_scores.values())
+        scores = {label: math.exp(value - peak) for label, value in log_scores.items()}
+        return _normalize_scores(scores)
+
+
+class NaiveBayesLearner(_TokenBayes):
+    """Multinomial naive Bayes over the word tokens of data values."""
+
+    name = "naive-bayes"
+
+    @staticmethod
+    def _tokens(values: list) -> list[str]:
+        return _value_tokens(values)
+
+    def _sample_token_groups(self, sample: ElementSample) -> list[list[str]]:
+        return [sample.value_tokens()]
 
     def predict(self, sample: ElementSample) -> dict[str, float]:
+        return self._predict_tokens(sample.value_tokens()[:200], None)
+
+    def predict_batch(
+        self, samples: list[ElementSample], labels: set | None = None
+    ) -> list[dict[str, float]]:
+        return [
+            self._predict_tokens(sample.value_tokens()[:200], labels)
+            for sample in samples
+        ]
+
+    def predict_brute_force(self, sample: ElementSample) -> dict[str, float]:
+        """Seed path: per-label Python loop over unmemoized tokens."""
         tokens = self._tokens(sample.values)
         if not self._label_priors:
             return {}
@@ -190,7 +493,6 @@ class NaiveBayesLearner(BaseLearner):
                 numerator = counts.get(token, 0) + self.smoothing
                 log_score += math.log(numerator / denominator)
             log_scores[label] = log_score
-        # Soften to a distribution (log-sum-exp).
         peak = max(log_scores.values())
         scores = {label: math.exp(value - peak) for label, value in log_scores.items()}
         return _normalize_scores(scores)
@@ -209,7 +511,15 @@ _FORMAT_PATTERNS: list[tuple[str, re.Pattern]] = [
 
 
 def format_features(value: object) -> list[str]:
-    """Shape features of one value."""
+    """Shape features of one value.
+
+    ``None`` gets the dedicated ``missing`` feature: stringifying it
+    would classify every missing value as a capitalized word
+    (``['word', 'capitalized', 'len-0']``), polluting the
+    :class:`FormatLearner` statistics of any label with NULLs.
+    """
+    if value is None:
+        return ["missing"]
     if isinstance(value, bool):
         return ["boolean"]
     if isinstance(value, int):
@@ -237,44 +547,45 @@ def format_features(value: object) -> list[str]:
     return features
 
 
-class FormatLearner(BaseLearner):
+class FormatLearner(_TokenBayes):
     """Naive Bayes over value-shape features."""
 
     name = "format"
 
-    def __init__(self, smoothing: float = 1.0):  # noqa: D107
-        self.smoothing = smoothing
-        self._feature_counts: dict[str, Counter] = {}
-        self._label_totals: Counter = Counter()
-        self._label_priors: Counter = Counter()
-        self._features: set[str] = set()
+    def _sample_token_groups(self, sample: ElementSample) -> list[list[str]]:
+        return sample.format_feature_lists()
 
-    def fit(self, samples: list[ElementSample], labels: list[str]) -> None:
-        self._feature_counts = {}
-        self._label_totals = Counter()
-        self._label_priors = Counter()
-        self._features = set()
-        for sample, label in zip(samples, labels):
-            counts = self._feature_counts.setdefault(label, Counter())
-            for value in sample.values:
-                features = format_features(value)
-                counts.update(features)
-                self._label_totals[label] += len(features)
-                self._features.update(features)
-            self._label_priors[label] += 1
+    @staticmethod
+    def _predict_features(sample: ElementSample) -> list[str]:
+        features: list[str] = []
+        for value_features in sample.format_feature_lists()[:50]:
+            features.extend(value_features)
+        return features
 
     def predict(self, sample: ElementSample) -> dict[str, float]:
+        return self._predict_tokens(self._predict_features(sample), None)
+
+    def predict_batch(
+        self, samples: list[ElementSample], labels: set | None = None
+    ) -> list[dict[str, float]]:
+        return [
+            self._predict_tokens(self._predict_features(sample), labels)
+            for sample in samples
+        ]
+
+    def predict_brute_force(self, sample: ElementSample) -> dict[str, float]:
+        """Seed path: per-label Python loop, features recomputed."""
         if not self._label_priors:
             return {}
         features: list[str] = []
         for value in sample.values[:50]:
             features.extend(format_features(value))
         total_samples = sum(self._label_priors.values())
-        feature_count = max(len(self._features), 1)
+        feature_count = max(len(self._vocabulary), 1)
         log_scores: dict[str, float] = {}
         for label, prior in self._label_priors.items():
             log_score = math.log(prior / total_samples)
-            counts = self._feature_counts.get(label, Counter())
+            counts = self._token_counts.get(label, Counter())
             denominator = self._label_totals[label] + self.smoothing * feature_count
             for feature in features:
                 log_score += math.log((counts.get(feature, 0) + self.smoothing) / denominator)
@@ -291,6 +602,7 @@ class StructureLearner(BaseLearner):
 
     def __init__(self):  # noqa: D107
         self._profiles: dict[str, Counter] = {}
+        self._profile_dicts: dict[str, dict] | None = None
 
     @staticmethod
     def _profile(neighbors: list[str]) -> Counter:
@@ -301,14 +613,54 @@ class StructureLearner(BaseLearner):
 
     def fit(self, samples: list[ElementSample], labels: list[str]) -> None:
         self._profiles = {}
+        self.partial_fit(samples, labels)
+
+    def partial_fit(self, samples: list[ElementSample], labels: list[str]) -> None:
         for sample, label in zip(samples, labels):
             profile = self._profiles.setdefault(label, Counter())
-            profile.update(self._profile(sample.neighbors))
+            profile.update(sample.neighbor_profile())
+        self._profile_dicts = None
+
+    def _label_dicts(self) -> dict[str, dict]:
+        if self._profile_dicts is None:
+            self._profile_dicts = {
+                label: dict(profile) for label, profile in self._profiles.items()
+            }
+        return self._profile_dicts
 
     def predict(self, sample: ElementSample) -> dict[str, float]:
+        vector = sample.neighbor_profile()
+        scores = {
+            label: cosine_similarity(vector, profile)
+            for label, profile in self._label_dicts().items()
+        }
+        return _normalize_scores(scores)
+
+    def predict_brute_force(self, sample: ElementSample) -> dict[str, float]:
+        """Seed path: profiles re-tokenized and re-copied per call."""
         vector = dict(self._profile(sample.neighbors))
         scores = {
             label: cosine_similarity(vector, dict(profile))
             for label, profile in self._profiles.items()
         }
         return _normalize_scores(scores)
+
+    def predict_batch(
+        self, samples: list[ElementSample], labels: set | None = None
+    ) -> list[dict[str, float]]:
+        label_dicts = self._label_dicts()
+        if labels is not None:
+            label_dicts = {
+                label: profile
+                for label, profile in label_dicts.items()
+                if label in labels
+            }
+        results = []
+        for sample in samples:
+            vector = sample.neighbor_profile()
+            scores = {
+                label: cosine_similarity(vector, profile)
+                for label, profile in label_dicts.items()
+            }
+            results.append(_normalize_scores(scores))
+        return results

@@ -79,12 +79,32 @@ class LSDMatcher:
     def match_source(
         self, schema: CorpusSchema, threshold: float = 0.0, one_to_one: bool = False
     ) -> MatchResult:
-        """Predict the mediated element for every attribute of ``schema``."""
+        """Predict the mediated element for every attribute of ``schema``.
+
+        Served by the ensemble's batched fast path (features computed
+        once per element, precomputed learner tables) — output is
+        bitwise identical to :meth:`match_source_brute_force`.
+        """
+        if not self._trained:
+            self.train()
+        samples = samples_of(schema)
+        result = MatchResult()
+        for sample, scores in zip(samples, self.meta.predict_batch(samples)):
+            for label, score in scores.items():
+                if score >= threshold:
+                    result.add(sample.path, label, score)
+        result = result.best_per_source() if not one_to_one else result.one_to_one()
+        return result
+
+    def match_source_brute_force(
+        self, schema: CorpusSchema, threshold: float = 0.0, one_to_one: bool = False
+    ) -> MatchResult:
+        """The seed per-sample path (parity oracle, benchmark baseline)."""
         if not self._trained:
             self.train()
         result = MatchResult()
         for sample in samples_of(schema):
-            scores = self.meta.predict(sample)
+            scores = self.meta.predict_brute_force(sample)
             for label, score in scores.items():
                 if score >= threshold:
                     result.add(sample.path, label, score)

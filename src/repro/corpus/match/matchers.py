@@ -57,6 +57,26 @@ def _local(path: str) -> str:
     return path.rsplit(".", 1)[-1]
 
 
+# format_features is pure, and instance values repeat heavily across the
+# pairwise similarity matrix (every source column meets every target
+# column), so one bounded module-level memo pays across matcher calls.
+_FORMAT_MEMO: dict = {}
+_FORMAT_MEMO_LIMIT = 100_000
+
+
+def _format_features_cached(value: object) -> tuple[str, ...]:
+    try:
+        key = (type(value), value)
+        hit = _FORMAT_MEMO.get(key)
+    except TypeError:  # unhashable value
+        return tuple(format_features(value))
+    if hit is None:
+        if len(_FORMAT_MEMO) >= _FORMAT_MEMO_LIMIT:
+            _FORMAT_MEMO.clear()
+        hit = _FORMAT_MEMO[key] = tuple(format_features(value))
+    return hit
+
+
 @dataclass
 class EditDistanceMatcher(PairwiseMatcher):
     """Baseline: normalized Levenshtein over local attribute names."""
@@ -116,8 +136,8 @@ class InstanceMatcher(PairwiseMatcher):
         set_a = {str(v).lower() for v in values_a}
         set_b = {str(v).lower() for v in values_b}
         overlap = jaccard(set_a, set_b)
-        features_a = {f for v in values_a for f in format_features(v)}
-        features_b = {f for v in values_b for f in format_features(v)}
+        features_a = {f for v in values_a for f in _format_features_cached(v)}
+        features_b = {f for v in values_b for f in _format_features_cached(v)}
         shape = jaccard(features_a, features_b)
         return 0.6 * overlap + 0.4 * shape
 

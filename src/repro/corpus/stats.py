@@ -46,6 +46,27 @@ ROLES = ("relation", "attribute", "data")
 # pathological stream of distinct data values cannot grow without bound.
 _NORMALIZE_MEMO_LIMIT = 200_000
 
+# Schema term profiles (the blocking signal of the matching pipeline)
+# weight name occurrences over data occurrences: names carry the
+# schema's design vocabulary, data tokens repeat across independently
+# designed schemas of different domains.
+_PROFILE_NAME_WEIGHT = 1.0
+_PROFILE_DATA_WEIGHT = 0.25
+
+
+def _term_profile(schema: CorpusSchema, normalize) -> Counter:
+    """Normalized name/instance term profile of one schema."""
+    profile: Counter = Counter()
+    for relation, attributes in schema.relations.items():
+        profile[normalize(relation)] += _PROFILE_NAME_WEIGHT
+        for attribute in attributes:
+            profile[normalize(attribute)] += _PROFILE_NAME_WEIGHT
+        for data_row in schema.data.get(relation, []):
+            for value in data_row:
+                if isinstance(value, str) and value:
+                    profile[normalize(value)] += _PROFILE_DATA_WEIGHT
+    return profile
+
 
 @dataclass
 class StatisticsOptions:
@@ -137,6 +158,7 @@ class BasicStatistics:
         self._attr_schema_count: Counter = Counter()
         self._relation_signatures: list[tuple[str, frozenset]] = []
         self._schema_relation_terms: dict[str, frozenset] = {}
+        self._schema_profiles: dict[str, Counter] = {}
         self._schema_count = 0
         self._built = False
         self._version = 0
@@ -194,6 +216,7 @@ class BasicStatistics:
                         if isinstance(value, str) and value:
                             self._note(normalize(value), "data", schema.name)
         self._schema_relation_terms[schema.name] = frozenset(relation_terms)
+        self._schema_profiles[schema.name] = _term_profile(schema, normalize)
         self._dirty_schemas.append(schema.name)
         self._schema_count += 1
         self._version += 1
@@ -245,12 +268,12 @@ class BasicStatistics:
             self._engine = CorpusSearchEngine(self)
         return self._engine
 
-    def drain_index_updates(self) -> tuple[set[str], list[tuple[str, frozenset]], list[tuple[str, frozenset]]]:
+    def drain_index_updates(self) -> tuple[set[str], list[tuple[str, frozenset]], list[tuple[str, frozenset, Counter]]]:
         """Consume the changes since the last drain (engine sync protocol).
 
         Returns ``(terms whose similarity profile must be re-indexed,
-        new signature rows, new (schema, relation-terms) pairs)``.
-        Single consumer: the owning engine.
+        new signature rows, new (schema, relation-terms, term-profile)
+        triples)``.  Single consumer: the owning engine.
         """
         self.ensure_built()
         dirty_docs = set(self._new_docs)
@@ -262,7 +285,12 @@ class BasicStatistics:
         self._drained_signatures = len(self._relation_signatures)
         dirty_schemas, self._dirty_schemas = self._dirty_schemas, []
         new_schemas = [
-            (name, self._schema_relation_terms[name]) for name in dirty_schemas
+            (
+                name,
+                self._schema_relation_terms[name],
+                self._schema_profiles[name],
+            )
+            for name in dirty_schemas
         ]
         return dirty_docs, new_rows, new_schemas
 
@@ -369,6 +397,40 @@ class BasicStatistics:
             similarity = cosine_similarity(target_vector, self.co_occurrence_vector(other))
             if similarity > 0.0:
                 scored.append((other, similarity))
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:limit]
+
+    # -- schema similarity (the matching pipeline's blocking signal) ------------
+    def schema_profile(self, schema: CorpusSchema) -> Counter:
+        """Normalized name/instance term profile of ``schema``.
+
+        Pure: works for schemas outside the corpus (an incoming schema
+        being matched).  For ingested schemas this equals the profile
+        the engine indexed, so a corpus member queries back to itself
+        at similarity 1.0.
+        """
+        return _term_profile(schema, self.options.normalize)
+
+    def similar_schemas(self, profile: Counter, limit: int = 5) -> list[tuple[str, float]]:
+        """Corpus schemas most similar to a term ``profile``, by cosine
+        over name/instance posting overlap.
+
+        Served by the search engine's schema-profile vector store:
+        posting-pruned top-k, identical output to
+        :meth:`similar_schemas_brute_force`.
+        """
+        self.ensure_built()
+        return self.engine.similar_schemas(profile, limit)
+
+    def similar_schemas_brute_force(self, profile: Counter, limit: int = 5) -> list[tuple[str, float]]:
+        """Reference O(corpus) scan (parity tests)."""
+        self.ensure_built()
+        query = dict(profile)
+        scored: list[tuple[str, float]] = []
+        for name, candidate in self._schema_profiles.items():
+            similarity = cosine_similarity(query, dict(candidate))
+            if similarity > 0.0:
+                scored.append((name, similarity))
         scored.sort(key=lambda item: (-item[1], item[0]))
         return scored[:limit]
 

@@ -11,9 +11,14 @@ Figure-2 graph (with Roma's schema in Italian, as in the example).
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, field
 
 from repro.corpus.model import Corpus, CorpusSchema
-from repro.datasets.perturb import PerturbationConfig, perturb_schema
+from repro.datasets.perturb import (
+    PerturbationConfig,
+    mapping_to_reference,
+    perturb_schema,
+)
 from repro.datasets.university import university_schema_instance
 from repro.piazza.datalog import Atom, ConjunctiveQuery, Var
 from repro.piazza.peer import PDMS, Peer
@@ -117,6 +122,144 @@ def synthetic_schema_corpus(
             _tag_schema(variant, f"d{index % domains}")
         corpus.add_schema(variant)
     return corpus
+
+
+def _cipher_text(text: str, shift: int) -> str:
+    """Caesar-rotate the letters of ``text`` (digits/punctuation kept)."""
+    if shift % 26 == 0:
+        return text
+    rotated = []
+    for ch in text:
+        if "a" <= ch <= "z":
+            rotated.append(chr((ord(ch) - 97 + shift) % 26 + 97))
+        elif "A" <= ch <= "Z":
+            rotated.append(chr((ord(ch) - 65 + shift) % 26 + 65))
+        else:
+            rotated.append(ch)
+    return "".join(rotated)
+
+
+def _cipher_schema(schema: CorpusSchema, shift: int) -> None:
+    """Rotate every name and string value into a domain-private alphabet.
+
+    A tag suffix makes domain vocabularies *distinguishable*; the
+    cipher makes them *disjoint* the way truly unrelated domains are —
+    "course_d3" and "course_d5" still share the "course" token, but
+    their ciphered forms share nothing.  The cipher is a per-character
+    bijection, so every within-domain string relationship the matchers
+    rely on (equality, edit distance, token structure, value overlap,
+    format shape) is preserved exactly; across domains, name and
+    instance vocabularies have zero overlap.
+    """
+    relations: dict[str, list[str]] = {}
+    for relation, attributes in schema.relations.items():
+        ciphered = _cipher_text(relation, shift)
+        relations[ciphered] = [_cipher_text(a, shift) for a in attributes]
+        if relation in schema.data:
+            schema.data[ciphered] = [
+                tuple(
+                    _cipher_text(value, shift) if isinstance(value, str) else value
+                    for value in row
+                )
+                for row in schema.data.pop(relation)
+            ]
+    schema.relations = relations
+
+
+@dataclass
+class MatchingWorkload:
+    """A ground-truthed corpus-scale matching task (benchmark C12).
+
+    ``mediated`` is the union of ``domains`` tagged reference schemas;
+    ``training`` holds the manually mapped sources — (schema, source
+    attribute path -> mediated attribute path) pairs, the LSD setup;
+    ``corpus`` holds the incoming schemas to match, with ``gold``
+    giving each one's true mapping to the mediated schema.
+    """
+
+    mediated: CorpusSchema
+    training: list[tuple[CorpusSchema, dict[str, str]]] = field(default_factory=list)
+    corpus: Corpus = field(default_factory=Corpus)
+    gold: dict[str, dict[str, str]] = field(default_factory=dict)
+    domain_of: dict[str, int] = field(default_factory=dict)
+
+
+def synthetic_matching_workload(
+    count: int,
+    seed: int = 0,
+    level: float = 0.4,
+    courses: int = 3,
+    domains: int = 4,
+    training_per_domain: int = 2,
+    drop: float = 0.0,
+    noise: int = 0,
+) -> MatchingWorkload:
+    """(schema, mapping) pairs at corpus scale, with ground truth.
+
+    The mediated schema is the union of ``domains`` *disjoint*
+    vocabulary clusters — tagged (as in :func:`synthetic_schema_corpus`)
+    and then caesar-ciphered per domain (:func:`_cipher_schema`), so
+    that unlike tag-only separation, different domains share no name or
+    string-value vocabulary at all, the way truly unrelated domains
+    don't.  The label space grows with the domain count the way a real
+    multi-domain mediated schema's does.  Every training and corpus
+    schema is an independently perturbed variant of one domain's
+    reference with its own instance data; the perturbation ground truth
+    supplies the mapping — for training sources the "manually authored"
+    one, for corpus schemas the gold the benchmark scores against.
+    (Domains beyond 26 reuse cipher shifts; keep ``domains <= 26`` for
+    fully disjoint vocabularies.)
+    """
+    workload = MatchingWorkload(mediated=CorpusSchema("mediated", domain="multi"))
+    for domain in range(domains):
+        reference = university_schema_instance(
+            f"ref-d{domain}", seed=seed + domain, courses=courses
+        )
+        _tag_schema(reference, f"d{domain}")
+        _cipher_schema(reference, domain)
+        for relation, attributes in reference.relations.items():
+            workload.mediated.add_relation(relation, attributes)
+
+    def build(name: str, domain: int, variant_seed: int) -> tuple[CorpusSchema, dict[str, str]]:
+        # Fresh per-variant instance data: the tagged standard schema is
+        # identical across seeds, so the perturbation gold composes
+        # directly with the mediated (tagged reference) paths.  The
+        # perturbation runs on the plain tagged schema (synonym and
+        # abbreviation renames need the real vocabulary) and the cipher
+        # is applied to the result, names, values and gold alike.
+        fresh = university_schema_instance(name, seed=variant_seed, courses=courses)
+        _tag_schema(fresh, f"d{domain}")
+        config = PerturbationConfig(
+            rename_probability=level,
+            drop_attribute_probability=drop,
+            noise_attributes=noise,
+        )
+        variant, gold = perturb_schema(fresh, name, seed=variant_seed, config=config)
+        _cipher_schema(variant, domain)
+        mapping = {
+            _cipher_text(variant_path, domain): _cipher_text(reference_path, domain)
+            for variant_path, reference_path in mapping_to_reference(gold).items()
+        }
+        return variant, mapping
+
+    for domain in range(domains):
+        for index in range(training_per_domain):
+            schema, mapping = build(
+                f"train-d{domain}-{index}",
+                domain,
+                seed * 100_003 + domain * 131 + index + 1,
+            )
+            workload.training.append((schema, mapping))
+            workload.domain_of[schema.name] = domain
+    for index in range(count):
+        domain = index % domains
+        schema, mapping = build(
+            f"s{index:05d}", domain, seed * 9_176 + index * 7 + 600_011
+        )
+        workload.corpus.add_schema(schema)
+        workload.gold[schema.name] = mapping
+        workload.domain_of[schema.name] = domain
+    return workload
 
 
 def derive_mapping(

@@ -176,6 +176,24 @@ def _split_widest(variant: CorpusSchema, gold: dict[str, str], rng: random.Rando
             gold[old_path] = f"{detail_name}.{attribute}"
 
 
+def mapping_to_reference(gold: dict[str, str]) -> dict[str, str]:
+    """Invert :func:`perturb_schema`'s gold into the LSD training format.
+
+    ``gold`` maps reference element paths to variant paths; training a
+    matcher (``LSDMatcher`` / ``CorpusMatchPipeline``) needs the other
+    direction, restricted to attributes: variant attribute path ->
+    reference (mediated) attribute path.
+
+    >>> mapping_to_reference({"course": "class", "course.title": "class.name"})
+    {'class.name': 'course.title'}
+    """
+    return {
+        variant_path: reference_path
+        for reference_path, variant_path in gold.items()
+        if "." in reference_path
+    }
+
+
 def matching_pair(
     domain_schema: CorpusSchema,
     seed: int,

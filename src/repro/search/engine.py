@@ -11,6 +11,9 @@ Ties the pieces of :mod:`repro.search` together over one
   signatures sharing an attribute can clear the 0.5 Jaccard bar);
 * an inverted index from relation concepts to schemas (powers the
   DesignAdvisor's popularity preference);
+* a :class:`~repro.search.vectors.SparseVectorStore` over whole-schema
+  name/instance term profiles (powers ``similar_schemas`` — the
+  matching pipeline's candidate blocking);
 * an epoch-validated :class:`~repro.search.cache.LRUQueryCache` over
   all of the above.
 
@@ -52,6 +55,7 @@ class CorpusSearchEngine:
         self._signature_rows: list[tuple[str, frozenset]] = []
         self._schema_names = InvertedIndex()
         self._schema_relation_terms: dict[str, frozenset] = {}
+        self._schema_profiles = SparseVectorStore()
         self._synced_version = -1
         # Constant per engine (one stats instance, one options object);
         # kept in cache keys so entries can never collide across engines
@@ -82,9 +86,10 @@ class CorpusSearchEngine:
         for name, signature in new_rows:
             self._signature_rows.append((name, signature))
             self._signatures.add(len(self._signature_rows) - 1, signature)
-        for name, relation_terms in new_schemas:
+        for name, relation_terms, profile in new_schemas:
             self._schema_relation_terms[name] = relation_terms
             self._schema_names.add(name, relation_terms)
+            self._schema_profiles.put(name, profile)
         self._synced_version = stats.version
 
     def _fingerprint(self) -> tuple:
@@ -147,6 +152,19 @@ class CorpusSearchEngine:
         self.cache.put(key, self._synced_version, result)
         return list(result)
 
+    # -- schema similarity ----------------------------------------------------
+    def similar_schemas(self, profile, limit: int = 5, exclude=()) -> list[tuple[str, float]]:
+        """Top ``limit`` corpus schemas by term-profile cosine.
+
+        ``profile`` is a normalized term -> weight mapping (see
+        ``BasicStatistics.schema_profile``).  Uncached: query profiles
+        are ad-hoc vectors (one per incoming schema) and rarely repeat.
+        Only schemas sharing at least one posting term with the query
+        are scored — the matching pipeline's candidate blocking.
+        """
+        self.sync()
+        return self._schema_profiles.top_k(profile, limit, exclude=exclude)
+
     # -- schema popularity ----------------------------------------------------
     def schema_popularity(self, schema_name: str) -> float:
         """Fraction of other corpus schemas sharing most relation concepts
@@ -180,6 +198,7 @@ class CorpusSearchEngine:
             "epoch": self._synced_version,
             "term_vectors": len(self._terms),
             "signature_rows": len(self._signature_rows),
+            "schema_profiles": len(self._schema_profiles),
             "schemas": len(self._schema_relation_terms),
             "cache_entries": len(self.cache),
             "cache_hits": self.cache.hits,

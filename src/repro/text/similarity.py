@@ -70,7 +70,16 @@ def levenshtein_ratio(a: str, b: str) -> float:
 
 
 def jaro(a: str, b: str) -> float:
-    """Jaro similarity (matching characters within a sliding window)."""
+    """Jaro similarity (matching characters within a sliding window).
+
+    Implemented with per-character position lists: the classic nested
+    scan re-walks the whole window for every character of ``a``
+    (O(len_a * window)); here each character jumps straight to its next
+    unmatched occurrence in ``b`` via a per-character cursor, which is
+    valid because the window's lower bound only ever moves right.  The
+    greedy match/transposition counts — and therefore the returned
+    float — are identical to the classic formulation.
+    """
     if a == b:
         return 1.0
     len_a, len_b = len(a), len(b)
@@ -78,29 +87,32 @@ def jaro(a: str, b: str) -> float:
         return 0.0
     window = max(len_a, len_b) // 2 - 1
     window = max(window, 0)
-    a_matched = [False] * len_a
-    b_matched = [False] * len_b
-    matches = 0
+    positions: dict[str, list[int]] = {}
+    for j, ch in enumerate(b):
+        positions.setdefault(ch, []).append(j)
+    cursors = dict.fromkeys(positions, 0)
+    matched_a: list[str] = []  # a's matched characters, in order
+    matched_b: list[int] = []  # b's matched positions (any order)
     for i, ch in enumerate(a):
-        lo = max(0, i - window)
-        hi = min(len_b, i + window + 1)
-        for j in range(lo, hi):
-            if not b_matched[j] and b[j] == ch:
-                a_matched[i] = True
-                b_matched[j] = True
-                matches += 1
-                break
+        spots = positions.get(ch)
+        if spots is None:
+            continue
+        cursor = cursors[ch]
+        lo = i - window
+        while cursor < len(spots) and spots[cursor] < lo:
+            cursor += 1
+        cursors[ch] = cursor
+        if cursor < len(spots) and spots[cursor] <= i + window:
+            matched_a.append(ch)
+            matched_b.append(spots[cursor])
+            cursors[ch] = cursor + 1
+    matches = len(matched_a)
     if matches == 0:
         return 0.0
     transpositions = 0
-    j = 0
-    for i in range(len_a):
-        if a_matched[i]:
-            while not b_matched[j]:
-                j += 1
-            if a[i] != b[j]:
-                transpositions += 1
-            j += 1
+    for ch, j in zip(matched_a, sorted(matched_b)):
+        if ch != b[j]:
+            transpositions += 1
     transpositions //= 2
     return (
         matches / len_a + matches / len_b + (matches - transpositions) / matches
@@ -224,14 +236,20 @@ _SOUNDEX_CODES = {
 def soundex(word: str) -> str:
     """American Soundex code, e.g. for fuzzy person-name lookup.
 
+    Inputs with no letters at all (empty strings, ``"123"``) have no
+    phonetic content and return ``""`` — returning the padding code
+    ``"0000"`` would make every such string compare phonetically equal.
+
     >>> soundex("Robert")
     'R163'
     >>> soundex("Rupert")
     'R163'
+    >>> soundex("123")
+    ''
     """
     word = "".join(ch for ch in word.lower() if ch.isalpha())
     if not word:
-        return "0000"
+        return ""
     first = word[0].upper()
     encoded = []
     prev_code = _SOUNDEX_CODES.get(word[0], "")

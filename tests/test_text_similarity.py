@@ -133,5 +133,11 @@ class TestSoundex:
         assert soundex("Pfister") == "P236"
         assert soundex("Honeyman") == "H555"
 
-    def test_empty(self):
-        assert soundex("") == "0000"
+    def test_no_letter_inputs_have_no_code(self):
+        # Regression: the padding code "0000" made every letterless
+        # string ("", "123", "---") phonetically "equal".
+        assert soundex("") == ""
+        assert soundex("123") == ""
+        assert soundex("-- --") == ""
+        # A real name never collides with a letterless input.
+        assert soundex("Robert") != soundex("123")
