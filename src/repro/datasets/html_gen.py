@@ -10,6 +10,7 @@ is the substitution DESIGN.md documents for the F1/C5 experiments.
 from __future__ import annotations
 
 import random
+import re
 
 from repro.datasets import vocab
 from repro.mangrove.annotation import AnnotatedDocument
@@ -111,3 +112,52 @@ def generate_department_site(
         doc, fields = generate_person_page(f"{base_url}/~person{i}", seed * 2000 + i)
         pages.append((annotate_person_page(doc, fields), fields))
     return pages
+
+
+def edit_page(
+    document: AnnotatedDocument, fields: dict, field: str, new_value: str
+) -> AnnotatedDocument:
+    """Edit one annotated field's text in place (the user's value swap).
+
+    The annotation markers stay where they are — only the text between
+    the ``field``'s own begin/end markers changes — so re-publishing
+    re-extracts the new value with the same structure, and an equal
+    value rendered elsewhere on the page is left alone.
+    """
+    old, new = str(fields[field]), str(new_value)
+    span = re.compile(
+        rf"(<!--mg:begin id=(\d+) tag=[\w.]*\.{re.escape(field)}-->)"
+        rf"(.*?)(<!--mg:end id=\2-->)",
+        re.DOTALL,
+    )
+    edited, spans = span.subn(
+        lambda m: m.group(1) + m.group(3).replace(old, new) + m.group(4),
+        document.html,
+    )
+    if spans:
+        document.html = edited
+    else:  # field not annotated on this page: plain text swap
+        document.html = document.html.replace(old, new)
+    fields[field] = new_value
+    return document
+
+
+def generate_edit_stream(
+    pages: list[tuple[AnnotatedDocument, dict]], edits: int, seed: int = 0
+) -> list[tuple[int, str, str]]:
+    """A deterministic publish/edit workload: ``(page index, field, value)``.
+
+    Each step edits one field of one page to a value guaranteed to
+    differ from the current one (a revision suffix), modelling the
+    steady stream of single-page edits the serving layer must absorb.
+    Apply with :func:`edit_page` and re-publish the page.
+    """
+    rng = random.Random(seed)
+    stream: list[tuple[int, str, str]] = []
+    for revision in range(edits):
+        at = rng.randrange(len(pages))
+        _document, fields = pages[at]
+        field = rng.choice(sorted(fields))
+        base = str(fields[field]).split(" rev", 1)[0]
+        stream.append((at, field, f"{base} rev{revision}"))
+    return stream

@@ -17,10 +17,11 @@ MANGROVE turns existing HTML into structured data without moving it:
   for the dirty data that deferred integrity constraints allow;
 * :mod:`repro.mangrove.apps` -- instant-gratification applications
   (department calendar, Who's Who, paper database, phone directory,
-  annotation-aware search);
+  annotation-aware search), incrementally maintained from the store's
+  delta notifications;
 * :mod:`repro.mangrove.integrity` -- deferred constraint checking: an
   application that proactively finds inconsistencies and notifies the
-  relevant authors.
+  relevant authors (incremental when attached to the delta feed).
 """
 
 from repro.mangrove.schema import LightweightSchema, SchemaRegistry, TagNode

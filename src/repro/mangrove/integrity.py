@@ -5,6 +5,15 @@ proactively find inconsistencies in the database and notify the relevant
 authors."  :class:`ConstraintChecker` is that application: constraints
 are declared here — *not* enforced at authoring time — and each
 violation report carries the source URLs (= the authors to notify).
+
+PR 4 adds the incremental mode: :meth:`ConstraintChecker.attach`
+subscribes the checker to the store's delta notifications, after which
+every mutation batch re-checks **only the subjects referenced in the
+delta** (plus any dangling references whose target name-set the delta
+changed) and :meth:`ConstraintChecker.violations` serves the
+up-to-date list in O(violations).  The seed full-store path survives
+verbatim as :meth:`check_brute_force`; the incremental list is asserted
+row-for-row identical to it under randomized edit streams.
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.mangrove.cleaning import find_conflicts
-from repro.rdf import TripleStore
+from repro.rdf import Delta, TripleStore
 
 
 @dataclass(frozen=True)
@@ -40,8 +49,13 @@ class ConstraintChecker:
     required: dict[str, set[str]] = field(default_factory=dict)
     referential: dict[str, str] = field(default_factory=dict)
 
+    # -- the seed full-store path (parity oracle) -----------------------
     def check(self, store: TripleStore) -> list[Violation]:
-        """Run every declared constraint; returns all violations."""
+        """Run every declared constraint over the full store."""
+        return self.check_brute_force(store)
+
+    def check_brute_force(self, store: TripleStore) -> list[Violation]:
+        """The seed path: recompute all violations from the whole store."""
         violations: list[Violation] = []
         violations.extend(self._check_single_valued(store))
         violations.extend(self._check_required(store))
@@ -112,3 +126,194 @@ class ConstraintChecker:
             for author in violation.authors:
                 queue.setdefault(author, []).append(violation)
         return queue
+
+    # -- incremental mode ------------------------------------------------
+    def attach(self, store: TripleStore) -> None:
+        """Subscribe to ``store``; keep violations current per delta.
+
+        After attaching, :meth:`violations` serves the full list without
+        touching the store, and each mutation batch costs work
+        proportional to the delta, not the corpus.
+        """
+        self._store = store
+        self._sv: dict[tuple[str, str], Violation] = {}
+        self._req: dict[tuple[str, str], list[Violation]] = {}
+        self._contrib: dict[tuple[str, str], set] = {}  # (target, subject) -> names
+        self._known: dict[str, dict] = {  # target -> {name: contributor count}
+            target: {} for target in set(self.referential.values())
+        }
+        self._ref_rows: dict[str, dict[int, object]] = {  # predicate -> ts -> Triple
+            predicate: {} for predicate in self.referential
+        }
+        self._ref_by_value: dict[tuple[str, object], set[int]] = {}
+        self._ref_bad: dict[str, dict[int, Violation]] = {
+            predicate: {} for predicate in self.referential
+        }
+        subjects = {t.subject for t in store.all_triples()}
+        for subject in subjects:
+            self._update_contrib(subject)
+        for triple in store.all_triples():  # row order
+            if triple.predicate in self.referential:
+                self._track_ref(triple)
+        for subject in subjects:
+            self._update_required(subject)
+            predicates = {t.predicate for t in store.match(subject)}
+            for predicate in predicates & self.single_valued:
+                self._update_single_valued(subject, predicate)
+        store.subscribe_delta(self._on_delta)
+
+    def violations(self) -> list[Violation]:
+        """The current violation list (incremental mode, post-``attach``).
+
+        Assembled in exactly the order :meth:`check_brute_force`
+        produces: single-valued sorted by (subject, predicate), required
+        by declaration order then subject, referential by declaration
+        order then store insertion order.
+        """
+        out = [self._sv[key] for key in sorted(self._sv)]
+        for type_name in self.required:
+            for subject in sorted(
+                subject for (name, subject) in self._req if name == type_name
+            ):
+                out.extend(self._req[(type_name, subject)])
+        for predicate in self.referential:
+            bad = self._ref_bad[predicate]
+            out.extend(bad[ts] for ts in sorted(bad))
+        return out
+
+    def _on_delta(self, store: TripleStore, delta: Delta) -> None:
+        if not delta:
+            return
+        # 1. Drop removed referential rows before the known-name flips
+        #    so a flip never resurrects a dead triple's violation.
+        for triple in delta.removed:
+            if triple.predicate in self.referential:
+                self._untrack_ref(triple)
+        # 2. Re-derive the touched subjects' name contributions; flips
+        #    ripple to the (possibly untouched) subjects holding
+        #    references to the flipped names.
+        for subject in sorted(delta.subjects()):
+            self._update_contrib(subject)
+        # 3. Added referential rows check against the updated name sets.
+        for triple in delta.added:
+            if triple.predicate in self.referential:
+                self._track_ref(triple)
+        # 4. Per-subject constraints: only the delta's subjects.
+        changed = delta.added + delta.removed
+        for subject, predicate in sorted(
+            {
+                (t.subject, t.predicate)
+                for t in changed
+                if t.predicate in self.single_valued
+            }
+        ):
+            self._update_single_valued(subject, predicate)
+        for subject in sorted(delta.subjects()):
+            self._update_required(subject)
+
+    # per-subject updaters ------------------------------------------------
+    def _update_single_valued(self, subject: str, predicate: str) -> None:
+        values: list[object] = []
+        sources: set[str] = set()
+        for triple in self._store.match(subject, predicate):  # row order
+            sources.add(triple.source)
+            if triple.object not in values:
+                values.append(triple.object)
+        if len(values) > 1:
+            self._sv[(subject, predicate)] = Violation(
+                "multiple-values",
+                subject,
+                predicate,
+                f"{len(values)} distinct values: {values!r}",
+                tuple(sorted(sources)),
+            )
+        else:
+            self._sv.pop((subject, predicate), None)
+
+    def _update_required(self, subject: str) -> None:
+        subject_triples = list(self._store.match(subject))
+        present = {t.predicate for t in subject_triples}
+        types = {t.object for t in subject_triples if t.predicate == "rdf:type"}
+        for type_name, predicates in self.required.items():
+            key = (type_name, subject)
+            missing = sorted(predicates - present) if type_name in types else []
+            if missing:
+                authors = tuple(sorted({t.source for t in subject_triples}))
+                self._req[key] = [
+                    Violation(
+                        "missing-required",
+                        subject,
+                        predicate,
+                        f"{type_name} instance lacks {predicate}",
+                        authors,
+                    )
+                    for predicate in missing
+                ]
+            else:
+                self._req.pop(key, None)
+
+    def _update_contrib(self, subject: str) -> None:
+        """Refresh ``subject``'s contribution to each target's name set."""
+        for target in self._known:
+            is_instance = (subject, "rdf:type", target) in self._store
+            names = (
+                set(self._store.objects(subject, f"{target}.name"))
+                if is_instance
+                else set()
+            )
+            old = self._contrib.get((target, subject), set())
+            counts = self._known[target]
+            for name in names - old:
+                counts[name] = counts.get(name, 0) + 1
+                if counts[name] == 1:
+                    self._flip_known(target, name, known=True)
+            for name in old - names:
+                counts[name] -= 1
+                if counts[name] == 0:
+                    del counts[name]
+                    self._flip_known(target, name, known=False)
+            if names:
+                self._contrib[(target, subject)] = names
+            else:
+                self._contrib.pop((target, subject), None)
+
+    def _flip_known(self, target: str, name: object, known: bool) -> None:
+        for predicate, predicate_target in self.referential.items():
+            if predicate_target != target:
+                continue
+            for ts in self._ref_by_value.get((predicate, name), ()):
+                if known:
+                    self._ref_bad[predicate].pop(ts, None)
+                else:
+                    triple = self._ref_rows[predicate][ts]
+                    self._ref_bad[predicate][ts] = self._dangling(triple, target)
+
+    def _track_ref(self, triple) -> None:
+        predicate = triple.predicate
+        target = self.referential[predicate]
+        self._ref_rows[predicate][triple.timestamp] = triple
+        self._ref_by_value.setdefault((predicate, triple.object), set()).add(
+            triple.timestamp
+        )
+        if triple.object not in self._known[target]:
+            self._ref_bad[predicate][triple.timestamp] = self._dangling(triple, target)
+
+    def _untrack_ref(self, triple) -> None:
+        predicate = triple.predicate
+        self._ref_rows[predicate].pop(triple.timestamp, None)
+        bucket = self._ref_by_value.get((predicate, triple.object))
+        if bucket is not None:
+            bucket.discard(triple.timestamp)
+            if not bucket:
+                del self._ref_by_value[(predicate, triple.object)]
+        self._ref_bad[predicate].pop(triple.timestamp, None)
+
+    @staticmethod
+    def _dangling(triple, target: str) -> Violation:
+        return Violation(
+            "dangling-reference",
+            triple.subject,
+            triple.predicate,
+            f"value {triple.object!r} names no {target}",
+            (triple.source,),
+        )

@@ -9,8 +9,8 @@ cleaning policies of Section 2.3), storage sits on
 variables, à la RDQL.
 """
 
-from repro.rdf.triples import Triple, Var
+from repro.rdf.triples import Delta, Triple, Var
 from repro.rdf.store import TripleStore
 from repro.rdf.query import GraphQuery, TriplePattern
 
-__all__ = ["GraphQuery", "Triple", "TriplePattern", "TripleStore", "Var"]
+__all__ = ["Delta", "GraphQuery", "Triple", "TriplePattern", "TripleStore", "Var"]

@@ -1,10 +1,28 @@
 """Basic-graph-pattern queries over the triple store (RDQL-style).
 
 A :class:`GraphQuery` is a conjunction of :class:`TriplePattern`\\ s whose
-terms are constants or :class:`~repro.rdf.triples.Var`.  Evaluation
-extends variable bindings pattern-by-pattern, always choosing the most
-selective unevaluated pattern next (fewest unbound variables, constants
-first) — the textbook index-nested-loops strategy for BGP matching.
+terms are constants or :class:`~repro.rdf.triples.Var`.
+
+Two evaluation strategies (PR 4):
+
+* :meth:`GraphQuery.run` — **index-backed hash join**.  Each pattern's
+  candidate triples are fetched *once* from the store's hash-index
+  buckets (keyed on the pattern's constant positions); evaluation
+  starts from the most selective pattern (fewest candidates) and folds
+  the remaining patterns in by hash join on their shared variables.
+  Total store work is one index lookup per pattern, independent of the
+  intermediate-result size.
+* :meth:`GraphQuery.run_brute_force` — the seed strategy, kept
+  verbatim as the parity oracle: extend bindings pattern-by-pattern,
+  always choosing the most selective unevaluated pattern next — the
+  textbook index-nested-loops recursion, which re-queries the store
+  once per partial binding.
+
+Both return the same binding multiset (the parity tests in
+``tests/test_serve_scale.py`` assert it); only the result *order* may
+differ.  Queries with a ``limit`` always run on the streaming seed
+path — it early-exits where a materialized join cannot, and a limited
+query's row *subset* stays exactly the seed's.
 """
 
 from __future__ import annotations
@@ -110,11 +128,11 @@ class GraphQuery:
         for extended in self._match_pattern(store, pattern, binding):
             yield from self._solve(store, rest, extended)
 
-    def run(self, store: TripleStore) -> list[Binding]:
-        """Evaluate and return bindings (projected to ``select`` if set)."""
+    def _postprocess(self, bindings: Iterator[Binding]) -> list[Binding]:
+        """Apply filters, projection, distinct and limit (seed semantics)."""
         results: list[Binding] = []
         seen: set[tuple] = set()
-        for binding in self._solve(store, list(self.patterns), {}):
+        for binding in bindings:
             if not all(filter_fn(binding) for filter_fn in self.filters):
                 continue
             if self.select is not None:
@@ -128,6 +146,79 @@ class GraphQuery:
             if self.limit is not None and len(results) >= self.limit:
                 break
         return results
+
+    def _pattern_bindings(
+        self, store: TripleStore, pattern: TriplePattern
+    ) -> list[Binding]:
+        """All bindings of one pattern, fetched once from the indexes."""
+        subject = pattern.subject if not isinstance(pattern.subject, Var) else None
+        predicate = pattern.predicate if not isinstance(pattern.predicate, Var) else None
+        obj = pattern.object if not isinstance(pattern.object, Var) else None
+        bindings: list[Binding] = []
+        for triple in store.match(
+            subject if isinstance(subject, str) else None,
+            predicate if isinstance(predicate, str) else None,
+            obj,
+        ):
+            binding: Binding = {}
+            if not _bind(pattern.subject, triple.subject, binding):
+                continue
+            if not _bind(pattern.predicate, triple.predicate, binding):
+                continue
+            if not _bind(pattern.object, triple.object, binding):
+                continue
+            bindings.append(binding)
+        return bindings
+
+    def _hash_join(self, store: TripleStore) -> list[Binding]:
+        """Join all patterns: most selective first, hash join for the rest."""
+        if not self.patterns:
+            return [{}]
+        candidates = [self._pattern_bindings(store, p) for p in self.patterns]
+        variables = [p.variables() for p in self.patterns]
+        start = min(range(len(self.patterns)), key=lambda i: len(candidates[i]))
+        solutions = candidates[start]
+        bound = set(variables[start])
+        remaining = [i for i in range(len(self.patterns)) if i != start]
+        while remaining and solutions:
+            # Prefer patterns sharing variables with the solution set
+            # (joins before cartesian products), then fewest candidates.
+            best = max(
+                remaining,
+                key=lambda i: (len(variables[i] & bound), -len(candidates[i])),
+            )
+            remaining.remove(best)
+            join_vars = sorted(variables[best] & bound)
+            table: dict[tuple, list[Binding]] = {}
+            for binding in candidates[best]:
+                key = tuple(binding[name] for name in join_vars)
+                table.setdefault(key, []).append(binding)
+            joined: list[Binding] = []
+            for solution in solutions:
+                key = tuple(solution[name] for name in join_vars)
+                for binding in table.get(key, ()):
+                    merged = dict(solution)
+                    merged.update(binding)
+                    joined.append(merged)
+            solutions = joined
+            bound |= variables[best]
+        return solutions
+
+    def run(self, store: TripleStore) -> list[Binding]:
+        """Evaluate by index-backed hash join; project to ``select`` if set.
+
+        Queries with a ``limit`` take the seed streaming recursion
+        instead: it early-exits after ``limit`` results (which a
+        materialized hash join cannot) and returns the exact seed row
+        subset.
+        """
+        if self.limit is not None:
+            return self.run_brute_force(store)
+        return self._postprocess(iter(self._hash_join(store)))
+
+    def run_brute_force(self, store: TripleStore) -> list[Binding]:
+        """The seed pattern-at-a-time recursion (parity oracle)."""
+        return self._postprocess(self._solve(store, list(self.patterns), {}))
 
 
 def _bind(term: Term, value: object, binding: Binding) -> bool:

@@ -1,4 +1,4 @@
-"""Triples and query variables."""
+"""Triples, query variables and mutation deltas."""
 
 from __future__ import annotations
 
@@ -38,3 +38,28 @@ class Triple:
     def __repr__(self) -> str:
         provenance = f" @{self.source}" if self.source else ""
         return f"({self.subject} {self.predicate} {self.object!r}{provenance})"
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One mutation batch: the triples a store gained and lost.
+
+    Delta listeners (see :meth:`~repro.rdf.store.TripleStore.subscribe_delta`)
+    receive exactly one ``Delta`` per mutation batch — an atomic page
+    replace produces a single delta holding only the triples that
+    actually changed, so incremental views re-derive only the touched
+    entities instead of rebuilding from the whole corpus.
+    """
+
+    added: tuple[Triple, ...] = ()
+    removed: tuple[Triple, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def subjects(self) -> set[str]:
+        """Distinct subjects touched by this batch."""
+        return {t.subject for t in self.added} | {t.subject for t in self.removed}
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed)

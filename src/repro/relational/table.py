@@ -167,6 +167,17 @@ class Table:
         """Convert a stored tuple into a column-name keyed dict."""
         return dict(zip(self.schema.column_names, row))
 
+    def raw_row(self, row_id: int) -> tuple | None:
+        """The stored tuple for ``row_id`` (None for deleted/invalid ids).
+
+        Positional access for hot paths that resolve column positions
+        once instead of building a dict per row (see
+        :meth:`repro.rdf.store.TripleStore.match`).
+        """
+        if 0 <= row_id < len(self._rows):
+            return self._rows[row_id]
+        return None
+
     def get_row(self, row_id: int) -> dict[str, object] | None:
         """Row dict by id, or None for deleted/invalid ids."""
         if 0 <= row_id < len(self._rows):
@@ -182,6 +193,12 @@ class Table:
         for row_id in self._pk_index.lookup(tuple(key)):
             return self.get_row(row_id)
         return None
+
+    def raw_scan(self) -> Iterator[tuple]:
+        """Yield every live row as its raw tuple, in row-id order."""
+        for row in self._rows:
+            if row is not None:
+                yield row
 
     def scan(self) -> Iterator[dict[str, object]]:
         """Yield every live row as a dict."""

@@ -26,6 +26,10 @@ class TestDocsChecker:
         failures = check_docs.run_walkthrough(REPO_ROOT / "docs" / "pdms.md")
         assert failures == []
 
+    def test_mangrove_walkthrough_executes(self):
+        failures = check_docs.run_walkthrough(REPO_ROOT / "docs" / "mangrove.md")
+        assert failures == []
+
     def test_checker_cli_passes(self):
         result = subprocess.run(
             [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],

@@ -1,0 +1,463 @@
+"""Serving-layer scale tests: deltas, atomic publish, incremental views.
+
+The parity contract of PR C13: every incremental path (store ``match``
+fast path, hash-join queries, delta-maintained app rows, name-keyed
+phone lookup, incremental constraint checking) must be *identical* to
+its surviving seed brute-force oracle — row for row — under randomized
+publish/edit/remove streams, and a page replace must fire exactly one
+delta notification.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.html_gen import (
+    edit_page,
+    generate_department_site,
+    generate_edit_stream,
+)
+from repro.mangrove import (
+    ConstraintChecker,
+    DepartmentCalendar,
+    NoCleaning,
+    PaperDatabase,
+    PeriodicCrawler,
+    PhoneDirectory,
+    PreferOwnPage,
+    Publisher,
+    SemanticSearch,
+    WhoIsWho,
+)
+from repro.rdf import Delta, GraphQuery, Triple, TriplePattern, TripleStore, Var
+
+ROW_APPS = (DepartmentCalendar, WhoIsWho, PhoneDirectory, PaperDatabase)
+
+
+def make_page_triples(url: str, rng: random.Random) -> list[Triple]:
+    """A random page extraction mixing every entity type the apps serve."""
+    triples: list[Triple] = []
+    for k in range(rng.randrange(1, 4)):
+        kind = rng.choice(["course", "talk", "person", "paper"])
+        subject = f"{url}#{kind}-{k}"
+        triples.append(Triple(subject, "rdf:type", kind, url))
+        properties = {
+            "course": [
+                ("course.title", ["DB", "OS", "AI", None]),
+                ("course.time", ["M 9", "T 10", None]),
+                ("course.instructor", ["Pat Smith", "Lee Jones", "A Ghost"]),
+            ],
+            "talk": [
+                ("talk.date", ["2003-01-07", "2003-02-01", None]),
+                ("talk.title", ["PDMS", "Chasm"]),
+                ("talk.time", ["3pm", None]),
+            ],
+            "person": [
+                ("person.name", ["Pat Smith", "Lee Jones", None]),
+                ("person.phone", ["555-1111", "555-2222", None]),
+                ("person.email", ["p@uw.edu", None]),
+            ],
+            "paper": [
+                ("paper.title", ["Chasm", "Piazza"]),
+                ("paper.author", ["Halevy", "Etzioni"]),
+                ("paper.year", ["2003", "2001", None]),
+            ],
+        }[kind]
+        for predicate, choices in properties:
+            value = rng.choice(choices)
+            if value is not None:
+                triples.append(Triple(subject, predicate, value, url))
+    return triples
+
+
+def random_stream(store: TripleStore, rng: random.Random, steps: int, urls):
+    """Drive a randomized publish/edit/remove stream, yielding after each."""
+    for step in range(steps):
+        url = rng.choice(urls)
+        roll = rng.random()
+        if roll < 0.7:
+            store.replace_source(url, make_page_triples(url, rng))
+        elif roll < 0.85:
+            store.remove_source(url)
+        else:
+            triples = store.all_triples()
+            if triples:
+                victim = rng.choice(triples)
+                store.remove(victim.subject, victim.predicate, victim.object)
+        yield step
+
+
+class TestDeltaNotifications:
+    def test_one_notification_per_publish(self):
+        """Regression: the seed notified twice per page replace."""
+        store = TripleStore()
+        publisher = Publisher(store)
+        pages = generate_department_site("http://cs.edu", courses=2, people=1, seed=3)
+        for document, _fields in pages:
+            publisher.publish(document)
+        calendar = DepartmentCalendar(store)
+        deltas: list[Delta] = []
+        store.subscribe_delta(lambda _s, d: deltas.append(d))
+        before = calendar.refresh_count
+        document, fields = pages[0]
+        edit_page(document, fields, "location", "Sieg 999")
+        publisher.publish(document)
+        assert len(deltas) == 1  # seed fired remove_source + add_all = 2
+        assert calendar.refresh_count == before + 1
+        # The delta carries only the changed triples, not the whole page.
+        assert len(deltas[0].added) == 1 and len(deltas[0].removed) == 1
+        assert deltas[0].added[0].object == "Sieg 999"
+
+    def test_republish_unchanged_page_is_noop(self):
+        store = TripleStore()
+        publisher = Publisher(store)
+        pages = generate_department_site("http://cs.edu", courses=1, people=0, seed=4)
+        publisher.publish(pages[0][0])
+        app = WhoIsWho(store)
+        events: list = []
+        store.subscribe(lambda s: events.append(len(s)))
+        before = app.refresh_count
+        publisher.publish(pages[0][0])  # identical content
+        assert events == [] and app.refresh_count == before
+
+    def test_crawler_tick_one_notification_per_changed_page(self):
+        store = TripleStore()
+        crawler = PeriodicCrawler(store, period=1)
+        pages = generate_department_site("http://cs.edu", courses=3, people=0, seed=5)
+        for document, _fields in pages:
+            crawler.register(document)
+        deltas: list[Delta] = []
+        store.subscribe_delta(lambda _s, d: deltas.append(d))
+        crawler.tick()
+        assert len(deltas) == 3  # first crawl: one per (new) page
+        document, fields = pages[1]
+        edit_page(document, fields, "time", "Daily 6:00")
+        crawler.edit(document.url)
+        crawler.tick()
+        assert len(deltas) == 4  # second crawl: only the edited page notifies
+
+    def test_subscriber_ordering_and_mixed_kinds(self):
+        store = TripleStore()
+        calls: list[str] = []
+        store.subscribe(lambda s: calls.append("legacy-1"))
+        store.subscribe_delta(lambda s, d: calls.append("delta-2"))
+        store.subscribe(lambda s: calls.append("legacy-3"))
+        store.add(Triple("s", "p", 1, "u"))
+        assert calls == ["legacy-1", "delta-2", "legacy-3"]
+
+    def test_empty_delta_is_noop_refresh(self):
+        store = TripleStore()
+        store.add(Triple("p1", "rdf:type", "person", "u"))
+        store.add(Triple("p1", "person.name", "Pat", "u"))
+        app = WhoIsWho(store)
+        before_rows, before_count = list(app.rows), app.refresh_count
+        app._on_change(store, Delta())
+        assert app.rows == before_rows and app.refresh_count == before_count
+
+    def test_suppressed_add_folds_into_next_delta(self):
+        """notify=False defers the delta; stateful subscribers cannot
+        desync permanently (they see the triple with the next batch)."""
+        store = TripleStore()
+        app = WhoIsWho(store)
+        store.add(Triple("p1", "rdf:type", "person", "u"), notify=False)
+        store.add(Triple("p1", "person.name", "Pat", "u"), notify=False)
+        assert app.rows == []  # nothing fired yet
+        store.add(Triple("p2", "rdf:type", "person", "v"))
+        assert [row["name"] for row in app.rows] == ["Pat"]
+        assert app.rows == app.build_rows()
+
+    def test_suppressed_add_removed_before_flush_nets_out(self):
+        """A notify=False add that dies before any delta fires must not
+        be advertised as added (it would resurrect phantom state in
+        stateful subscribers like the attached checker)."""
+        store = TripleStore()
+        checker = ConstraintChecker(referential={"course.instructor": "person"})
+        checker.attach(store)
+        events: list[Delta] = []
+        store.subscribe_delta(lambda _s, d: events.append(d))
+        ghost = store.add(
+            Triple("c1", "course.instructor", "Ghost", "u"), notify=False
+        )
+        store.remove("c1", "course.instructor", "Ghost")
+        assert events == []  # add and remove cancelled out entirely
+        assert checker.violations() == checker.check_brute_force(store) == []
+        # Variant: replace_source drops the suppressed triple but keeps
+        # notifying about genuinely removed older rows.
+        store.add(Triple("c2", "course.instructor", "Real", "v"))
+        store.add(Triple("c2", "course.instructor", "Ghost2", "v"), notify=False)
+        store.replace_source("v", ())
+        assert checker.violations() == checker.check_brute_force(store) == []
+        flushed = events[-1]
+        assert ghost.spo() not in {t.spo() for t in flushed.added}
+
+    def test_replace_source_keeps_unchanged_timestamps(self):
+        store = TripleStore()
+        stamped = store.add(Triple("s", "p", "kept", "u"))
+        store.add(Triple("s", "q", "old", "u"))
+        delta = store.replace_source(
+            "u", [Triple("s", "p", "kept", "u"), Triple("s", "q", "new", "u")]
+        )
+        assert {t.object for t in delta.removed} == {"old"}
+        assert {t.object for t in delta.added} == {"new"}
+        kept = next(store.match("s", "p"))
+        assert kept.timestamp == stamped.timestamp
+
+
+class TestStoreFastPaths:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["s1", "s2", "s3"]),
+                st.sampled_from(["p1", "p2"]),
+                st.integers(0, 3),
+                st.sampled_from(["u1", "u2"]),
+            ),
+            max_size=25,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40)
+    def test_match_equals_python_filter_all_bindings(self, rows, rnd):
+        store = TripleStore()
+        store.add_all([Triple(s, p, o, u) for s, p, o, u in rows])
+        # Interleave deletions so index buckets have holes.
+        for s, p, o, _u in rows[::3]:
+            if rnd.random() < 0.5:
+                store.remove(s, p, o)
+        reference = [(t.subject, t.predicate, t.object, t.source) for t in store.match()]
+        for subject in (None, "s1", "s2"):
+            for predicate in (None, "p1"):
+                for obj in (None, 2):
+                    for source in (None, "u1"):
+                        got = [
+                            (t.subject, t.predicate, t.object, t.source)
+                            for t in store.match(subject, predicate, obj, source)
+                        ]
+                        expected = [
+                            row
+                            for row in reference
+                            if (subject is None or row[0] == subject)
+                            and (predicate is None or row[1] == predicate)
+                            and (obj is None or row[2] == obj)
+                            and (source is None or row[3] == source)
+                        ]
+                        assert got == expected  # values AND scan order
+
+    def test_remove_source_via_index(self):
+        store = TripleStore()
+        store.add_all([Triple("a", "p", i, "u1") for i in range(3)])
+        store.add_all([Triple("b", "p", i, "u2") for i in range(2)])
+        assert store.remove_source("u1") == 3
+        assert store.remove_source("missing") == 0
+        assert len(store) == 2 and store.sources() == {"u2"}
+
+
+class TestGraphQueryHashJoin:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "d"]),
+                st.sampled_from(["p", "q", "name"]),
+                st.sampled_from(["a", "b", "x", "y"]),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60)
+    def test_hash_join_equals_brute_force(self, rows):
+        store = TripleStore()
+        store.add_all([Triple(s, p, o) for s, p, o in rows])
+        queries = [
+            GraphQuery([TriplePattern(Var("s"), "p", Var("o"))]),
+            GraphQuery(
+                [
+                    TriplePattern(Var("s"), "p", Var("o")),
+                    TriplePattern(Var("o"), "q", Var("z")),
+                ]
+            ),
+            GraphQuery(
+                [
+                    TriplePattern(Var("s"), "p", Var("o")),
+                    TriplePattern(Var("s"), "name", Var("n")),
+                    TriplePattern(Var("other"), "q", Var("n")),
+                ]
+            ),
+            GraphQuery([TriplePattern(Var("x"), "p", Var("x"))]),  # self-join
+            GraphQuery(
+                [  # cartesian: no shared variables
+                    TriplePattern(Var("s"), "p", Var("o")),
+                    TriplePattern(Var("s2"), "q", Var("o2")),
+                ]
+            ),
+        ]
+        def canonical(bindings):
+            return sorted(tuple(sorted(b.items())) for b in bindings)
+
+        for query in queries:
+            assert canonical(query.run(store)) == canonical(query.run_brute_force(store))
+
+    def test_limit_returns_exact_seed_subset(self):
+        store = TripleStore()
+        store.add_all(
+            [Triple(f"s{i}", "p", f"o{i % 3}") for i in range(10)]
+            + [Triple(f"o{i}", "q", i) for i in range(3)]
+        )
+        query = GraphQuery(
+            [
+                TriplePattern(Var("s"), "p", Var("o")),
+                TriplePattern(Var("o"), "q", Var("z")),
+            ],
+            limit=3,
+        )
+        # With a limit, run() must return the seed's exact row subset,
+        # not just any 3 rows of the join.
+        assert query.run(store) == query.run_brute_force(store)
+        assert len(query.run(store)) == 3
+
+    def test_select_distinct_filters_match_brute(self):
+        store = TripleStore()
+        store.add_all(
+            [
+                Triple("c1", "course.instructor", "smith"),
+                Triple("c2", "course.instructor", "smith"),
+                Triple("smith", "person.name", "Pat Smith"),
+            ]
+        )
+        query = GraphQuery(
+            [
+                TriplePattern(Var("c"), "course.instructor", Var("i")),
+                TriplePattern(Var("i"), "person.name", Var("n")),
+            ],
+            select=["i", "n"],
+            distinct=True,
+        ).where(lambda b: "Pat" in str(b["n"]))
+        assert query.run(store) == query.run_brute_force(store) == [
+            {"i": "smith", "n": "Pat Smith"}
+        ]
+
+
+class TestPhoneDirectoryLookup:
+    def test_lookup_served_from_dict(self):
+        store = TripleStore()
+        directory = PhoneDirectory(store)
+        store.add_all(
+            [
+                Triple("u#person-1", "rdf:type", "person", "http://u"),
+                Triple("u#person-1", "person.name", "Pat", "http://u"),
+                Triple("u#person-1", "person.phone", "555-1", "http://u"),
+            ]
+        )
+        assert directory.lookup("Pat") == "555-1"
+        assert directory.lookup("Nobody") is None
+        store.remove_source("http://u")
+        assert directory.lookup("Pat") is None
+
+    def test_lookup_duplicate_names_first_row_wins(self):
+        store = TripleStore()
+        directory = PhoneDirectory(store, policy=NoCleaning())
+        # Two distinct people sharing a name; rows sort by (name, subject).
+        store.add_all(
+            [
+                Triple("a#person-1", "rdf:type", "person", "a"),
+                Triple("a#person-1", "person.name", "Pat", "a"),
+                Triple("a#person-1", "person.phone", "111", "a"),
+                Triple("b#person-1", "rdf:type", "person", "b"),
+                Triple("b#person-1", "person.name", "Pat", "b"),
+                Triple("b#person-1", "person.phone", "222", "b"),
+            ]
+        )
+        linear = next(r["phone"] for r in directory.rows if r["name"] == "Pat")
+        assert directory.lookup("Pat") == linear == "111"
+        store.remove_source("a")
+        assert directory.lookup("Pat") == "222"
+
+    def test_cleaning_policy_difference_under_deltas(self):
+        """NoCleaning vs PreferOwnPage on conflicting sources, maintained
+        incrementally as the conflicting source comes and goes."""
+        store = TripleStore()
+        trusting = PhoneDirectory(store, policy=NoCleaning())
+        own_page = PhoneDirectory(store)  # PreferOwnPage default
+        subject = "http://cs.edu/~smith#person-1"
+        store.add_all(
+            [
+                Triple(subject, "rdf:type", "person", "http://cs.edu/~smith"),
+                Triple(subject, "person.name", "Smith", "http://cs.edu/~smith"),
+                Triple(subject, "person.phone", "555-9999", "http://evil.com/x"),
+            ]
+        )
+        # Only the third-party value exists: both believe it.
+        assert trusting.lookup("Smith") == own_page.lookup("Smith") == "555-9999"
+        store.add(Triple(subject, "person.phone", "555-1111", "http://cs.edu/~smith/contact"))
+        assert trusting.lookup("Smith") == "555-9999"  # first-seen survives
+        assert own_page.lookup("Smith") == "555-1111"  # own page overrides
+        store.remove_source("http://cs.edu/~smith/contact")
+        assert own_page.lookup("Smith") == "555-9999"  # falls back again
+        for app in (trusting, own_page):
+            assert app.rows == app.build_rows()
+
+
+class TestIncrementalParity:
+    URLS = [f"http://site/{i}" for i in range(10)]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_apps_and_checker_match_brute_force_under_random_stream(self, seed):
+        rng = random.Random(seed)
+        store = TripleStore()
+        apps = [cls(store) for cls in ROW_APPS]
+        checker = ConstraintChecker(
+            single_valued={"person.phone", "course.time"},
+            required={"course": {"course.title", "course.time"}},
+            referential={"course.instructor": "person"},
+        )
+        checker.attach(store)
+        for step in random_stream(store, rng, steps=120, urls=self.URLS):
+            for app in apps:
+                assert app.rows == app.build_rows(), (step, type(app).__name__)
+            assert checker.violations() == checker.check_brute_force(store), step
+
+    def test_semantic_search_incremental_index_matches_rebuild(self):
+        rng = random.Random(7)
+        store = TripleStore()
+        search = SemanticSearch(store)
+        for step in random_stream(store, rng, steps=60, urls=self.URLS):
+            oracle = SemanticSearch(store)  # fresh full rebuild
+            assert search.rows == oracle.rows, step
+            for query in ("Chasm", "Pat Smith", "PDMS 2003"):
+                got = [(r.subject, r.score, r.type_name) for r in search.search(query)]
+                expected = [
+                    (r.subject, r.score, r.type_name) for r in oracle.search(query)
+                ]
+                assert got == expected, (step, query)
+
+    def test_brute_mode_apps_still_refresh_per_batch(self):
+        store = TripleStore()
+        app = WhoIsWho(store, incremental=False)
+        before = app.refresh_count
+        store.add_all(
+            [
+                Triple("p", "rdf:type", "person", "u"),
+                Triple("p", "person.name", "Pat", "u"),
+            ]
+        )
+        assert app.refresh_count == before + 1
+        assert app.rows and app.rows == app.build_rows()
+
+    def test_edit_stream_workload_is_deterministic(self):
+        pages = generate_department_site("http://cs.edu", courses=4, people=3, seed=9)
+        again = generate_department_site("http://cs.edu", courses=4, people=3, seed=9)
+        stream = generate_edit_stream(pages, edits=20, seed=11)
+        assert stream == generate_edit_stream(again, edits=20, seed=11)
+        store = TripleStore()
+        publisher = Publisher(store)
+        for document, _fields in pages:
+            publisher.publish(document)
+        deltas: list[Delta] = []
+        store.subscribe_delta(lambda _s, d: deltas.append(d))
+        for at, field, value in stream:
+            document, fields = pages[at]
+            edit_page(document, fields, field, value)
+            publisher.publish(document)
+        assert len(deltas) == len(stream)  # every edit changes the page
+        assert all(deltas)

@@ -6,10 +6,11 @@ Two jobs, both stdlib-only:
   ``docs/`` must point at a file or directory that exists in the repo
   (external ``http(s)``/``mailto`` targets and pure ``#anchors`` are
   skipped — no network access here).
-* **Walkthroughs** — every fenced ```` ```python ```` block in
-  ``docs/pdms.md`` is executed verbatim, in order, in one shared
-  namespace, so the documented API calls and asserted outputs cannot
-  drift from the code.
+* **Walkthroughs** — every fenced ```` ```python ```` block in each
+  executable doc (``docs/pdms.md``, ``docs/matching.md``,
+  ``docs/mangrove.md``) is executed verbatim, in order, in one shared
+  namespace per document, so the documented API calls and asserted
+  outputs cannot drift from the code.
 
 Run:  PYTHONPATH=src python tools/check_docs.py
 Exit status is non-zero on any broken link or failing snippet; the CI
@@ -32,7 +33,7 @@ def _display(path: Path) -> str:
     except ValueError:
         return str(path)
 PYTHON_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
-EXECUTABLE_DOCS = ("docs/pdms.md", "docs/matching.md")
+EXECUTABLE_DOCS = ("docs/pdms.md", "docs/matching.md", "docs/mangrove.md")
 
 
 def markdown_files() -> list[Path]:
