@@ -1,0 +1,195 @@
+"""Experiment C14 — continuous-query view serving at PDMS scale.
+
+Section 3.1.2 makes materialized views placed at peers the
+data-placement unit and insists "updategrams on base data can be
+combined to create updategrams for views", explicitly rejecting
+"simply invalidating views and re-reading data".  This experiment puts
+a number on that rejection at the ROADMAP's repeated-traffic scale:
+many users asking the *same* continuous queries against a 200-peer
+network while a background stream of peer mutations trickles in.
+
+Two serving disciplines over identical networks and identical
+query/update streams:
+
+* **invalidate + recompute** (the rejected baseline,
+  :meth:`~repro.piazza.serving.ViewServer.serve_brute_force`
+  discipline): every query drops all materializations and pays a fresh
+  reformulation + batched distributed execution;
+* **view-served** (:class:`~repro.piazza.serving.ViewServer`): each
+  query is registered once, its rewritings counting-materialized, and
+  every updategram maintains exactly the affected views (cost-based
+  incremental-vs-recompute per view), propagated over the simulated
+  network in **one batched round trip per subscriber peer**.
+
+Asserted per scale:
+
+* **parity** — the served answer after every updategram is
+  set-identical to the invalidate-and-recompute answer, for every
+  registered query (and every served call is a view hit — zero
+  reformulation, zero fetch round trips, zero stale refusals);
+* **propagation** — at most one network round trip per subscriber peer
+  per updategram batch (``per_gram_round_trips`` + per-kind message
+  accounting);
+* **throughput** — the view-served path clears >= 10x end-to-end
+  queries/sec at the 200-peer headline scale (>= 4x in quick mode,
+  which CI runs as the blocking ``view-scale-gate`` job with
+  ``BENCH_C14_QUICK=1``).
+"""
+
+import os
+import time
+
+from repro.bench import ResultTable
+from repro.datasets.pdms_gen import random_tree_pdms, update_stream
+from repro.piazza import DistributedExecutor, SimulatedNetwork, ViewServer
+
+QUICK = os.environ.get("BENCH_C14_QUICK", "") not in ("", "0")
+# (data peers, registered queries, updategrams, repeats per query per gram)
+SCALES = ((50, 4, 8, 2),) if QUICK else ((50, 4, 8, 2), (200, 6, 12, 3))
+HEADLINE = SCALES[-1]
+SPEEDUP_BAR = 4.0 if QUICK else 10.0
+DATALESS_SHARE = 5
+OPTIONS = {"max_depth": 40}
+SEED = 14
+
+
+def _network(peers: int):
+    return random_tree_pdms(
+        peers, seed=SEED, courses=4, dataless_peers=peers // DATALESS_SHARE
+    )
+
+
+def _continuous_queries(pdms, count: int) -> list[tuple[str, str]]:
+    """``count`` single-relation course queries, spread across peers."""
+    golds = pdms.generator_info["golds"]
+    data_peers = sorted(
+        (name for name, peer in pdms.peers.items() if peer.data),
+        key=lambda name: int(name[1:]),
+    )
+    chosen = [data_peers[(i * len(data_peers)) // count] for i in range(count)]
+    queries = []
+    for name in chosen:
+        course = golds[name]["course"]
+        queries.append(
+            (name, f"q(?t) :- {name}.{course}(?c, ?t, ?n, ?w, ?l, ?en, ?d)")
+        )
+    return queries
+
+
+def _stream(pdms, updates: int):
+    return update_stream(
+        pdms, updates, seed=SEED + 1, inserts_per_relation=2,
+        deletes_per_relation=1, relations_per_step=2,
+    )
+
+
+def _served_run(peers: int, query_count: int, updates: int, repeats: int):
+    """Register once, then serve the interleaved stream from fresh views."""
+    pdms = _network(peers)
+    network = SimulatedNetwork()
+    executor = DistributedExecutor(pdms, network)
+    queries = _continuous_queries(pdms, query_count)
+    stream = _stream(pdms, updates)
+    history = []
+    started = time.perf_counter()
+    server = ViewServer(executor, reformulation_options=dict(OPTIONS))
+    for name, query in queries:
+        server.register(name, query)
+    for owner, gram in stream:
+        pdms.apply_updategram(owner, gram)
+        for name, query in queries:
+            for _ in range(repeats):
+                stats = executor.execute(query, name, views=server)
+                assert stats.view_hits == 1 and stats.messages == 0
+            history.append(frozenset(stats.answers))
+    elapsed = time.perf_counter() - started
+    return {
+        "history": history,
+        "seconds": elapsed,
+        "queries": len(stream) * len(queries) * repeats,
+        "server": server,
+        "network": network,
+    }
+
+
+def _brute_run(peers: int, query_count: int, updates: int, repeats: int):
+    """The rejected baseline: invalidate everything, re-execute per query."""
+    pdms = _network(peers)
+    executor = DistributedExecutor(pdms, SimulatedNetwork())
+    queries = _continuous_queries(pdms, query_count)
+    stream = _stream(pdms, updates)
+    history = []
+    started = time.perf_counter()
+    for owner, gram in stream:
+        pdms.apply_updategram(owner, gram)
+        for name, query in queries:
+            for _ in range(repeats):
+                executor.invalidate_views()
+                stats = executor.execute(
+                    query, name, reformulation_options=dict(OPTIONS)
+                )
+            history.append(frozenset(stats.answers))
+    elapsed = time.perf_counter() - started
+    return {
+        "history": history,
+        "seconds": elapsed,
+        "queries": len(stream) * len(queries) * repeats,
+    }
+
+
+class TestC14ViewScale:
+    def test_view_served_vs_invalidate_recompute(self):
+        table = ResultTable(
+            "C14: continuous queries + update stream, invalidate-recompute vs view-served",
+            ["peers", "queries", "grams", "brute (s)", "served (s)", "speedup",
+             "served q/s", "maintained", "skipped", "round trips"],
+        )
+        speedups: dict[tuple, float] = {}
+        for peers, query_count, updates, repeats in SCALES:
+            served = _served_run(peers, query_count, updates, repeats)
+            brute = _brute_run(peers, query_count, updates, repeats)
+
+            # Parity: after every updategram, every registered query's
+            # served answer equals the invalidate-and-recompute answer.
+            assert served["history"] == brute["history"]
+
+            server = served["server"]
+            network = served["network"]
+            assert server.stats.stale_refusals == 0
+            assert server.stats.misses == 0
+
+            # Propagation: one batched round trip per subscriber peer
+            # per updategram, never one per view or per relation.
+            subscriber_peers = server.subscriber_peers()
+            assert len(server.stats.per_gram_round_trips) == updates
+            assert max(server.stats.per_gram_round_trips) <= len(subscriber_peers)
+            assert network.messages_of_kind("update") == server.stats.peers_notified
+            assert network.messages_of_kind("update-ack") == server.stats.peers_notified
+            # Only views whose bodies mention a touched relation did work.
+            assert server.stats.views_maintained <= sum(
+                server.stats.per_gram_round_trips
+            ) + updates * len(subscriber_peers)
+
+            speedup = brute["seconds"] / served["seconds"]
+            speedups[(peers, query_count, updates, repeats)] = speedup
+            table.add_row(
+                peers,
+                served["queries"],
+                updates,
+                brute["seconds"],
+                served["seconds"],
+                speedup,
+                served["queries"] / served["seconds"],
+                server.stats.views_maintained,
+                server.stats.views_skipped,
+                sum(server.stats.per_gram_round_trips),
+            )
+        table.note(
+            "per scale: served answers asserted set-identical to the "
+            "invalidate+recompute baseline after every updategram; at most "
+            "one propagation round trip per subscriber peer per updategram "
+            f"asserted; speedup bar {SPEEDUP_BAR:.0f}x at the headline scale"
+            + (" (quick mode)" if QUICK else "")
+        )
+        table.show()
+        assert speedups[HEADLINE] >= SPEEDUP_BAR

@@ -22,6 +22,7 @@ from repro.datasets.perturb import (
 from repro.datasets.university import university_schema_instance
 from repro.piazza.datalog import Atom, ConjunctiveQuery, Var
 from repro.piazza.peer import PDMS, Peer
+from repro.piazza.updates import Updategram
 from repro.text.synonyms import italian_english_dictionary
 
 
@@ -382,6 +383,64 @@ def random_tree_pdms(
     dataless = frozenset(range(count, total))
     edges.extend((index, rng.randrange(count)) for index in dataless)
     return _build(edges, total, seed, level, courses, dataless=dataless)
+
+
+def update_stream(
+    pdms: PDMS,
+    steps: int,
+    seed: int = 0,
+    inserts_per_relation: int = 2,
+    deletes_per_relation: int = 1,
+    relations_per_step: int = 1,
+    peers: list[str] | None = None,
+) -> list[tuple[str, Updategram]]:
+    """A seeded stream of mixed insert/delete updategrams across peers.
+
+    Each step picks one data peer and ``relations_per_step`` of its
+    stored relations, then emits one :class:`Updategram` with up to
+    ``inserts_per_relation`` fresh rows (arity-correct, unique per
+    step) and ``deletes_per_relation`` rows that *exist at that point
+    in the stream* — tracked against a shadow copy of the peer data, so
+    the whole stream can be generated up front and deletes still hit
+    real rows when applied in order via ``PDMS.apply_updategram``.
+    The generating PDMS is never mutated.  Reused by benchmark C14,
+    the view-serving parity tests and the docs walkthrough.
+    """
+    rng = random.Random(seed)
+    candidates = peers or sorted(
+        name for name, peer in pdms.peers.items() if peer.stored
+    )
+    if not candidates:
+        return []
+    shadow: dict[str, dict[str, set[tuple]]] = {
+        name: {rel: set(rows) for rel, rows in pdms.peers[name].data.items()}
+        for name in candidates
+    }
+    stream: list[tuple[str, Updategram]] = []
+    for step in range(steps):
+        name = candidates[rng.randrange(len(candidates))]
+        peer = pdms.peers[name]
+        relations = sorted(peer.stored)
+        chosen = rng.sample(relations, min(relations_per_step, len(relations)))
+        gram = Updategram()
+        for relation in chosen:
+            arity = len(peer.stored[relation])
+            existing = shadow[name].setdefault(relation, set())
+            removable = sorted(existing, key=repr)
+            count = min(deletes_per_relation, len(removable))
+            removed = rng.sample(removable, count) if count else []
+            added = [
+                tuple(f"u{step}.{relation}.{i}.c{col}" for col in range(arity))
+                for i in range(inserts_per_relation)
+            ]
+            if removed:
+                gram.delete(relation, removed)
+                existing.difference_update(removed)
+            if added:
+                gram.insert(relation, added)
+                existing.update(added)
+        stream.append((name, gram))
+    return stream
 
 
 FIGURE2_UNIVERSITIES = ["stanford", "berkeley", "mit", "oxford", "roma", "tsinghua"]

@@ -23,6 +23,11 @@ Modules:
   materialization.
 * :mod:`repro.piazza.updates` -- updategrams and incremental view
   maintenance (Section 3.1.2).
+* :mod:`repro.piazza.serving` -- the continuous-query serving front:
+  :class:`~repro.piazza.serving.ViewServer` keeps registered queries'
+  materializations fresh under the updategram pipeline
+  (:meth:`~repro.piazza.peer.PDMS.apply_updategram`), one batched
+  propagation round trip per subscriber peer.
 * :mod:`repro.piazza.integration` -- the mediated-schema data-integration
   baseline the paper argues "scales poorly".
 """
@@ -50,7 +55,8 @@ from repro.piazza.peer import (
 )
 from repro.piazza.reformulation import ReformulationResult, reformulate
 from repro.piazza.network import SimulatedNetwork
-from repro.piazza.execution import DistributedExecutor, ExecutionStats
+from repro.piazza.execution import DistributedExecutor, ExecutionStats, MaterializedView
+from repro.piazza.serving import ServedQuery, ServingStats, ViewServer
 from repro.piazza.updates import IncrementalView, Updategram
 
 __all__ = [
@@ -64,13 +70,17 @@ __all__ = [
     "InclusionMapping",
     "IncrementalView",
     "MappingIndex",
+    "MaterializedView",
     "PDMS",
     "Peer",
     "ReformulationResult",
     "Rule",
+    "ServedQuery",
+    "ServingStats",
     "SimulatedNetwork",
     "StorageDescription",
     "Updategram",
+    "ViewServer",
     "Var",
     "evaluate_query",
     "evaluate_query_brute_force",

@@ -19,6 +19,13 @@ nodes").  The executor here:
 * consults *materialized views* — a peer may materialize the result of a
   whole conjunctive query; syntactically equal (up to renaming) CQs are
   then answered from the materialization without touching the sources.
+  Views are epoch-guarded: each records the data epochs it was computed
+  under and :meth:`DistributedExecutor.view_for` refuses it once any
+  peer has mutated past them, so a frozen snapshot is never served;
+* serves *continuous queries* — ``execute(..., views=server)`` answers
+  queries registered on a :class:`~repro.piazza.serving.ViewServer`
+  from its updategram-maintained materializations with zero
+  reformulation and zero fetch round trips (benchmark C14).
 
 Knobs: ``reformulation_options`` passes straight through to
 :meth:`repro.piazza.peer.PDMS.reformulate` (depth/budget/pruning, and
@@ -64,11 +71,17 @@ class ExecutionStats:
 
 @dataclass(frozen=True)
 class MaterializedView:
-    """A CQ result materialized at a peer (the data-placement unit)."""
+    """A CQ result materialized at a peer (the data-placement unit).
+
+    ``epochs`` is the :meth:`PDMS.epoch_snapshot` the result was
+    computed under; :meth:`DistributedExecutor.view_for` refuses the
+    view once any peer has mutated past it.
+    """
 
     peer: str
     query: ConjunctiveQuery
     tuples: frozenset
+    epochs: tuple = ()
 
 
 class DistributedExecutor:
@@ -85,13 +98,28 @@ class DistributedExecutor:
         if isinstance(query, str):
             query = self.pdms.query(query)
         result = self.pdms.answer(query)
-        view = MaterializedView(peer, query, frozenset(result))
+        view = MaterializedView(
+            peer, query, frozenset(result), epochs=self.pdms.epoch_snapshot()
+        )
         self._views[(peer,) + query.canonical()] = view
         return view
 
     def view_for(self, peer: str, query: ConjunctiveQuery) -> MaterializedView | None:
-        """A materialization of ``query`` at ``peer``, if one exists."""
-        return self._views.get((peer,) + query.canonical())
+        """A *fresh* materialization of ``query`` at ``peer``, if any.
+
+        A view materialized under an older data epoch is stale — some
+        peer has mutated since — so it is dropped and ``None`` returned
+        rather than ever serving a frozen snapshot.  (The continuously
+        maintained alternative is :class:`~repro.piazza.serving.ViewServer`.)
+        """
+        key = (peer,) + query.canonical()
+        view = self._views.get(key)
+        if view is None:
+            return None
+        if view.epochs != self.pdms.epoch_snapshot():
+            del self._views[key]
+            return None
+        return view
 
     def invalidate_views(self) -> int:
         """Drop all materializations (the naive update strategy)."""
@@ -113,6 +141,7 @@ class DistributedExecutor:
         query: str | ConjunctiveQuery,
         at_peer: str,
         reformulation_options: dict | None = None,
+        views: "object | None" = None,
     ) -> ExecutionStats:
         """Reformulate at ``at_peer``, batch-fetch per peer, hash-join locally.
 
@@ -120,9 +149,22 @@ class DistributedExecutor:
         members drop out), the stored relations they mention are grouped
         by owning peer, and each remote peer is charged exactly one
         request/response round trip for its whole relation batch.
+
+        ``views`` may be a :class:`~repro.piazza.serving.ViewServer`: a
+        query registered there (up to variable renaming) is answered
+        from its continuously maintained materialization — zero
+        reformulation, zero fetch round trips — and only unregistered
+        queries fall through to the full path.
         """
         if isinstance(query, str):
             query = self.pdms.query(query)
+        if views is not None:
+            served = views.serve(query, at_peer)
+            if served is not None:
+                stats = ExecutionStats()
+                stats.view_hits = 1
+                stats.answers = served
+                return stats
         stats = ExecutionStats()
         result = self.pdms.reformulate(query, **(reformulation_options or {}))
 

@@ -86,6 +86,29 @@ class SimulatedNetwork:
         self.total_latency_ms += cost
         return cost
 
+    def round_trip(
+        self,
+        sender: str,
+        receiver: str,
+        payload: int,
+        kind: str = "data",
+        ack_size: int = 1,
+    ) -> float:
+        """One payload message plus its acknowledgement; total latency.
+
+        The serving layer's propagation unit: a peer pushes one batch of
+        view deltas (``payload`` rows) to a subscriber and gets a
+        fixed-size ack back — two messages, one round trip, however many
+        views at the receiver the batch feeds.
+        """
+        cost = self.send(sender, receiver, payload, kind=kind)
+        cost += self.send(receiver, sender, ack_size, kind=f"{kind}-ack")
+        return cost
+
+    def messages_of_kind(self, kind: str) -> int:
+        """How many recorded messages carry the given kind tag."""
+        return sum(1 for message in self.messages if message.kind == kind)
+
     @property
     def message_count(self) -> int:
         """Total messages sent so far."""

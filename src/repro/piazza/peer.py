@@ -93,12 +93,18 @@ class Peer:
 
     ``schema`` and ``stored`` map relation name to its attribute names;
     attribute names matter to the corpus tools, arity to the queries.
+    ``epoch`` counts data mutations: every change to ``data`` (insert,
+    delete, updategram) bumps it, and consumers holding snapshots —
+    :meth:`~repro.piazza.execution.DistributedExecutor.view_for`, the
+    :class:`~repro.piazza.serving.ViewServer` — refuse state captured
+    under an older epoch, so stale answers are structurally impossible.
     """
 
     name: str
     schema: dict[str, list[str]] = field(default_factory=dict)
     stored: dict[str, list[str]] = field(default_factory=dict)
     data: dict[str, set[tuple]] = field(default_factory=dict)
+    epoch: int = 0
 
     def add_relation(self, relation: str, attributes: list[str]) -> None:
         """Declare a peer-schema relation."""
@@ -107,7 +113,11 @@ class Peer:
     def add_stored(self, relation: str, attributes: list[str], rows: Iterable[tuple] = ()) -> None:
         """Declare a stored relation and optionally load rows."""
         self.stored[relation] = list(attributes)
-        self.data.setdefault(relation, set()).update(tuple(row) for row in rows)
+        target = self.data.setdefault(relation, set())
+        before = len(target)
+        target.update(tuple(row) for row in rows)
+        if len(target) != before:
+            self.epoch += 1
 
     def insert(self, relation: str, rows: Iterable[tuple]) -> int:
         """Add rows to a stored relation; returns count added."""
@@ -116,7 +126,50 @@ class Peer:
         target = self.data.setdefault(relation, set())
         before = len(target)
         target.update(tuple(row) for row in rows)
-        return len(target) - before
+        added = len(target) - before
+        if added:
+            self.epoch += 1
+        return added
+
+    def delete(self, relation: str, rows: Iterable[tuple]) -> int:
+        """Remove rows from a stored relation; returns count removed."""
+        if relation not in self.stored:
+            raise PdmsError(f"peer {self.name} has no stored relation {relation!r}")
+        target = self.data.setdefault(relation, set())
+        before = len(target)
+        target.difference_update(tuple(row) for row in rows)
+        removed = before - len(target)
+        if removed:
+            self.epoch += 1
+        return removed
+
+    def apply_updategram(self, gram) -> int:
+        """Apply an :class:`~repro.piazza.updates.Updategram` atomically.
+
+        Deletes first, then inserts (matching ``Updategram.apply_to``,
+        so an insert wins over a delete of the same row); the epoch is
+        bumped at most once per gram.  Returns the number of rows that
+        actually changed.  Raises on relations the peer does not store.
+        """
+        for relation in gram.relations():
+            if relation not in self.stored:
+                raise PdmsError(
+                    f"peer {self.name} has no stored relation {relation!r}"
+                )
+        changed = 0
+        for relation, rows in gram.deletes.items():
+            target = self.data.setdefault(relation, set())
+            before = len(target)
+            target.difference_update(rows)
+            changed += before - len(target)
+        for relation, rows in gram.inserts.items():
+            target = self.data.setdefault(relation, set())
+            before = len(target)
+            target.update(rows)
+            changed += len(target) - before
+        if changed:
+            self.epoch += 1
+        return changed
 
     def qualified_schema(self) -> dict[str, list[str]]:
         """Peer relations with qualified names."""
@@ -261,6 +314,8 @@ class PDMS:
         self.storage: list[StorageDescription] = []
         self._rules_cache: list[Rule] | None = None
         self._index_cache: MappingIndex | None = None
+        self._update_listeners: list = []
+        self._topology_version = 0
 
     # -- construction -----------------------------------------------------
     def add_peer(self, name: str) -> Peer:
@@ -271,6 +326,7 @@ class PDMS:
         self.peers[name] = peer
         self._rules_cache = None
         self._index_cache = None
+        self._topology_version += 1
         return peer
 
     def add_storage(
@@ -301,6 +357,7 @@ class PDMS:
         self.storage.append(description)
         self._rules_cache = None
         self._index_cache = None
+        self._topology_version += 1
         return description
 
     def add_mapping(
@@ -319,6 +376,7 @@ class PDMS:
         self.mappings.append(mapping)
         self._rules_cache = None
         self._index_cache = None
+        self._topology_version += 1
         return mapping
 
     def add_definition(self, name: str, definition: str | ConjunctiveQuery) -> DefinitionalMapping:
@@ -329,6 +387,7 @@ class PDMS:
         self.mappings.append(mapping)
         self._rules_cache = None
         self._index_cache = None
+        self._topology_version += 1
         return mapping
 
     def _peer(self, name: str) -> Peer:
@@ -380,6 +439,63 @@ class PDMS:
     def query(self, text: str) -> ConjunctiveQuery:
         """Parse a query string (convenience passthrough)."""
         return parse_query(text)
+
+    # -- mutation (Section 3.1.2: updates as first-class citizens) --------------
+    def apply_updategram(self, peer: str, gram) -> int:
+        """Apply an :class:`~repro.piazza.updates.Updategram` at a peer.
+
+        This is the system's mutation entry point: the peer's data
+        changes atomically, its epoch bumps, and every subscriber
+        (:meth:`subscribe_updates` — the serving layer's hook) is
+        notified with ``(peer_name, gram, epoch_before)`` after the
+        data is in place.  ``epoch_before`` is the peer's epoch just
+        before this gram — a listener that tracked a different value
+        knows mutations bypassed the pipeline in between and can
+        re-read rather than replay.  Returns the number of rows that
+        actually changed.
+        """
+        owner = self._peer(peer)
+        epoch_before = owner.epoch
+        changed = owner.apply_updategram(gram)
+        for callback in list(self._update_listeners):
+            callback(peer, gram, epoch_before)
+        return changed
+
+    def subscribe_updates(self, callback) -> None:
+        """Register a ``callback(peer_name, gram, epoch_before)`` fired
+        per updategram."""
+        self._update_listeners.append(callback)
+
+    def unsubscribe_updates(self, callback) -> bool:
+        """Remove a previously subscribed update listener."""
+        try:
+            self._update_listeners.remove(callback)
+            return True
+        except ValueError:
+            return False
+
+    @property
+    def topology_version(self) -> int:
+        """Monotone counter of topology changes (peers/mappings/storage).
+
+        Consumers that compiled plans against the rule set —
+        :class:`~repro.piazza.serving.ViewServer` registrations — use
+        this to detect that their one-time reformulation is out of date.
+        """
+        return self._topology_version
+
+    def data_epoch(self, peer: str) -> int:
+        """The peer's current data epoch (bumped on every mutation)."""
+        return self._peer(peer).epoch
+
+    def epoch_snapshot(self) -> tuple:
+        """All peers' data epochs, as a hashable comparison key.
+
+        Materializations record the snapshot they were computed under;
+        :meth:`~repro.piazza.execution.DistributedExecutor.view_for`
+        refuses (and drops) views whose snapshot no longer matches.
+        """
+        return tuple(sorted((name, p.epoch) for name, p in self.peers.items()))
 
     # -- answering -------------------------------------------------------------
     def reformulate(

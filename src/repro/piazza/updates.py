@@ -48,6 +48,26 @@ class Updategram:
         """All relations touched."""
         return set(self.inserts) | set(self.deletes)
 
+    def qualify(self, owner: str) -> "Updategram":
+        """A copy whose relation keys are ``owner!relation`` qualified.
+
+        Peers express mutations in their local stored-relation names;
+        the serving layer routes them by the globally qualified
+        predicate the view bodies use.
+        """
+        return Updategram(
+            inserts={f"{owner}!{rel}": set(rows) for rel, rows in self.inserts.items()},
+            deletes={f"{owner}!{rel}": set(rows) for rel, rows in self.deletes.items()},
+        )
+
+    def restrict(self, relations: Iterable[str]) -> "Updategram":
+        """A copy keeping only the given relations (shared row sets)."""
+        keep = set(relations)
+        return Updategram(
+            inserts={rel: rows for rel, rows in self.inserts.items() if rel in keep},
+            deletes={rel: rows for rel, rows in self.deletes.items() if rel in keep},
+        )
+
     def size(self) -> int:
         """Total number of changed rows."""
         return sum(len(v) for v in self.inserts.values()) + sum(
@@ -134,7 +154,71 @@ class IncrementalView:
         ``< i`` over the *new* instance, the delta at position i, and
         atoms ``> i`` over the *old* instance.  Insert deltas increment
         derivation counts, delete deltas decrement them.
+
+        Only the relations the gram touches are copied into the new
+        instance; every other relation's row set is aliased from the old
+        one (it is never mutated, so sharing is safe).  The seed's
+        copy-everything path survives as :meth:`apply_brute_force`, and
+        the parity suite pins the two bitwise.
+
+        Deltas are *effective*: a row both inserted and deleted by one
+        gram ends up present (``apply_to`` deletes first, inserts win),
+        so it must not decrement the count — only ``deletes - inserts``
+        rows actually leave the instance.
         """
+        old = self.instance
+        touched = gram.relations()
+        new: Instance = {
+            pred: set(rows) if pred in touched else rows
+            for pred, rows in old.items()
+        }
+        gram.apply_to(new)
+        before = self.tuples()
+
+        delta_counts: Counter[tuple] = Counter()
+        body = self.query.body
+        for index, atom in enumerate(body):
+            delta_inserts = gram.inserts.get(atom.predicate, set()) - old.get(
+                atom.predicate, set()
+            )
+            delta_deletes = (
+                gram.deletes.get(atom.predicate, set())
+                - gram.inserts.get(atom.predicate, set())
+            ) & old.get(atom.predicate, set())
+            for delta_rows, sign in ((delta_inserts, +1), (delta_deletes, -1)):
+                if not delta_rows:
+                    continue
+                # Rename predicates per position so a self-joined relation
+                # can see *old* rows at one position and *new* at another.
+                renamed_body: list[Atom] = []
+                mixed: Instance = {}
+                for j, other in enumerate(body):
+                    if j == index:
+                        name = "__delta__"
+                        mixed[name] = set(delta_rows)
+                    elif j < index:
+                        name = f"__new__:{other.predicate}"
+                        mixed[name] = new.get(other.predicate, set())
+                    else:
+                        name = f"__old__:{other.predicate}"
+                        mixed[name] = old.get(other.predicate, set())
+                    renamed_body.append(Atom(name, other.args))
+                for subst in _eval_body(tuple(renamed_body), mixed, {}, self.stats):
+                    head = apply_subst_atom(self.query.head, subst)
+                    if all(is_ground(arg) for arg in head.args):
+                        delta_counts[head.args] += sign
+
+        self.counts.update(delta_counts)
+        self.counts = +self.counts  # drop zero/negative entries
+        self.instance = new
+        after = self.tuples()
+        return ViewDelta(inserted=after - before, deleted=before - after)
+
+    def apply_brute_force(self, gram: Updategram) -> ViewDelta:
+        """The pre-scale :meth:`apply`: copies the *whole* instance per
+        updategram.  Kept as the parity oracle for the touched-relations
+        copy (the effective-delta computation is shared — the copy
+        strategy is what differs)."""
         old = self.instance
         new: Instance = {pred: set(rows) for pred, rows in old.items()}
         gram.apply_to(new)
@@ -146,14 +230,13 @@ class IncrementalView:
             delta_inserts = gram.inserts.get(atom.predicate, set()) - old.get(
                 atom.predicate, set()
             )
-            delta_deletes = gram.deletes.get(atom.predicate, set()) & old.get(
-                atom.predicate, set()
-            )
+            delta_deletes = (
+                gram.deletes.get(atom.predicate, set())
+                - gram.inserts.get(atom.predicate, set())
+            ) & old.get(atom.predicate, set())
             for delta_rows, sign in ((delta_inserts, +1), (delta_deletes, -1)):
                 if not delta_rows:
                     continue
-                # Rename predicates per position so a self-joined relation
-                # can see *old* rows at one position and *new* at another.
                 renamed_body: list[Atom] = []
                 mixed: Instance = {}
                 for j, other in enumerate(body):

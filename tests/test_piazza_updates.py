@@ -81,6 +81,26 @@ class TestIncrementalView:
         delta = view.apply(Updategram().delete("r", [(9, 9)]))
         assert delta.inserted == set() and delta.deleted == set()
 
+    def test_overlapping_insert_delete_insert_wins(self):
+        # ``apply_to`` deletes first, then inserts — a row in both sets
+        # ends up PRESENT.  The counting delta must agree instead of
+        # decrementing a derivation the instance keeps.
+        query = parse_query("v(X) :- r(X, Y)")
+        view = IncrementalView(query, {"r": {(1, 10)}})
+        gram = Updategram().insert("r", [(1, 10)]).delete("r", [(1, 10)])
+        delta = view.apply(gram)
+        assert delta.inserted == set() and delta.deleted == set()
+        assert view.tuples() == {(1,)}
+        assert view.instance["r"] == {(1, 10)}
+        assert view.counts[(1,)] == 1  # count untouched, not dropped to 0
+
+    def test_overlapping_gram_on_absent_row_is_plain_insert(self):
+        query = parse_query("v(X) :- r(X, Y)")
+        view = IncrementalView(query, {"r": set()})
+        delta = view.apply(Updategram().insert("r", [(2, 20)]).delete("r", [(2, 20)]))
+        assert delta.inserted == {(2,)}
+        assert view.tuples() == {(2,)}
+
     def test_mixed_updategram(self):
         view = self.make_view()
         gram = Updategram().insert("r", [(3, 20)]).delete("r", [(1, 10)])
@@ -119,6 +139,136 @@ class TestIncrementalView:
         view.recompute(Updategram().insert("r", [(6, 10)]))
         recompute_work = view.work()
         assert incremental_work < recompute_work
+
+
+ROWS = st.tuples(st.integers(0, 3), st.integers(0, 3))
+
+
+@st.composite
+def updategrams(draw, relations=("r", "s")):
+    gram = Updategram()
+    for relation in relations:
+        inserts = draw(st.sets(ROWS, max_size=4))
+        deletes = draw(st.sets(ROWS, max_size=4))
+        if inserts:
+            gram.insert(relation, inserts)
+        if deletes:
+            gram.delete(relation, deletes)
+    return gram
+
+
+class TestCombineLaw:
+    """``combine`` must equal sequential application — "later wins"."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(updategrams(), min_size=1, max_size=4),
+        st.sets(ROWS, max_size=6),
+        st.sets(ROWS, max_size=6),
+    )
+    def test_combine_equals_sequential_application(self, grams, base_r, base_s):
+        sequential = {"r": set(base_r), "s": set(base_s)}
+        for gram in grams:
+            gram.apply_to(sequential)
+        combined_instance = Updategram.combine(grams).apply_to(
+            {"r": set(base_r), "s": set(base_s)}
+        )
+        assert combined_instance == sequential
+
+    @settings(max_examples=100, deadline=None)
+    @given(updategrams(), updategrams(), st.sets(ROWS, max_size=6))
+    def test_pairwise_later_wins(self, first, second, base):
+        instance = {"r": set(base), "s": set()}
+        second.apply_to(first.apply_to(instance))
+        combined = Updategram.combine([first, second]).apply_to(
+            {"r": set(base), "s": set()}
+        )
+        assert combined == instance
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(updategrams(), max_size=4))
+    def test_size_and_relations_consistency(self, grams):
+        combined = Updategram.combine(grams)
+        assert combined.relations() == set(combined.inserts) | set(combined.deletes)
+        assert combined.size() == sum(
+            len(rows) for rows in combined.inserts.values()
+        ) + sum(len(rows) for rows in combined.deletes.values())
+        assert combined.relations() <= set().union(
+            *(gram.relations() for gram in grams), set()
+        )
+        # Combination resolves conflicts: no row is both inserted and
+        # deleted for the same relation.
+        for relation in combined.relations():
+            assert not (
+                combined.inserts.get(relation, set())
+                & combined.deletes.get(relation, set())
+            )
+
+
+class TestQualifyRestrict:
+    def test_qualify_prefixes_every_relation(self):
+        gram = Updategram().insert("c", [(1,)]).delete("d", [(2,)])
+        qualified = gram.qualify("uw")
+        assert qualified.relations() == {"uw!c", "uw!d"}
+        assert qualified.inserts["uw!c"] == {(1,)}
+        assert qualified.deletes["uw!d"] == {(2,)}
+        assert gram.relations() == {"c", "d"}  # original untouched
+
+    def test_restrict_keeps_only_named_relations(self):
+        gram = Updategram().insert("a", [(1,)]).insert("b", [(2,)]).delete("a", [(3,)])
+        narrowed = gram.restrict({"a"})
+        assert narrowed.relations() == {"a"}
+        assert narrowed.inserts["a"] == {(1,)} and narrowed.deletes["a"] == {(3,)}
+        assert gram.restrict(()).size() == 0
+
+
+class TestApplyAliasingParity:
+    """The touched-relations copy must match the full-copy seed bitwise."""
+
+    QUERY = "v(X, Z) :- r(X, Y), s(Y, Z)"
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sets(ROWS, max_size=8),
+        st.sets(ROWS, max_size=8),
+        st.lists(updategrams(), max_size=5),
+    )
+    def test_apply_matches_apply_brute_force(self, base_r, base_s, grams):
+        base = {"r": set(base_r), "s": set(base_s), "untouched": {(9, 9)}}
+        fast = IncrementalView(parse_query(self.QUERY), base)
+        slow = IncrementalView(parse_query(self.QUERY), base)
+        oracle = IncrementalView(parse_query(self.QUERY), base)
+        for gram in grams:
+            copies = [
+                Updategram(
+                    inserts={k: set(v) for k, v in gram.inserts.items()},
+                    deletes={k: set(v) for k, v in gram.deletes.items()},
+                )
+                for _ in range(2)
+            ]
+            fast_delta = fast.apply(gram)
+            slow_delta = slow.apply_brute_force(copies[0])
+            oracle.recompute(copies[1])  # ground truth, incl. overlap grams
+            assert fast_delta.inserted == slow_delta.inserted
+            assert fast_delta.deleted == slow_delta.deleted
+            assert fast.counts == slow.counts
+            assert fast.instance == slow.instance
+            assert fast.tuples() == slow.tuples() == oracle.tuples()
+            assert fast.instance == oracle.instance
+        # Identical work metric: the delta passes are the same joins.
+        assert fast.work() == slow.work()
+
+    def test_untouched_relations_are_aliased_not_copied(self):
+        view = IncrementalView(
+            parse_query(self.QUERY), {"r": {(1, 2)}, "s": {(2, 3)}}
+        )
+        s_rows = view.instance["s"]
+        view.apply(Updategram().insert("r", [(4, 2)]))
+        assert view.instance["s"] is s_rows  # aliased across the gram
+        assert view.instance["r"] is not s_rows
+        view.apply(Updategram().delete("s", [(2, 3)]))
+        assert view.instance["s"] is not s_rows  # copied once touched
+        assert s_rows == {(2, 3)}  # ...and the old set never mutated
 
 
 @st.composite
