@@ -1,0 +1,231 @@
+"""Experiment C15 — the observability layer's overhead gate.
+
+ISSUE 6 adds unified tracing + metrics across the PDMS stack
+(:mod:`repro.obs`) under a hard cost discipline: metrics are always on
+(instruments cache direct metric references, so recording is an
+attribute add) and tracing is opt-in with a shared no-op span when off.
+The discipline is only credible if it is *gated*, so this experiment
+measures the same workloads the scale benchmarks use:
+
+* **C11-style**: repeated single-relation reformulate+execute against a
+  50-peer generated network (the query hot path);
+* **C14-style**: registered continuous queries served from
+  updategram-maintained views while a mutation stream trickles in (the
+  serving hot path — the worst case for tracing, since a view-served
+  read is microseconds of real work).
+
+Measurement protocol: each workload builds **one** stack with a live
+tracer and toggles ``tracer.enabled`` between paired passes, taking
+the best of each arm.  Two separately built stacks differ by up to
+~10% on identical code (dict/memory layout of the generated network),
+which would swamp a 5% bar; toggling the flag on the *same* objects is
+a perfectly paired comparison — same data, same caches, adjacent in
+time — and is exactly the switch real deployments flip.  Asserted:
+
+* **overhead** — full tracing costs <= 5% wall clock on both workloads
+  (CI runs this as the blocking ``obs-overhead-gate`` job with
+  ``BENCH_C15_QUICK=1``);
+* **the trace is real** — the traced C14 arm produced span trees, and a
+  single served cycle yields *one* tree covering registration-time
+  reformulation, per-peer fetch round trips, and per-view maintenance
+  decisions (the end-to-end visibility the layer exists for).
+"""
+
+import os
+import time
+
+from repro.bench import ResultTable
+from repro.datasets.pdms_gen import random_tree_pdms, update_stream
+from repro.obs import Observability
+from repro.piazza import DistributedExecutor, ViewServer
+
+QUICK = os.environ.get("BENCH_C15_QUICK", "") not in ("", "0")
+PEERS = 50
+ROUNDS = 40 if QUICK else 50  # paired passes per arm (plus warmup)
+EXEC_REPEATS = 2 if QUICK else 3  # C11-style executes per timed pass
+SERVE_REPEATS = 15 if QUICK else 20  # serves per query per updategram
+QUERY_COUNT = 2
+UPDATES = 4 if QUICK else 5
+OVERHEAD_BAR = 1.05
+ATTEMPTS = 3  # re-measure a workload whose first attempt exceeds the bar
+DATALESS_SHARE = 5
+OPTIONS = {"max_depth": 40}
+SEED = 15
+
+
+def _pdms(obs):
+    """A fresh generated network wired to ``obs`` (index prebuilt)."""
+    pdms = random_tree_pdms(
+        PEERS, seed=SEED, courses=4, dataless_peers=PEERS // DATALESS_SHARE
+    )
+    pdms.obs = obs
+    pdms.mapping_index()
+    return pdms
+
+
+def _queries(pdms, count: int) -> list[tuple[str, str]]:
+    """``count`` single-relation course queries, spread across peers."""
+    golds = pdms.generator_info["golds"]
+    data_peers = sorted(
+        (name for name, peer in pdms.peers.items() if peer.data),
+        key=lambda name: int(name[1:]),
+    )
+    chosen = [data_peers[(i * len(data_peers)) // count] for i in range(count)]
+    return [
+        (name, f"q(?t) :- {name}.{golds[name]['course']}(?c, ?t, ?n, ?w, ?l, ?en, ?d)")
+        for name in chosen
+    ]
+
+
+class _C11Workload:
+    """Repeated reformulate+execute on one prebuilt stack."""
+
+    def __init__(self, obs):  # noqa: D107
+        self.obs = obs
+        self.pdms = _pdms(obs)
+        self.executor = DistributedExecutor(self.pdms)
+        self.at_peer, self.query = _queries(self.pdms, 1)[0]
+
+    def run(self, round_index: int) -> float:
+        """Timed seconds for EXEC_REPEATS reformulate+execute calls."""
+        started = time.perf_counter()
+        for _ in range(EXEC_REPEATS):
+            self.executor.execute(
+                self.query, self.at_peer, reformulation_options=dict(OPTIONS)
+            )
+        return time.perf_counter() - started
+
+
+class _C14Workload:
+    """Interleaved update/serve stream on one prebuilt server.
+
+    Registration happens at construction (paid once per continuous
+    query in real use); each timed pass is the steady state — apply an
+    updategram (subscription-routed maintenance + batched propagation),
+    then serve every registered query repeatedly.  Per-pass streams are
+    seeded by round index (generated outside the timed region), so
+    successive passes are statistically identical workloads.
+    """
+
+    def __init__(self, obs):  # noqa: D107
+        self.obs = obs
+        self.pdms = _pdms(obs)
+        self.executor = DistributedExecutor(self.pdms)
+        self.queries = _queries(self.pdms, QUERY_COUNT)
+        self.server = ViewServer(self.executor, reformulation_options=dict(OPTIONS))
+        for name, query in self.queries:
+            self.server.register(name, query)
+
+    def run(self, round_index: int) -> float:
+        """Timed seconds for one update/serve round."""
+        stream = update_stream(
+            self.pdms, UPDATES, seed=SEED + 1 + round_index,
+            inserts_per_relation=2, deletes_per_relation=1,
+            relations_per_step=2,
+        )
+        started = time.perf_counter()
+        for owner, gram in stream:
+            self.pdms.apply_updategram(owner, gram)
+            for name, query in self.queries:
+                for _ in range(SERVE_REPEATS):
+                    stats = self.executor.execute(query, name, views=self.server)
+                    assert stats.view_hits == 1
+        return time.perf_counter() - started
+
+
+def _best_of_toggled(workload_cls):
+    """(baseline s, traced s): best of ROUNDS paired passes each.
+
+    One stack, one live tracer; each round times a pass with
+    ``tracer.enabled = False`` then one with ``True``, back to back.
+    Taking the best of each arm over many short rounds filters
+    scheduler/GC spikes; pairing on the same objects removes the
+    stack-to-stack layout variance that separate builds suffer.
+    Round 0 of each arm is an untimed warmup.
+    """
+    workload = workload_cls(Observability(tracing=True))
+    tracer = workload.obs.tracer
+    tracer.enabled = False
+    workload.run(0)
+    tracer.enabled = True
+    workload.run(0)
+    best_baseline = best_traced = float("inf")
+    for round_index in range(1, ROUNDS + 1):
+        tracer.enabled = False
+        best_baseline = min(best_baseline, workload.run(2 * round_index))
+        tracer.enabled = True
+        best_traced = min(best_traced, workload.run(2 * round_index + 1))
+    return best_baseline, best_traced
+
+
+class TestC15ObsOverhead:
+    def test_tracing_overhead_within_bar(self):
+        table = ResultTable(
+            "C15: full-tracing overhead vs the default no-op tracer",
+            ["workload", "baseline (s)", "traced (s)", "overhead", "bar"],
+        )
+        ratios = {}
+        for label, workload in (
+            ("C11 execute", _C11Workload), ("C14 serve", _C14Workload)
+        ):
+            # A measurement that lands entirely inside a machine-noise
+            # window (shared-runner neighbour, thermal throttle) can
+            # inflate one arm of every pair; a bounded re-measure keeps
+            # the gate honest about the overhead while not gating on
+            # the runner's weather.
+            for _ in range(ATTEMPTS):
+                baseline, traced = _best_of_toggled(workload)
+                ratio = traced / baseline
+                if ratio <= OVERHEAD_BAR:
+                    break
+            ratios[label] = ratio
+            table.add_row(
+                label, baseline, traced, f"{ratio:.3f}x",
+                f"<= {OVERHEAD_BAR:.2f}x",
+            )
+        table.note(
+            "best of N paired passes on one prebuilt stack, toggling "
+            "tracer.enabled between arms; metrics are on in both arms "
+            "(always-on by design) so the ratio isolates the span machinery"
+            + (" (quick mode)" if QUICK else "")
+        )
+        table.show()
+        for label, ratio in ratios.items():
+            assert ratio <= OVERHEAD_BAR, (
+                f"{label}: tracing overhead {ratio:.3f}x exceeds "
+                f"{OVERHEAD_BAR:.2f}x"
+            )
+
+    def test_traced_serve_yields_one_covering_tree(self):
+        """One served cycle = one span tree: reformulation, per-peer
+        round trips, and view maintenance decisions, all under a single
+        root (context propagation needs no plumbing)."""
+        obs = Observability(tracing=True)
+        pdms = _pdms(obs)
+        executor = DistributedExecutor(pdms)
+        server = ViewServer(executor, reformulation_options=dict(OPTIONS))
+        name, query = _queries(pdms, 1)[0]
+        stream = update_stream(
+            pdms, 1, seed=SEED + 2, inserts_per_relation=2,
+            deletes_per_relation=1, relations_per_step=2,
+        )
+        with obs.tracer.span("c14.cycle") as root:
+            server.register(name, query)
+            for owner, gram in stream:
+                pdms.apply_updategram(owner, gram)
+            stats = executor.execute(query, name, views=server)
+        assert stats.view_hits == 1
+        names = root.names()
+        # Registration-time reformulation + per-peer materialization
+        # fetches, updategram maintenance, and the served read — one tree.
+        assert "pdms.reformulate" in names
+        assert "execute.fetch" in names
+        assert "serving.updategram" in names
+        assert "serving.maintain" in names
+        assert "pdms.execute" in names
+        # The registry carries latency distributions for the same run.
+        metrics = obs.metrics
+        assert metrics.histogram("reformulate.ms").count >= 1
+        assert metrics.histogram("serving.updategram_ms").count >= 1
+        for quantile in ("p50", "p95", "p99"):
+            assert getattr(metrics.histogram("reformulate.ms"), quantile) >= 0.0

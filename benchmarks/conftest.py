@@ -3,9 +3,22 @@
 Every benchmark prints a ResultTable with the rows/series of the
 corresponding paper figure or claim (run with ``-s`` to see them, or
 read EXPERIMENTS.md, which records a reference run).
+
+Observability: every bench module also leaves a JSON snapshot of the
+process-wide :mod:`repro.obs` metrics registry in ``benchmarks/out/``
+(``<module>.metrics.json``) — counters, gauges and p50/p95/p99
+histogram summaries accumulated by that module's workloads.  The
+registry is reset per module so each snapshot covers exactly one
+bench.  (Benches that build their own ``Observability`` instances —
+C15's isolated arms — don't show up here, by design.)
 """
 
+import json
+import os
+
 import pytest
+
+from repro import obs
 
 
 def pytest_configure(config):
@@ -17,3 +30,17 @@ def pytest_configure(config):
 @pytest.fixture(scope="session")
 def seed():
     return 1
+
+
+@pytest.fixture(autouse=True, scope="module")
+def dump_metrics_snapshot(request):
+    """Reset the default registry per bench module, dump it afterwards."""
+    registry = obs.default().metrics
+    registry.reset()
+    yield
+    out_dir = os.path.join(os.path.dirname(__file__), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{request.module.__name__}.metrics.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(registry.to_json(indent=2))
+        handle.write("\n")

@@ -26,8 +26,11 @@ and is the parity oracle for the whole ensemble.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
+from repro import obs as _obs
 from repro.corpus.match.learners import BaseLearner, ElementSample
 
 _RRF_K = 1.0
@@ -85,7 +88,12 @@ def _combine(weights, predictions, labels) -> dict[str, float]:
 class MetaLearner:
     """Weighted combination of base learners."""
 
-    def __init__(self, learners: list[BaseLearner], stack_fraction: float = 0.33):  # noqa: D107
+    def __init__(
+        self,
+        learners: list[BaseLearner],
+        stack_fraction: float = 0.33,
+        obs: "_obs.Observability | None" = None,
+    ):  # noqa: D107
         if not learners:
             raise ValueError("MetaLearner needs at least one base learner")
         self.learners = learners
@@ -95,6 +103,13 @@ class MetaLearner:
         self._samples: list[ElementSample] = []
         self._sample_labels: list[str] = []
         self._weights_stale = False
+        # One latency histogram per base learner, keyed by class name —
+        # where batched prediction time actually goes, learner by learner.
+        metrics = (obs or _obs.default()).metrics
+        self._learner_timers = [
+            metrics.histogram(f"match.learner.{type(learner).__name__}.ms")
+            for learner in learners
+        ]
 
     # -- training -------------------------------------------------------------
     def _fit_learners(self, samples, labels) -> None:
@@ -259,7 +274,11 @@ class MetaLearner:
         identical to per-sample :meth:`predict`.
         """
         self._refresh_weights()
-        per_learner = [learner.predict_batch(samples, labels) for learner in self.learners]
+        per_learner = []
+        for learner, timer in zip(self.learners, self._learner_timers):
+            started = perf_counter()
+            per_learner.append(learner.predict_batch(samples, labels))
+            timer.observe((perf_counter() - started) * 1000.0)
         if labels is None:
             combine_labels = self.labels
         else:

@@ -38,6 +38,7 @@ bitwise parity guarantees.
 
 from __future__ import annotations
 
+from repro import obs as _obs
 from repro.corpus.match.base import MatchResult
 from repro.corpus.match.learners import samples_of
 from repro.corpus.match.lsd import default_learners
@@ -65,9 +66,11 @@ class CorpusMatchPipeline:
         block_k: int = 4,
         threshold: float = 0.0,
         one_to_one: bool = False,
+        obs: "_obs.Observability | None" = None,
     ):  # noqa: D107
         self.mediated = mediated
-        self.meta = MetaLearner(learners or default_learners(synonyms))
+        self.obs = obs or _obs.default()
+        self.meta = MetaLearner(learners or default_learners(synonyms), obs=self.obs)
         self.block_k = block_k
         self.threshold = threshold
         self.one_to_one = one_to_one
@@ -85,6 +88,20 @@ class CorpusMatchPipeline:
             "labels_scored": 0,
             "labels_available": 0,
         }
+        # The per-object counters above stay the stats_snapshot() source
+        # of truth; the registry mirrors them under ``match.*`` so they
+        # aggregate with the rest of the stack in one explain() report.
+        metrics = self.obs.metrics
+        self._m_sources = metrics.counter("match.sources_matched")
+        self._m_blocked = metrics.counter("match.blocked_sources")
+        self._m_labels_scored = metrics.counter("match.labels_scored")
+        self._m_labels_available = metrics.counter("match.labels_available")
+        self._h_candidates = metrics.histogram(
+            "match.blocking_candidates", _obs.DEFAULT_BUCKETS_COUNT
+        )
+        self._h_batch = metrics.histogram(
+            "match.batch_size", _obs.DEFAULT_BUCKETS_COUNT
+        )
 
     # -- training -------------------------------------------------------------
     def add_training_source(self, schema: CorpusSchema, mapping: dict[str, str]) -> int:
@@ -168,16 +185,31 @@ class CorpusMatchPipeline:
         result is bitwise identical to :meth:`match_source_brute_force`.
         """
         self._require_training()
-        samples = samples_of(schema)
-        labels = self.candidate_labels(schema) if blocking else None
-        self.counters["sources_matched"] += 1
-        self.counters["labels_available"] += self.label_count
-        if labels is None:
-            self.counters["labels_scored"] += self.label_count
-        else:
-            self.counters["blocked_sources"] += 1
-            self.counters["labels_scored"] += len(labels)
-        distributions = self.meta.predict_batch(samples, labels)
+        with self.obs.tracer.span(
+            "match.source", schema=schema.name, blocking=blocking
+        ) as span:
+            samples = samples_of(schema)
+            labels = self.candidate_labels(schema) if blocking else None
+            self.counters["sources_matched"] += 1
+            self.counters["labels_available"] += self.label_count
+            self._m_sources.inc()
+            self._m_labels_available.inc(self.label_count)
+            if labels is None:
+                self.counters["labels_scored"] += self.label_count
+                self._m_labels_scored.inc(self.label_count)
+                self._h_candidates.observe(self.label_count)
+            else:
+                self.counters["blocked_sources"] += 1
+                self.counters["labels_scored"] += len(labels)
+                self._m_blocked.inc()
+                self._m_labels_scored.inc(len(labels))
+                self._h_candidates.observe(len(labels))
+            self._h_batch.observe(len(samples))
+            span.annotate(
+                samples=len(samples),
+                labels_scored=self.label_count if labels is None else len(labels),
+            )
+            distributions = self.meta.predict_batch(samples, labels)
         return self._assemble(
             samples,
             distributions,

@@ -1,0 +1,216 @@
+"""Hierarchical spans with context propagation (`repro.obs`).
+
+A :class:`Tracer` produces a tree of :class:`Span`\\ s per top-level
+operation: the instrumented hot paths open spans with ``with
+tracer.span("pdms.reformulate", ...)`` and nesting follows the call
+stack automatically (the tracer keeps the current-span stack, so a
+per-peer fetch span opened inside an execute span becomes its child
+without any plumbing).  One served continuous query therefore yields
+one tree covering reformulation → per-peer execution round trips →
+view maintenance decisions — the end-to-end visibility ISSUE 6 asks
+for.
+
+Cost discipline:
+
+* **Disabled is the default and near-free.**  ``Tracer(enabled=False)``
+  (what :func:`repro.obs.default` hands out) returns one shared
+  :data:`NOOP_SPAN` from every ``span()`` call — no allocation, no
+  clock read.  Benchmark C15 asserts the *enabled* tracer stays within
+  5% on the C11/C14 workloads; disabled it is a single attribute test.
+* **Spans always close.**  ``Span.__exit__`` stamps the duration and
+  pops the stack even when the body raises; the span's ``error`` flag
+  is set and ``error_type`` attribute recorded, then the exception
+  propagates (``tests/test_obs.py`` pins this).
+* **Bounded retention.**  Finished root spans are kept on
+  ``Tracer.roots`` up to ``max_roots`` (oldest dropped) so a
+  long-running traced process cannot leak its whole history.
+
+Rendering: :meth:`Tracer.render` draws an indented ASCII tree with
+per-span durations and attributes; :meth:`Tracer.to_json` exports the
+same trees as plain dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from time import perf_counter
+
+
+class _NoopSpan:
+    """The shared do-nothing span the disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False  # never swallow exceptions
+
+    def annotate(self, **attrs) -> None:
+        """Ignore attributes (no span is being recorded)."""
+
+
+#: Singleton returned by ``Tracer.span`` when tracing is disabled.
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed, attributed node in a trace tree.
+
+    Use as a context manager (via :meth:`Tracer.span`); entering pushes
+    it onto the tracer's current-span stack, exiting stamps the
+    duration, records any exception on the ``error``/``error_type``
+    fields, pops the stack, and files root spans on ``Tracer.roots``.
+    """
+
+    __slots__ = ("name", "attrs", "error",
+                 "_tracer", "_children", "_started", "_duration")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):  # noqa: D107
+        self.name = name
+        self.attrs = attrs
+        self.error = False
+        self._tracer = tracer
+        # Lazily allocated on first child — most spans are leaves, and
+        # the hot paths open thousands of them.
+        self._children: list[Span] | None = None
+        self._started = 0.0
+        self._duration: float | None = None
+
+    @property
+    def children(self) -> tuple:
+        """Child spans in open order (empty for leaves)."""
+        return tuple(self._children) if self._children else ()
+
+    @property
+    def duration_ms(self) -> float | None:
+        """Wall-clock duration in ms; ``None`` while the span is open."""
+        return self._duration
+
+    @property
+    def closed(self) -> bool:
+        """Whether the span has finished (exited its ``with`` block)."""
+        return self._duration is not None
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (view hits, payloads)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack
+        if stack:
+            parent = stack[-1]
+            if parent._children is None:
+                parent._children = [self]
+            else:
+                parent._children.append(self)
+        stack.append(self)
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._duration = (perf_counter() - self._started) * 1000.0
+        if exc_type is not None:
+            self.error = True
+            self.attrs["error_type"] = exc_type.__name__
+        stack = self._tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        if not stack:
+            self._tracer._file_root(self)
+        return False  # propagate exceptions
+
+    # -- export ------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form of this span's subtree."""
+        node: dict = {"name": self.name, "duration_ms": self._duration}
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.error:
+            node["error"] = True
+        if self._children:
+            node["children"] = [child.to_dict() for child in self._children]
+        return node
+
+    def render(self, indent: int = 0) -> str:
+        """Indented ASCII rendering of this span's subtree."""
+        duration = (
+            f"{self._duration:.3f} ms" if self._duration is not None else "open"
+        )
+        attrs = "".join(
+            f" {key}={value}" for key, value in self.attrs.items()
+        )
+        flag = " !ERROR" if self.error else ""
+        lines = [f"{'  ' * indent}- {self.name} [{duration}]{attrs}{flag}"]
+        lines.extend(child.render(indent + 1) for child in self._children or ())
+        return "\n".join(lines)
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (depth-first)."""
+        if self.name == name:
+            return self
+        for child in self._children or ():
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def names(self) -> list[str]:
+        """Every span name in this subtree, depth-first preorder."""
+        collected = [self.name]
+        for child in self._children or ():
+            collected.extend(child.names())
+        return collected
+
+
+class Tracer:
+    """Produces span trees; disabled (the default) it is a no-op.
+
+    Single current-span stack — the whole stack is synchronous and
+    single-threaded, so context propagation is just call nesting.
+    """
+
+    def __init__(self, enabled: bool = False, max_roots: int = 64):  # noqa: D107
+        self.enabled = enabled
+        self.max_roots = max_roots
+        # deque(maxlen=...) makes root filing O(1) with automatic
+        # oldest-first eviction — no per-span list shifting.
+        self.roots: deque[Span] = deque(maxlen=max_roots)
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attrs):
+        """Open a span (context manager); shared no-op when disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attrs)
+
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def last_root(self) -> Span | None:
+        """The most recently finished top-level span."""
+        return self.roots[-1] if self.roots else None
+
+    def clear(self) -> None:
+        """Drop retained root spans (open spans are unaffected)."""
+        self.roots.clear()
+
+    def _file_root(self, span: Span) -> None:
+        self.roots.append(span)
+
+    # -- export ------------------------------------------------------------
+    def render(self, span: Span | None = None) -> str:
+        """ASCII tree of ``span`` (default: the last finished root)."""
+        span = span or self.last_root()
+        if span is None:
+            return "(no finished traces)"
+        return span.render()
+
+    def to_json(self, indent: int | None = None) -> str:
+        """All retained root trees as JSON."""
+        return json.dumps(
+            [root.to_dict() for root in self.roots], indent=indent
+        )

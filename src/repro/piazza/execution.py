@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs as _obs
 from repro.piazza.datalog import (
     ConjunctiveQuery,
     Instance,
@@ -87,10 +88,25 @@ class MaterializedView:
 class DistributedExecutor:
     """Executes unions of CQs over the PDMS's stored relations."""
 
-    def __init__(self, pdms: PDMS, network: SimulatedNetwork | None = None):  # noqa: D107
+    def __init__(
+        self,
+        pdms: PDMS,
+        network: SimulatedNetwork | None = None,
+        obs: "_obs.Observability | None" = None,
+    ):  # noqa: D107
         self.pdms = pdms
-        self.network = network or SimulatedNetwork()
+        self.obs = obs or pdms.obs
+        self.network = network or SimulatedNetwork(obs=self.obs)
         self._views: dict[tuple, MaterializedView] = {}
+        # Metric handles cached once: the per-query hot path records
+        # events with attribute adds, not registry lookups.
+        metrics = self.obs.metrics
+        self._m_queries = metrics.counter("execute.queries")
+        self._m_view_hits = metrics.counter("execute.view_hits")
+        self._m_round_trips = metrics.counter("execute.round_trips")
+        self._m_tuples = metrics.counter("execute.tuples_shipped")
+        self._h_round_trip = metrics.histogram("execute.round_trip_ms")
+        self._h_latency = metrics.histogram("execute.simulated_latency_ms")
 
     # -- view placement ----------------------------------------------------
     def materialize(self, peer: str, query: str | ConjunctiveQuery) -> MaterializedView:
@@ -128,6 +144,32 @@ class DistributedExecutor:
         return count
 
     # -- execution -------------------------------------------------------------
+    def _charge_fetch(self, stats: ExecutionStats, at_peer: str, owner: str,
+                      payload: int, relations: int = 1) -> float:
+        """Charge one batched request/response fetch round trip.
+
+        The single place a fetch is billed: two messages (request of
+        size 1, response of ``payload`` tuples), the simulated latency
+        added to ``stats``, the payload to ``tuples_shipped`` — plus a
+        ``execute.fetch`` span (child of the open execute span) and the
+        ``execute.*`` round-trip metrics.  Both the batched and the
+        brute-force executor route through here, so the cost model can
+        never drift between them (their stats differ only in how often
+        they call this).  Returns the round trip's simulated ms.
+        """
+        with self.obs.tracer.span(
+            "execute.fetch", peer=owner, payload=payload, relations=relations
+        ):
+            cost = self.network.send(at_peer, owner, 1, kind="request")
+            cost += self.network.send(owner, at_peer, payload, kind="response")
+        stats.messages += 2
+        stats.tuples_shipped += payload
+        stats.latency_ms += cost
+        self._m_round_trips.inc()
+        self._m_tuples.inc(payload)
+        self._h_round_trip.observe(cost)
+        return cost
+
     def _stored_tuples(self, predicate: str) -> set[tuple]:
         """The live tuple set behind a ``peer!relation`` predicate."""
         owner, relation = predicate.split("!", 1)
@@ -158,61 +200,68 @@ class DistributedExecutor:
         """
         if isinstance(query, str):
             query = self.pdms.query(query)
-        if views is not None:
-            served = views.serve(query, at_peer)
-            if served is not None:
-                stats = ExecutionStats()
-                stats.view_hits = 1
-                stats.answers = served
+        with self.obs.tracer.span(
+            "pdms.execute", peer=at_peer, query=query.head.predicate
+        ) as span:
+            self._m_queries.inc()
+            if views is not None:
+                served = views.serve(query, at_peer)
+                if served is not None:
+                    stats = ExecutionStats()
+                    stats.view_hits = 1
+                    stats.answers = served
+                    self._m_view_hits.inc()
+                    span.annotate(served_from="continuous-view")
+                    return stats
+            stats = ExecutionStats()
+            result = self.pdms.reformulate(query, **(reformulation_options or {}))
+
+            pending: list[ConjunctiveQuery] = []
+            for rewriting in result.rewritings:
+                view = self.view_for(at_peer, rewriting)
+                if view is not None:
+                    stats.view_hits += 1
+                    stats.answers |= set(view.tuples)
+                else:
+                    pending.append(rewriting)
+            self._m_view_hits.inc(stats.view_hits)
+            if not pending:
+                span.annotate(view_hits=stats.view_hits)
                 return stats
-        stats = ExecutionStats()
-        result = self.pdms.reformulate(query, **(reformulation_options or {}))
 
-        pending: list[ConjunctiveQuery] = []
-        for rewriting in result.rewritings:
-            view = self.view_for(at_peer, rewriting)
-            if view is not None:
-                stats.view_hits += 1
-                stats.answers |= set(view.tuples)
-            else:
-                pending.append(rewriting)
-        if not pending:
+            # One fetch plan for the whole union: predicate -> owner, grouped
+            # by owner in first-mention order for deterministic messaging.
+            by_owner: dict[str, list[str]] = {}
+            planned: set[str] = set()
+            for rewriting in pending:
+                for atom in rewriting.body:
+                    if atom.predicate in planned:
+                        continue
+                    planned.add(atom.predicate)
+                    by_owner.setdefault(owner_of(atom.predicate), []).append(
+                        atom.predicate
+                    )
+
+            fetched: Instance = {}
+            for owner, predicates in by_owner.items():
+                payload = 0
+                for predicate in predicates:
+                    tuples = self._stored_tuples(predicate)
+                    fetched[predicate] = tuples
+                    payload += len(tuples)
+                stats.relations_fetched += len(predicates)
+                if owner != at_peer:
+                    stats.peers_contacted += 1
+                    self._charge_fetch(
+                        stats, at_peer, owner, payload, relations=len(predicates)
+                    )
+
+            stats.answers |= evaluate_union(pending, fetched)
+            span.annotate(
+                peers_contacted=stats.peers_contacted, answers=len(stats.answers)
+            )
+            self._h_latency.observe(stats.latency_ms)
             return stats
-
-        # One fetch plan for the whole union: predicate -> owner, grouped
-        # by owner in first-mention order for deterministic messaging.
-        by_owner: dict[str, list[str]] = {}
-        planned: set[str] = set()
-        for rewriting in pending:
-            for atom in rewriting.body:
-                if atom.predicate in planned:
-                    continue
-                planned.add(atom.predicate)
-                by_owner.setdefault(owner_of(atom.predicate), []).append(
-                    atom.predicate
-                )
-
-        fetched: Instance = {}
-        for owner, predicates in by_owner.items():
-            payload = 0
-            for predicate in predicates:
-                tuples = self._stored_tuples(predicate)
-                fetched[predicate] = tuples
-                payload += len(tuples)
-            stats.relations_fetched += len(predicates)
-            if owner != at_peer:
-                stats.peers_contacted += 1
-                stats.messages += 2  # one batched request + response
-                stats.latency_ms += self.network.send(
-                    at_peer, owner, 1, kind="request"
-                )
-                stats.latency_ms += self.network.send(
-                    owner, at_peer, payload, kind="response"
-                )
-                stats.tuples_shipped += payload
-
-        stats.answers |= evaluate_union(pending, fetched)
-        return stats
 
     def execute_brute_force(
         self,
@@ -248,14 +297,10 @@ class DistributedExecutor:
                 owner = owner_of(atom.predicate)
                 tuples = instance.get(atom.predicate, set())
                 if owner != at_peer:
-                    stats.messages += 2  # per-relation request + response
-                    stats.latency_ms += self.network.send(
-                        at_peer, owner, 1, kind="request"
-                    )
-                    stats.latency_ms += self.network.send(
-                        owner, at_peer, len(tuples), kind="response"
-                    )
-                    stats.tuples_shipped += len(tuples)
+                    # One request + response per stored relation — the
+                    # same charged helper as the batched path, called
+                    # once per relation instead of once per peer.
+                    self._charge_fetch(stats, at_peer, owner, len(tuples))
                 stats.relations_fetched += 1
                 fetched[atom.predicate] = tuples
             stats.answers |= evaluate_query_brute_force(rewriting, fetched)

@@ -22,15 +22,29 @@ Cost-model knobs:
 * local (same-peer) transfers are free and unrecorded.
 
 Accounting: every :meth:`SimulatedNetwork.send` appends a
-:class:`Message`, so ``message_count`` / ``bytes_shipped`` /
-``total_latency_ms`` audit a whole run; :meth:`SimulatedNetwork.reset`
-clears traffic but keeps the latency matrix.
+:class:`Message` and bumps the per-kind message counter, so
+``message_count`` / ``bytes_shipped`` / ``total_latency_ms`` /
+``kind_counts`` audit a whole run; the same events feed the
+:mod:`repro.obs` registry (``network.messages.<kind>`` counters,
+``network.tuples_shipped``, the ``network.transfer_ms`` histogram) so
+traffic shows up in the unified ``explain()`` report.
+
+Reset semantics (:meth:`SimulatedNetwork.reset`): **traffic clears,
+topology survives.**  Cleared: the ``messages`` log,
+``total_latency_ms``, and the per-kind ``kind_counts``.  Kept: the
+pairwise latency matrix (``set_latency`` / ``randomize_latencies``
+installs), ``default_latency_ms`` and ``per_tuple_ms`` — the cost
+model is configuration, not traffic.  The shared :mod:`repro.obs`
+registry is also untouched: it aggregates across resets by design
+(``tests/test_obs_integration.py`` pins all of this).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+
+from repro import obs as _obs
 
 
 @dataclass
@@ -57,6 +71,18 @@ class SimulatedNetwork:
     _latency: dict[tuple[str, str], float] = field(default_factory=dict)
     messages: list[Message] = field(default_factory=list)
     total_latency_ms: float = 0.0
+    kind_counts: dict[str, int] = field(default_factory=dict)
+    obs: object = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:  # noqa: D105
+        if self.obs is None:
+            self.obs = _obs.default()
+        # Per-kind counter handles cached so the send() hot path pays an
+        # attribute add, not a registry lookup, per message.
+        self._kind_counters: dict[str, object] = {}
+        metrics = self.obs.metrics
+        self._m_tuples = metrics.counter("network.tuples_shipped")
+        self._h_transfer = metrics.histogram("network.transfer_ms")
 
     def set_latency(self, peer_a: str, peer_b: str, latency_ms: float) -> None:
         """Set the symmetric latency between two peers."""
@@ -84,6 +110,14 @@ class SimulatedNetwork:
         self.messages.append(Message(sender, receiver, size, kind))
         cost = self.latency(sender, receiver) + size * self.per_tuple_ms
         self.total_latency_ms += cost
+        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+        counter = self._kind_counters.get(kind)
+        if counter is None:
+            counter = self.obs.metrics.counter(f"network.messages.{kind}")
+            self._kind_counters[kind] = counter
+        counter.inc()
+        self._m_tuples.inc(size)
+        self._h_transfer.observe(cost)
         return cost
 
     def round_trip(
@@ -106,8 +140,12 @@ class SimulatedNetwork:
         return cost
 
     def messages_of_kind(self, kind: str) -> int:
-        """How many recorded messages carry the given kind tag."""
-        return sum(1 for message in self.messages if message.kind == kind)
+        """How many recorded messages carry the given kind tag.
+
+        Served from the per-kind counters rather than a log scan; the
+        two stay consistent because both are written only by ``send``.
+        """
+        return self.kind_counts.get(kind, 0)
 
     @property
     def message_count(self) -> int:
@@ -120,6 +158,14 @@ class SimulatedNetwork:
         return sum(message.size for message in self.messages)
 
     def reset(self) -> None:
-        """Clear traffic accounting (latency matrix kept)."""
+        """Clear traffic accounting; the cost model survives.
+
+        Clears the message log, ``total_latency_ms`` and the per-kind
+        ``kind_counts``.  Keeps the pairwise latency matrix,
+        ``default_latency_ms`` and ``per_tuple_ms`` (configuration, not
+        traffic), and never touches the shared :mod:`repro.obs`
+        registry, which aggregates across resets.
+        """
         self.messages.clear()
         self.total_latency_ms = 0.0
+        self.kind_counts.clear()

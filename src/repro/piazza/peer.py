@@ -44,6 +44,9 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro import obs as _obs
 
 from repro.piazza.datalog import (
     Atom,
@@ -308,7 +311,8 @@ class PDMS:
     [('DB',)]
     """
 
-    def __init__(self) -> None:  # noqa: D107
+    def __init__(self, obs: "_obs.Observability | None" = None) -> None:  # noqa: D107
+        self.obs = obs or _obs.default()
         self.peers: dict[str, Peer] = {}
         self.mappings: list = []
         self.storage: list[StorageDescription] = []
@@ -507,16 +511,42 @@ class PDMS:
         :meth:`mapping_index`; ``indexed=False`` is the pre-scale-layer
         path that rebuilds the rule lookup per call — same rewritings,
         kept for the C11 baseline and the parity suite.
+
+        Observability: every call opens a ``pdms.reformulate`` span
+        (child of whatever execution span is open) and folds the result
+        counters — including the former ad-hoc ``index_hits`` /
+        ``rules_skipped`` — into the ``reformulate.*`` metrics of the
+        shared registry, with latency on the ``reformulate.ms``
+        histogram.
         """
         if isinstance(query, str):
             query = parse_query(query)
-        if indexed:
-            index = self.mapping_index()
-            edb = index.edb_predicates  # already computed for the index
-        else:
-            index = None
-            edb = self.edb_predicates()
-        return reformulate(query, self.rules(), edb, index=index, **options)
+        with self.obs.tracer.span(
+            "pdms.reformulate", query=query.head.predicate, indexed=indexed
+        ) as span:
+            started = perf_counter()
+            if indexed:
+                index = self.mapping_index()
+                edb = index.edb_predicates  # already computed for the index
+            else:
+                index = None
+                edb = self.edb_predicates()
+            result = reformulate(query, self.rules(), edb, index=index, **options)
+            elapsed_ms = (perf_counter() - started) * 1000.0
+            span.annotate(
+                rewritings=len(result.rewritings),
+                nodes_expanded=result.nodes_expanded,
+                rules_skipped=result.rules_skipped,
+            )
+        metrics = self.obs.metrics
+        metrics.counter("reformulate.calls").inc()
+        metrics.counter("reformulate.index_hits").inc(result.index_hits)
+        metrics.counter("reformulate.rules_skipped").inc(result.rules_skipped)
+        metrics.counter("reformulate.nodes_expanded").inc(result.nodes_expanded)
+        metrics.counter("reformulate.nodes_pruned").inc(result.nodes_pruned)
+        metrics.histogram("reformulate.ms").observe(elapsed_ms)
+        metrics.histogram("reformulate.rewritings").observe(len(result.rewritings))
+        return result
 
     def answer(self, query: str | ConjunctiveQuery, **options) -> set[tuple]:
         """Answer by reformulation + batched hash-join evaluation."""

@@ -53,6 +53,7 @@ streams, including multi-derivation deletes and self-join views.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.piazza.datalog import ConjunctiveQuery
 from repro.piazza.execution import DistributedExecutor, ExecutionStats
@@ -131,8 +132,25 @@ class ViewServer:
         self.executor = executor
         self.pdms = executor.pdms
         self.network = executor.network
+        self.obs = executor.obs
         self.reformulation_options = dict(reformulation_options or {})
         self.stats = ServingStats()
+        # Cached metric handles: serve() is the per-query hot path, so
+        # its accounting must be attribute adds, not registry lookups.
+        metrics = self.obs.metrics
+        self._m_served = metrics.counter("serving.queries_served")
+        self._m_misses = metrics.counter("serving.misses")
+        self._m_stale = metrics.counter("serving.stale_refusals")
+        self._m_registrations = metrics.counter("serving.registrations")
+        self._m_reregistrations = metrics.counter("serving.reregistrations")
+        self._m_updategrams = metrics.counter("serving.updategrams")
+        self._m_maintained = metrics.counter("serving.views_maintained")
+        self._m_skipped = metrics.counter("serving.views_skipped")
+        self._m_incremental = metrics.counter("serving.incremental_choices")
+        self._m_recompute = metrics.counter("serving.recompute_choices")
+        self._m_resyncs = metrics.counter("serving.resyncs")
+        self._m_rows = metrics.counter("serving.rows_propagated")
+        self._h_maintain = metrics.histogram("serving.updategram_ms")
         # rewriting canonical key -> shared counting-maintained view
         self._views: dict[tuple, IncrementalView] = {}
         self._view_relations: dict[tuple, frozenset] = {}
@@ -166,73 +184,72 @@ class ViewServer:
         existing = self._registrations.get(key)
         if existing is not None:
             return existing
-        result = self.pdms.reformulate(query, **self.reformulation_options)
-        view_keys: list = []
-        relations: set = set()
-        fresh_predicates: list = []
-        new_vkeys: set = set()
-        for rewriting in result.rewritings:
-            vkey = rewriting.canonical()
-            predicates = frozenset(atom.predicate for atom in rewriting.body)
-            if vkey not in self._views:
-                new_vkeys.add(vkey)
-                instance = {
-                    predicate: set(self.executor._stored_tuples(predicate))
-                    for predicate in predicates
-                }
-                self._views[vkey] = IncrementalView(rewriting, instance)
-                self._view_relations[vkey] = predicates
-                self._view_regs[vkey] = set()
-                self._view_order[vkey] = self._view_counter
-                self._view_counter += 1
-                for predicate in predicates:
-                    self._subscribers.setdefault(predicate, set()).add(vkey)
-                fresh_predicates.extend(
-                    p for p in predicates if p not in fresh_predicates
-                )
-                self.stats.rewritings_materialized += 1
-            self._view_regs[vkey].add(key)
-            if vkey not in view_keys:
-                view_keys.append(vkey)
-            relations |= predicates
-        # Pay the placement cost: one round trip per remote peer for the
-        # relations fetched fresh here (shared views were already paid for).
-        by_owner: dict[str, int] = {}
-        for predicate in fresh_predicates:
-            payload = len(self._stored(predicate))
-            by_owner[owner_of(predicate)] = by_owner.get(owner_of(predicate), 0) + payload
-        for owner, payload in sorted(by_owner.items()):
-            if owner != peer:
-                self.stats.messages += 2
-                self.stats.tuples_shipped += payload
-                self.stats.latency_ms += self.network.send(
-                    peer, owner, 1, kind="request"
-                )
-                self.stats.latency_ms += self.network.send(
-                    owner, peer, payload, kind="response"
-                )
-        for owner in sorted({owner_of(relation) for relation in relations}):
-            tracked = self._epochs.get(owner)
-            if tracked is None:
-                self._epochs[owner] = self.pdms.data_epoch(owner)
-            elif tracked != self.pdms.data_epoch(owner):
-                # Out-of-band mutations happened since we last looked at
-                # this owner: older views of it are unrepairable from
-                # grams — re-read them now.  The views built in this
-                # very call came from live data and are skipped.
-                self._resync(owner, fresh=new_vkeys)
-        registration = ServedQuery(
-            peer=peer,
-            query=query,
-            rewritings=tuple(result.rewritings),
-            view_keys=tuple(view_keys),
-            relations=frozenset(relations),
-            owners=frozenset(owner_of(r) for r in relations),
-            topology_version=self.pdms.topology_version,
-        )
-        self._registrations[key] = registration
-        self.stats.registrations += 1
-        return registration
+        with self.obs.tracer.span(
+            "serving.register", peer=peer, query=query.head.predicate
+        ) as span:
+            result = self.pdms.reformulate(query, **self.reformulation_options)
+            span.annotate(rewritings=len(result.rewritings))
+            view_keys: list = []
+            relations: set = set()
+            fresh_predicates: list = []
+            new_vkeys: set = set()
+            for rewriting in result.rewritings:
+                vkey = rewriting.canonical()
+                predicates = frozenset(atom.predicate for atom in rewriting.body)
+                if vkey not in self._views:
+                    new_vkeys.add(vkey)
+                    instance = {
+                        predicate: set(self.executor._stored_tuples(predicate))
+                        for predicate in predicates
+                    }
+                    self._views[vkey] = IncrementalView(rewriting, instance)
+                    self._view_relations[vkey] = predicates
+                    self._view_regs[vkey] = set()
+                    self._view_order[vkey] = self._view_counter
+                    self._view_counter += 1
+                    for predicate in predicates:
+                        self._subscribers.setdefault(predicate, set()).add(vkey)
+                    fresh_predicates.extend(
+                        p for p in predicates if p not in fresh_predicates
+                    )
+                    self.stats.rewritings_materialized += 1
+                self._view_regs[vkey].add(key)
+                if vkey not in view_keys:
+                    view_keys.append(vkey)
+                relations |= predicates
+            # Pay the placement cost: one round trip per remote peer for the
+            # relations fetched fresh here (shared views were already paid
+            # for), billed through the executor's charged fetch helper.
+            by_owner: dict[str, int] = {}
+            for predicate in fresh_predicates:
+                payload = len(self._stored(predicate))
+                by_owner[owner_of(predicate)] = by_owner.get(owner_of(predicate), 0) + payload
+            for owner, payload in sorted(by_owner.items()):
+                if owner != peer:
+                    self.executor._charge_fetch(self.stats, peer, owner, payload)
+            for owner in sorted({owner_of(relation) for relation in relations}):
+                tracked = self._epochs.get(owner)
+                if tracked is None:
+                    self._epochs[owner] = self.pdms.data_epoch(owner)
+                elif tracked != self.pdms.data_epoch(owner):
+                    # Out-of-band mutations happened since we last looked at
+                    # this owner: older views of it are unrepairable from
+                    # grams — re-read them now.  The views built in this
+                    # very call came from live data and are skipped.
+                    self._resync(owner, fresh=new_vkeys)
+            registration = ServedQuery(
+                peer=peer,
+                query=query,
+                rewritings=tuple(result.rewritings),
+                view_keys=tuple(view_keys),
+                relations=frozenset(relations),
+                owners=frozenset(owner_of(r) for r in relations),
+                topology_version=self.pdms.topology_version,
+            )
+            self._registrations[key] = registration
+            self.stats.registrations += 1
+            self._m_registrations.inc()
+            return registration
 
     def unregister(self, peer: str, query: str | ConjunctiveQuery) -> bool:
         """Drop a registration; shared views survive while referenced."""
@@ -284,6 +301,7 @@ class ViewServer:
         registration = self._registrations.get((at_peer,) + query.canonical())
         if registration is None:
             self.stats.misses += 1
+            self._m_misses.inc()
             return None
         if registration.topology_version != self.pdms.topology_version:
             # A peer/mapping/storage change made the one-time
@@ -292,11 +310,14 @@ class ViewServer:
             self.unregister(at_peer, query)
             registration = self.register(at_peer, query)
             self.stats.reregistrations += 1
+            self._m_reregistrations.inc()
         for owner in registration.owners:
             if self.pdms.data_epoch(owner) != self._epochs.get(owner):
                 self.stats.stale_refusals += 1
+                self._m_stale.inc()
                 return None
         self.stats.queries_served += 1
+        self._m_served.inc()
         answers: set = set()
         for vkey in registration.view_keys:
             answers |= self._views[vkey].tuples()
@@ -347,34 +368,38 @@ class ViewServer:
         prefix = f"{owner}!"
         refreshed: set = set()
         needed_by_peer: dict[str, set] = {}
-        for vkey, relations in self._view_relations.items():
-            if vkey in fresh:
-                continue
-            owned = {r for r in relations if r.startswith(prefix)}
-            if not owned:
-                continue
-            view = self._views[vkey]
-            for predicate in owned:
-                view.instance[predicate] = set(self._stored(predicate))
-            view._recompute_counts()
-            refreshed.add(vkey)
-            for reg_key in self._view_regs[vkey]:
-                needed_by_peer.setdefault(reg_key[0], set()).update(owned)
-        for peer in sorted(needed_by_peer):
-            payload = sum(len(self._stored(r)) for r in needed_by_peer[peer])
-            if peer == owner:
-                continue
-            self.stats.peers_notified += 1
-            self.stats.messages += 2
-            self.stats.rows_propagated += payload
-            self.stats.latency_ms += self.network.round_trip(
-                owner, peer, payload, kind="resync"
-            )
-        if refreshed:
-            self.stats.resyncs += 1
-            self.stats.views_resynced += len(refreshed)
-        self._epochs[owner] = self.pdms.data_epoch(owner)
-        return refreshed
+        with self.obs.tracer.span("serving.resync", owner=owner) as span:
+            for vkey, relations in self._view_relations.items():
+                if vkey in fresh:
+                    continue
+                owned = {r for r in relations if r.startswith(prefix)}
+                if not owned:
+                    continue
+                view = self._views[vkey]
+                for predicate in owned:
+                    view.instance[predicate] = set(self._stored(predicate))
+                view._recompute_counts()
+                refreshed.add(vkey)
+                for reg_key in self._view_regs[vkey]:
+                    needed_by_peer.setdefault(reg_key[0], set()).update(owned)
+            for peer in sorted(needed_by_peer):
+                payload = sum(len(self._stored(r)) for r in needed_by_peer[peer])
+                if peer == owner:
+                    continue
+                self.stats.peers_notified += 1
+                self.stats.messages += 2
+                self.stats.rows_propagated += payload
+                self._m_rows.inc(payload)
+                self.stats.latency_ms += self.network.round_trip(
+                    owner, peer, payload, kind="resync"
+                )
+            if refreshed:
+                self.stats.resyncs += 1
+                self.stats.views_resynced += len(refreshed)
+                self._m_resyncs.inc()
+            span.annotate(views_resynced=len(refreshed))
+            self._epochs[owner] = self.pdms.data_epoch(owner)
+            return refreshed
 
     def _on_updategram(self, owner: str, gram: Updategram, epoch_before: int) -> None:
         """Route one base updategram to exactly the views it can affect.
@@ -391,57 +416,82 @@ class ViewServer:
         relations are re-read wholesale instead (:meth:`_resync` — the
         post-gram live state folds this gram in too).
         """
+        started = perf_counter()
         self.stats.updategrams += 1
-        tracked = self._epochs.get(owner)
-        if tracked is not None and tracked != epoch_before:
-            refreshed = self._resync(owner)
-            self.stats.views_skipped += len(self._views) - len(refreshed)
-            self.stats.per_gram_round_trips.append(
-                len({k[0] for v in refreshed for k in self._view_regs[v]} - {owner})
-            )
-            return
-        qualified = gram.qualify(owner)
-        touched_relations = qualified.relations()
-        affected: set = set()
-        for relation in touched_relations:
-            affected |= self._subscribers.get(relation, set())
-        self.stats.views_skipped += len(self._views) - len(affected)
+        self._m_updategrams.inc()
+        with self.obs.tracer.span(
+            "serving.updategram", owner=owner, rows=gram.size()
+        ) as span:
+            tracked = self._epochs.get(owner)
+            if tracked is not None and tracked != epoch_before:
+                refreshed = self._resync(owner)
+                skipped = len(self._views) - len(refreshed)
+                self.stats.views_skipped += skipped
+                self._m_skipped.inc(skipped)
+                self.stats.per_gram_round_trips.append(
+                    len({k[0] for v in refreshed for k in self._view_regs[v]} - {owner})
+                )
+                self._h_maintain.observe((perf_counter() - started) * 1000.0)
+                return
+            qualified = gram.qualify(owner)
+            touched_relations = qualified.relations()
+            affected: set = set()
+            for relation in touched_relations:
+                affected |= self._subscribers.get(relation, set())
+            skipped = len(self._views) - len(affected)
+            self.stats.views_skipped += skipped
+            self._m_skipped.inc(skipped)
 
-        # One round trip per subscriber peer, carrying every delta row
-        # any of its views needs (union over its affected views).
-        needed_by_peer: dict[str, set] = {}
-        for vkey in affected:
-            touched = self._view_relations[vkey] & touched_relations
-            for reg_key in self._view_regs[vkey]:
-                needed_by_peer.setdefault(reg_key[0], set()).update(touched)
-        round_trips = 0
-        for peer in sorted(needed_by_peer):
-            payload = sum(
-                len(qualified.inserts.get(r, ()))
-                + len(qualified.deletes.get(r, ()))
-                for r in needed_by_peer[peer]
-            )
-            if peer == owner:
-                continue  # local views see the mutation for free
-            round_trips += 1
-            self.stats.peers_notified += 1
-            self.stats.messages += 2
-            self.stats.rows_propagated += payload
-            self.stats.latency_ms += self.network.round_trip(
-                owner, peer, payload, kind="update"
-            )
-        self.stats.per_gram_round_trips.append(round_trips)
+            # One round trip per subscriber peer, carrying every delta row
+            # any of its views needs (union over its affected views).
+            needed_by_peer: dict[str, set] = {}
+            for vkey in affected:
+                touched = self._view_relations[vkey] & touched_relations
+                for reg_key in self._view_regs[vkey]:
+                    needed_by_peer.setdefault(reg_key[0], set()).update(touched)
+            round_trips = 0
+            for peer in sorted(needed_by_peer):
+                payload = sum(
+                    len(qualified.inserts.get(r, ()))
+                    + len(qualified.deletes.get(r, ()))
+                    for r in needed_by_peer[peer]
+                )
+                if peer == owner:
+                    continue  # local views see the mutation for free
+                round_trips += 1
+                self.stats.peers_notified += 1
+                self.stats.messages += 2
+                self.stats.rows_propagated += payload
+                self._m_rows.inc(payload)
+                with self.obs.tracer.span(
+                    "serving.propagate", peer=peer, payload=payload
+                ):
+                    self.stats.latency_ms += self.network.round_trip(
+                        owner, peer, payload, kind="update"
+                    )
+            self.stats.per_gram_round_trips.append(round_trips)
 
-        # Maintain each shared view once, in creation order — ordered via
-        # the per-view index, without scanning the whole view table.
-        for vkey in sorted(affected, key=self._view_order.__getitem__):
-            view = self._views[vkey]
-            restricted = qualified.restrict(self._view_relations[vkey])
-            strategy, _delta = view.maintain(restricted)
-            self.stats.views_maintained += 1
-            if strategy == "incremental":
-                self.stats.incremental_choices += 1
-            else:
-                self.stats.recompute_choices += 1
-        if owner in self._epochs:
-            self._epochs[owner] = self.pdms.data_epoch(owner)
+            # Maintain each shared view once, in creation order — ordered via
+            # the per-view index, without scanning the whole view table.
+            for vkey in sorted(affected, key=self._view_order.__getitem__):
+                view = self._views[vkey]
+                restricted = qualified.restrict(self._view_relations[vkey])
+                with self.obs.tracer.span(
+                    "serving.maintain", view=view.query.head.predicate
+                ) as maintain_span:
+                    strategy, _delta = view.maintain(restricted)
+                    maintain_span.annotate(strategy=strategy)
+                self.stats.views_maintained += 1
+                self._m_maintained.inc()
+                if strategy == "incremental":
+                    self.stats.incremental_choices += 1
+                    self._m_incremental.inc()
+                else:
+                    self.stats.recompute_choices += 1
+                    self._m_recompute.inc()
+            span.annotate(
+                views_maintained=len(affected), round_trips=round_trips
+            )
+            if owner in self._epochs:
+                self._epochs[owner] = self.pdms.data_epoch(owner)
+        self._h_maintain.observe((perf_counter() - started) * 1000.0)

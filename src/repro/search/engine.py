@@ -31,6 +31,7 @@ from __future__ import annotations
 import typing
 from collections import Counter
 
+from repro import obs as _obs
 from repro.search.cache import LRUQueryCache
 from repro.search.postings import InvertedIndex
 from repro.search.vectors import SparseVectorStore
@@ -47,9 +48,18 @@ class CorpusSearchEngine:
     assumes a single consumer.
     """
 
-    def __init__(self, stats: "BasicStatistics", cache_size: int = 1024):  # noqa: D107
+    def __init__(
+        self,
+        stats: "BasicStatistics",
+        cache_size: int = 1024,
+        obs: "_obs.Observability | None" = None,
+    ):  # noqa: D107
         self.stats = stats
-        self.cache = LRUQueryCache(cache_size)
+        self.obs = obs or _obs.default()
+        self.cache = LRUQueryCache(cache_size, obs=self.obs)
+        metrics = self.obs.metrics
+        self._m_queries = metrics.counter("search.queries")
+        self._m_syncs = metrics.counter("search.syncs")
         self._terms = SparseVectorStore()
         self._signatures = InvertedIndex()
         self._signature_rows: list[tuple[str, frozenset]] = []
@@ -80,6 +90,7 @@ class CorpusSearchEngine:
         stats.ensure_built()
         if self._synced_version == stats.version:
             return
+        self._m_syncs.inc()
         dirty_terms, new_rows, new_schemas = stats.drain_index_updates()
         for term in dirty_terms:
             self._terms.put(term, stats.profile_row_for(term))
@@ -104,6 +115,7 @@ class CorpusSearchEngine:
         vocabulary scan exactly, ties broken by term.
         """
         self.sync()
+        self._m_queries.inc()
         key = ("similar", term, limit, self._fingerprint())
         cached = self.cache.get(key, self._synced_version)
         if cached is not None:
@@ -124,6 +136,7 @@ class CorpusSearchEngine:
         """Top-k over the co-occurrence profile store for an ad-hoc query
         vector (uncached: ad-hoc vectors rarely repeat)."""
         self.sync()
+        self._m_queries.inc()
         return self._terms.top_k(query, limit, exclude=exclude)
 
     # -- relation names for an attribute set ----------------------------------
@@ -135,6 +148,7 @@ class CorpusSearchEngine:
         (first corpus appearance) replicate the brute-force scan.
         """
         self.sync()
+        self._m_queries.inc()
         key = ("relation-names", tuple(sorted(attributes)), self._fingerprint())
         cached = self.cache.get(key, self._synced_version)
         if cached is not None:
@@ -163,6 +177,7 @@ class CorpusSearchEngine:
         are scored — the matching pipeline's candidate blocking.
         """
         self.sync()
+        self._m_queries.inc()
         return self._schema_profiles.top_k(profile, limit, exclude=exclude)
 
     # -- schema popularity ----------------------------------------------------
@@ -170,6 +185,7 @@ class CorpusSearchEngine:
         """Fraction of other corpus schemas sharing most relation concepts
         (Jaccard >= 0.5 over normalized relation-name sets)."""
         self.sync()
+        self._m_queries.inc()
         key = ("popularity", schema_name, self._fingerprint())
         cached = self.cache.get(key, self._synced_version)
         if cached is not None:

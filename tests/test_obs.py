@@ -1,0 +1,303 @@
+"""Unit tests for the observability layer (``repro.obs``).
+
+The load-bearing guarantees (ISSUE 6):
+
+* histogram quantiles are *exact at bucket boundaries* (a sample equal
+  to a bound reports that bound), empty histograms report 0.0, and
+  merging two histograms reports the same quantiles as one histogram
+  fed the concatenated sample streams;
+* spans always close — an exception inside a span leaves it closed
+  with the ``error`` flag set and ``error_type`` recorded, and the
+  exception propagates;
+* the disabled (default) tracer hands out one shared no-op span;
+* a registry reset zeroes values without discarding the metric
+  objects, because instruments hold direct references.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS_COUNT,
+    DEFAULT_BUCKETS_MS,
+    NOOP_SPAN,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+)
+
+
+class TestCounterGauge:
+    def test_counter_inc_default_and_amount(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_gauge_set_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(3.5)
+        gauge.set(1.25)
+        assert gauge.value == 1.25
+        gauge.reset()
+        assert gauge.value == 0.0
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_reports_zero(self):
+        histogram = Histogram("h")
+        assert histogram.count == 0
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.p50 == 0.0 and histogram.p95 == 0.0 and histogram.p99 == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.snapshot() == {"count": 0}
+
+    def test_exact_at_bucket_boundaries(self):
+        # Samples placed exactly on bucket bounds must report exactly
+        # those bounds: value <= bound semantics puts each in the
+        # bound's own bucket, and the rank-based quantile returns the
+        # bucket's upper bound.
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0, 8.0))
+        for value in (1.0, 2.0, 4.0, 8.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.25) == 1.0
+        assert histogram.quantile(0.50) == 2.0
+        assert histogram.quantile(0.75) == 4.0
+        assert histogram.quantile(1.00) == 8.0
+
+    def test_quantile_rank_semantics(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for _ in range(99):
+            histogram.observe(1.0)
+        histogram.observe(4.0)
+        assert histogram.p50 == 1.0
+        assert histogram.p95 == 1.0
+        # rank ceil(0.99 * 100) = 99 -> still the first bucket; p100 hits
+        # the last sample's bucket.
+        assert histogram.p99 == 1.0
+        assert histogram.quantile(1.0) == 4.0
+
+    def test_overflow_reports_observed_max(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1000.0)
+        assert histogram.overflow == 1
+        assert histogram.quantile(1.0) == 1000.0
+        assert histogram.max == 1000.0
+        assert histogram.min == 0.5
+
+    def test_quantile_rejects_out_of_range(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_merge_equals_concatenated_stream(self):
+        # a.merge(b) must be indistinguishable from one histogram fed
+        # both sample streams — for every quantile and summary stat.
+        stream_a = [0.03, 0.2, 0.9, 7.0, 42.0, 640.0]
+        stream_b = [0.011, 0.2, 3.3, 3.3, 99.0, 20000.0]
+        a = Histogram("a")
+        b = Histogram("b")
+        concat = Histogram("concat")
+        for value in stream_a:
+            a.observe(value)
+            concat.observe(value)
+        for value in stream_b:
+            b.observe(value)
+            concat.observe(value)
+        merged = a.merge(b)
+        assert merged.count == concat.count
+        # total is a float sum, so only summation order differs.
+        assert merged.total == pytest.approx(concat.total)
+        assert merged.min == concat.min
+        assert merged.max == concat.max
+        assert merged.overflow == concat.overflow
+        assert merged.bucket_counts == concat.bucket_counts
+        for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0):
+            assert merged.quantile(q) == concat.quantile(q)
+
+    def test_merge_requires_identical_bounds(self):
+        a = Histogram("a", bounds=(1.0, 2.0))
+        b = Histogram("b", bounds=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_count_bucket_ladder_is_valid(self):
+        # The size-oriented ladder must satisfy the same invariant the
+        # constructor enforces (strictly increasing).
+        histogram = Histogram("sizes", bounds=DEFAULT_BUCKETS_COUNT)
+        histogram.observe(4)
+        assert histogram.p50 == 5  # 4 lands in the <=5 bucket
+        histogram.observe(5)
+        assert histogram.quantile(1.0) == 5  # boundary-exact here too
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert len(registry) == 2
+        assert "x" in registry and "missing" not in registry
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_reset_keeps_objects_wired(self):
+        # Instruments cache direct references at construction; a reset
+        # must zero values without detaching those holders.
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        histogram = registry.histogram("h")
+        counter.inc(3)
+        histogram.observe(1.0)
+        registry.reset()
+        assert registry.counter("c") is counter
+        assert registry.histogram("h") is histogram
+        assert counter.value == 0
+        assert histogram.count == 0
+        counter.inc()  # the cached handle still feeds the registry
+        assert registry.snapshot()["counters"]["c"] == 1
+
+    def test_snapshot_and_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("a.hits").inc(2)
+        registry.gauge("a.size").set(7)
+        registry.histogram("b.ms").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a.hits": 2}
+        assert snapshot["gauges"] == {"a.size": 7}
+        assert snapshot["histograms"]["b.ms"]["count"] == 1
+        assert json.loads(registry.to_json()) == json.loads(
+            json.dumps(snapshot, sort_keys=True)
+        )
+
+    def test_explain_groups_by_prefix(self):
+        registry = MetricsRegistry()
+        assert registry.explain() == "(no metrics recorded)"
+        registry.counter("serving.queries_served").inc(5)
+        registry.histogram("execute.round_trip_ms").observe(3.0)
+        report = registry.explain()
+        assert "serving:" in report and "execute:" in report
+        assert "serving.queries_served" in report
+        assert "p95" in report
+
+
+class TestSpans:
+    def test_nested_spans_follow_call_stack(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", kind="test") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("leaf") as leaf:
+                    assert tracer.current() is leaf
+            with tracer.span("second-leaf"):
+                pass
+        assert outer.closed and middle.closed
+        assert [child.name for child in outer.children] == ["middle", "second-leaf"]
+        assert [child.name for child in middle.children] == ["leaf"]
+        assert tracer.last_root() is outer
+        assert outer.names() == ["outer", "middle", "leaf", "second-leaf"]
+        assert outer.find("leaf") is not None
+        assert outer.find("nope") is None
+        assert outer.duration_ms is not None and outer.duration_ms >= 0.0
+
+    def test_exception_closes_span_and_propagates(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer") as outer:
+                with tracer.span("failing") as failing:
+                    raise RuntimeError("boom")
+        # Both spans closed despite the raise, error recorded where it
+        # happened, stack fully unwound, root still filed.
+        assert failing.closed and failing.error
+        assert failing.attrs["error_type"] == "RuntimeError"
+        assert outer.closed and outer.error
+        assert tracer.current() is None
+        assert tracer.last_root() is outer
+        assert "!ERROR" in failing.render()
+
+    def test_annotate_merges_attributes(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", a=1) as span:
+            span.annotate(b=2, a=3)
+        assert span.attrs == {"a": 3, "b": 2}
+        assert "a=3" in span.render() and "b=2" in span.render()
+
+    def test_disabled_tracer_hands_out_shared_noop(self):
+        tracer = Tracer()  # disabled is the default
+        span = tracer.span("anything", x=1)
+        assert span is NOOP_SPAN
+        with span as entered:
+            entered.annotate(ignored=True)
+        assert tracer.last_root() is None
+        assert tracer.render() == "(no finished traces)"
+        # The no-op span must never swallow exceptions either.
+        with pytest.raises(ValueError):
+            with tracer.span("x"):
+                raise ValueError("through")
+
+    def test_root_retention_is_bounded(self):
+        tracer = Tracer(enabled=True, max_roots=3)
+        for index in range(10):
+            with tracer.span(f"root-{index}"):
+                pass
+        assert [root.name for root in tracer.roots] == [
+            "root-7", "root-8", "root-9"
+        ]
+        tracer.clear()
+        assert tracer.last_root() is None
+
+    def test_to_dict_and_json_export(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", peer="p0"):
+            with tracer.span("inner"):
+                pass
+        tree = tracer.last_root().to_dict()
+        assert tree["name"] == "outer"
+        assert tree["attrs"] == {"peer": "p0"}
+        assert [child["name"] for child in tree["children"]] == ["inner"]
+        exported = json.loads(tracer.to_json())
+        assert exported[-1]["name"] == "outer"
+
+
+class TestObservabilityFacade:
+    def test_default_is_metrics_on_tracing_off(self):
+        obs = Observability()
+        assert not obs.tracing
+        assert obs.tracer.span("x") is NOOP_SPAN
+        obs.metrics.counter("c").inc()
+        assert obs.snapshot()["metrics"]["counters"]["c"] == 1
+        assert obs.snapshot()["traces"] == []
+
+    def test_explain_includes_last_trace_when_tracing(self):
+        obs = Observability(tracing=True)
+        obs.metrics.counter("serving.hits").inc()
+        with obs.tracer.span("pdms.execute"):
+            pass
+        report = obs.explain()
+        assert "serving.hits" in report
+        assert "last trace:" in report
+        assert "pdms.execute" in report
+
+    def test_default_buckets_are_strictly_increasing(self):
+        for ladder in (DEFAULT_BUCKETS_MS, DEFAULT_BUCKETS_COUNT):
+            assert all(a < b for a, b in zip(ladder, ladder[1:]))

@@ -33,7 +33,12 @@ def _display(path: Path) -> str:
     except ValueError:
         return str(path)
 PYTHON_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
-EXECUTABLE_DOCS = ("docs/pdms.md", "docs/matching.md", "docs/mangrove.md")
+EXECUTABLE_DOCS = (
+    "docs/pdms.md",
+    "docs/matching.md",
+    "docs/mangrove.md",
+    "docs/observability.md",
+)
 
 
 def markdown_files() -> list[Path]:
