@@ -1,0 +1,105 @@
+"""Experiment C16 — ranking quality of the tiered retrieval router.
+
+Every benchmark so far gated *speed* against a brute-force parity
+oracle.  C16 gates *quality*: the hybrid tier (exact structured lookup,
+then reciprocal-rank fusion of the sparse and corpus-expanded dense
+runs) must retrieve domain-mates at least as well as the sparse tier
+alone — and strictly better on the perturbed-vocabulary split, where
+most identifiers were renamed and token overlap is thin.  That split is
+the paper's core bet made falsifiable: if corpus statistics cannot
+bridge renamed vocabulary, hybrid collapses to sparse and the strict
+assertion fails.
+
+Golden query sets come from the lineage-cluster generators
+(:mod:`repro.eval.golden`): relevance is the generator's own domain
+assignment, not human labels, so the whole experiment is seeded and
+deterministic.
+
+Quick mode (``BENCH_C16_QUICK=1``, the CI ``ir-regression-gate`` job)
+scores the committed-baseline config and also re-checks the baseline
+JSON itself; full mode adds the 480-schema / 6-domain config.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench import ResultTable
+from repro.eval.harness import (
+    DEFAULT_BASELINE,
+    DEFAULT_EPSILON,
+    EVAL_STRATEGIES,
+    FULL_CONFIG,
+    QUICK_CONFIG,
+    compare_to_baseline,
+    run_ir_eval,
+)
+
+QUICK = os.environ.get("BENCH_C16_QUICK") == "1"
+
+CONFIGS = (("quick", QUICK_CONFIG),) if QUICK else (
+    ("quick", QUICK_CONFIG),
+    ("full", FULL_CONFIG),
+)
+
+
+def _assert_hybrid_vs_sparse(label: str, report: dict) -> None:
+    """The acceptance bar, per config: hybrid >= sparse on both gated
+    metrics overall, strictly better on the perturbed split."""
+    sparse = report["strategies"]["sparse"]
+    hybrid = report["strategies"]["hybrid"]
+    for metric in ("mrr", "ndcg@10"):
+        assert hybrid["overall"][metric] >= sparse["overall"][metric], (
+            f"{label}: hybrid overall {metric} "
+            f"{hybrid['overall'][metric]:.4f} < sparse "
+            f"{sparse['overall'][metric]:.4f}"
+        )
+        assert (
+            hybrid["splits"]["perturbed"][metric]
+            > sparse["splits"]["perturbed"][metric]
+        ), (
+            f"{label}: hybrid perturbed {metric} "
+            f"{hybrid['splits']['perturbed'][metric]:.4f} not strictly above "
+            f"sparse {sparse['splits']['perturbed'][metric]:.4f}"
+        )
+
+
+class TestC16IRQuality:
+    def test_hybrid_beats_sparse(self):
+        table = ResultTable(
+            "C16: golden-query ranking quality per retrieval strategy",
+            ["config", "strategy", "split", "MRR", "nDCG@10", "P@5"],
+        )
+        for label, config in CONFIGS:
+            report = run_ir_eval(config)
+            for strategy in EVAL_STRATEGIES:
+                result = report["strategies"][strategy]
+                scopes = [("overall", result["overall"])]
+                scopes += [(s, result["splits"][s]) for s in result["splits"]]
+                for scope, metrics in scopes:
+                    table.add_row(
+                        label, strategy, scope,
+                        metrics["mrr"], metrics["ndcg@10"], metrics["p@5"],
+                    )
+            _assert_hybrid_vs_sparse(label, report)
+        table.note(
+            "bar: hybrid >= sparse on overall MRR and nDCG@10, strictly "
+            "better on the perturbed-vocabulary split, at every config"
+        )
+        table.show()
+
+    def test_no_regression_vs_committed_baseline(self):
+        # The same comparison the CI ir-regression-gate job runs:
+        # recompute the quick config, fail if any gated metric dropped
+        # more than epsilon below the committed baseline.
+        baseline_path = Path(DEFAULT_BASELINE)
+        assert baseline_path.exists(), (
+            f"committed baseline missing: {baseline_path} "
+            "(regenerate with `PYTHONPATH=src python -m repro.eval --write`)"
+        )
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        current = run_ir_eval(QUICK_CONFIG)
+        problems = compare_to_baseline(current, baseline, epsilon=DEFAULT_EPSILON)
+        assert not problems, "IR regression vs committed baseline:\n" + "\n".join(
+            f"  - {p}" for p in problems
+        )

@@ -158,6 +158,7 @@ class BasicStatistics:
         self._attr_schema_count: Counter = Counter()
         self._relation_signatures: list[tuple[str, frozenset]] = []
         self._schema_relation_terms: dict[str, frozenset] = {}
+        self._schema_signatures: dict[str, frozenset] = {}
         self._schema_profiles: dict[str, Counter] = {}
         self._schema_count = 0
         self._built = False
@@ -186,6 +187,7 @@ class BasicStatistics:
         """Fold one schema into every statistic (the incremental unit)."""
         normalize = self.options.normalize
         relation_terms: set[str] = set()
+        structural: set[tuple[str, frozenset]] = set()
         for relation, attributes in schema.relations.items():
             relation_term = normalize(relation)
             relation_terms.add(relation_term)
@@ -197,6 +199,7 @@ class BasicStatistics:
                 self._note(term, "attribute", schema.name)
                 self._attr_schema_count[term] += 1
             signature = frozenset(normalized_attrs)
+            structural.add((relation_term, signature))
             self._relation_signatures.append((relation_term, signature))
             for term_a in signature:
                 cooccur_row = self._cooccur.get(term_a)
@@ -216,6 +219,7 @@ class BasicStatistics:
                         if isinstance(value, str) and value:
                             self._note(normalize(value), "data", schema.name)
         self._schema_relation_terms[schema.name] = frozenset(relation_terms)
+        self._schema_signatures[schema.name] = frozenset(structural)
         self._schema_profiles[schema.name] = _term_profile(schema, normalize)
         self._dirty_schemas.append(schema.name)
         self._schema_count += 1
@@ -268,12 +272,35 @@ class BasicStatistics:
             self._engine = CorpusSearchEngine(self)
         return self._engine
 
-    def drain_index_updates(self) -> tuple[set[str], list[tuple[str, frozenset]], list[tuple[str, frozenset, Counter]]]:
+    def configure_engine(self, **options) -> "CorpusSearchEngine":
+        """Replace the engine with one built with explicit options.
+
+        ``options`` are :class:`~repro.search.engine.CorpusSearchEngine`
+        constructor keywords (``dense_dim``, ``dense_seed``,
+        ``expansion_terms``, ``rrf_k``, ``cache_size``, ``obs`` ...).
+        The previous engine's indexes and cache are discarded; the new
+        one re-syncs lazily on its first query.  Used by the IR eval
+        harness to score alternative retrieval configurations against
+        one corpus build.
+        """
+        from repro.search.engine import CorpusSearchEngine
+
+        # A fresh engine must re-consume the full drain stream; reset
+        # the producer so nothing ingested so far is skipped.
+        self._dirty_rows = set(self._cooccur)
+        self._new_docs = set(self._cooccur)
+        self._dirty_schemas = list(self._schema_relation_terms)
+        self._drained_signatures = 0
+        self._engine = CorpusSearchEngine(self, **options)
+        return self._engine
+
+    def drain_index_updates(self) -> tuple[set[str], list[tuple[str, frozenset]], list[tuple[str, frozenset, frozenset, Counter]]]:
         """Consume the changes since the last drain (engine sync protocol).
 
         Returns ``(terms whose similarity profile must be re-indexed,
-        new signature rows, new (schema, relation-terms, term-profile)
-        triples)``.  Single consumer: the owning engine.
+        new signature rows, new (schema, relation-terms, structural
+        signature, term-profile) tuples)``.  Single consumer: the
+        owning engine.
         """
         self.ensure_built()
         dirty_docs = set(self._new_docs)
@@ -288,6 +315,7 @@ class BasicStatistics:
             (
                 name,
                 self._schema_relation_terms[name],
+                self._schema_signatures[name],
                 self._schema_profiles[name],
             )
             for name in dirty_schemas
@@ -421,6 +449,51 @@ class BasicStatistics:
         """
         self.ensure_built()
         return self.engine.similar_schemas(profile, limit)
+
+    def schema_signature(self, schema: CorpusSchema) -> frozenset:
+        """Normalized structural signature of ``schema``.
+
+        The key of the search engine's exact structured-lookup tier:
+        ``frozenset`` of ``(relation term, frozenset(attribute terms))``
+        pairs.  Two schemas with equal signatures are structurally
+        identical up to normalization — relation names *and* every
+        attribute set.  (Relation names alone are far too coarse:
+        normalization folds abbreviation/style renames back together,
+        so unrelated designs frequently share relation-name sets.)
+        """
+        normalize = self.options.normalize
+        return frozenset(
+            (
+                normalize(relation),
+                frozenset(normalize(attribute) for attribute in attributes),
+            )
+            for relation, attributes in schema.relations.items()
+        )
+
+    def search_schemas(
+        self,
+        schema: CorpusSchema,
+        limit: int = 5,
+        strategy: str = "hybrid",
+        exclude=(),
+    ) -> list[tuple[str, float]]:
+        """Tiered corpus-schema retrieval for an incoming schema.
+
+        Computes the schema's term profile and structural signature,
+        then routes through :meth:`CorpusSearchEngine.search_schemas`:
+        exact structured lookup, sparse top-k, corpus-expanded dense
+        scoring, or reciprocal-rank-fused hybrid — selected per query
+        by ``strategy``.  Ranking quality per strategy is measured by
+        the golden-query harness in :mod:`repro.eval` (benchmark C16).
+        """
+        self.ensure_built()
+        return self.engine.search_schemas(
+            self.schema_profile(schema),
+            limit,
+            strategy=strategy,
+            exclude=exclude,
+            signature=self.schema_signature(schema),
+        )
 
     def similar_schemas_brute_force(self, profile: Counter, limit: int = 5) -> list[tuple[str, float]]:
         """Reference O(corpus) scan (parity tests)."""

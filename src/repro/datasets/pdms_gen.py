@@ -125,6 +125,117 @@ def synthetic_schema_corpus(
     return corpus
 
 
+def _lineage_references(
+    seed: int, domains: int, base_level: float, courses: int
+) -> list[CorpusSchema]:
+    """Per-domain design references: heavy perturbations of one base.
+
+    Unlike :func:`_tag_schema`/:func:`_cipher_schema` domains (disjoint
+    vocabularies — trivially separable by token overlap), lineage
+    domains all draw from the *same* English vocabulary: each domain
+    reference renames the shared base aggressively, so two domains
+    overlap wherever both kept a base name or picked the same synonym.
+    Retrieval over a lineage corpus is therefore a ranking problem, not
+    a partitioning one — the workload the IR harness needs.
+    """
+    base = university_schema_instance("u-ref", seed=seed, courses=courses)
+    references = []
+    for domain in range(domains):
+        config = PerturbationConfig(
+            rename_probability=base_level,
+            drop_attribute_probability=0.0,
+            split_widest_relation=False,
+        )
+        reference, _gold = perturb_schema(
+            base, f"lineage-d{domain}", seed=seed * 31 + 70_001 + domain, config=config
+        )
+        reference.data = {}
+        references.append(reference)
+    return references
+
+
+def clustered_schema_corpus(
+    count: int,
+    seed: int = 0,
+    domains: int = 4,
+    base_level: float = 0.6,
+    level: float = 0.35,
+    courses: int = 4,
+) -> Corpus:
+    """A corpus of design-lineage clusters over one shared vocabulary.
+
+    ``domains`` references are derived from one base schema by heavy
+    perturbation (:func:`_lineage_references`); each corpus schema is a
+    light, independent perturbation of its domain's reference (domain =
+    ``index % domains``, names ``peer00000...``).  Schemas of the same
+    lineage share most design choices; schemas of different lineages
+    still share plenty of tokens — the discriminative retrieval
+    workload behind the golden-query IR harness (:mod:`repro.eval`).
+    Schema-statistics only (no instance data).
+    """
+    references = _lineage_references(seed, domains, base_level, courses)
+    corpus = Corpus()
+    for index in range(count):
+        domain = index % domains
+        config = PerturbationConfig(
+            rename_probability=level,
+            drop_attribute_probability=0.0,
+            split_widest_relation=False,
+        )
+        variant, _gold = perturb_schema(
+            references[domain],
+            f"peer{index:05d}",
+            seed=seed * 101 + 9_200_003 + index,
+            config=config,
+        )
+        variant.data = {}
+        corpus.add_schema(variant)
+    return corpus
+
+
+def clustered_query_schemas(
+    count: int,
+    seed: int = 0,
+    corpus_seed: int = 0,
+    domains: int = 4,
+    base_level: float = 0.6,
+    level: float = 0.35,
+    courses: int = 4,
+    prefix: str = "q",
+) -> list[tuple[CorpusSchema, int, dict[str, str]]]:
+    """Held-out queries aligned with :func:`clustered_schema_corpus`.
+
+    Returns ``count`` triples ``(schema, domain, gold)``: each schema
+    is an independent perturbation of the same domain references the
+    corpus built from ``corpus_seed`` used (domains round-robin), so a
+    query's ground-truth relevant set is exactly the corpus schemas of
+    its lineage.  ``gold`` is the perturbation ground truth against the
+    domain reference — element paths of the reference mapped to the
+    query's paths, invertible with
+    :func:`~repro.datasets.perturb.mapping_to_reference`.  ``seed``
+    moves the queries without moving the corpus; ``level`` is the
+    clean-vs-perturbed-vocabulary knob of the IR harness.
+    """
+    references = _lineage_references(corpus_seed, domains, base_level, courses)
+    queries: list[tuple[CorpusSchema, int, dict[str, str]]] = []
+    for index in range(count):
+        domain = index % domains
+        config = PerturbationConfig(
+            rename_probability=level,
+            drop_attribute_probability=0.0,
+            split_widest_relation=False,
+        )
+        variant, gold = perturb_schema(
+            references[domain],
+            f"{prefix}{index:04d}",
+            seed=corpus_seed * 101 + seed * 7_919 + index + 1_000_003,
+            config=config,
+        )
+        variant.data = {}
+        queries.append((variant, domain, gold))
+    return queries
+
+
 def _cipher_text(text: str, shift: int) -> str:
     """Caesar-rotate the letters of ``text`` (digits/punctuation kept)."""
     if shift % 26 == 0:

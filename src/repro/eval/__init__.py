@@ -1,0 +1,38 @@
+"""Golden-query IR evaluation for the corpus search subsystem.
+
+Until this package existed, every assertion about the search layer was
+a *parity* check against brute force — rankings were provably fast and
+provably frozen, never provably *good*.  The harness here turns
+matching/advisor retrieval quality into a measured, regression-gated
+axis, the way the ``bench_c*`` suite already gates throughput:
+
+* :mod:`repro.eval.metrics` — MRR, nDCG@k, P@k and their aggregation;
+* :mod:`repro.eval.golden` — golden query sets generated from the
+  :func:`~repro.datasets.pdms_gen.synthetic_schema_corpus` ground
+  truth (domain membership = relevance), with a clean and a
+  perturbed-vocabulary split;
+* :mod:`repro.eval.harness` — runs every retrieval strategy of
+  :meth:`~repro.search.engine.CorpusSearchEngine.search_schemas` over
+  a golden set, scores it, and checks the result against the committed
+  baseline (``benchmarks/baselines/ir_quality.json``) — the blocking
+  ``ir-regression-gate`` CI job and ``benchmarks/bench_c16_ir_quality
+  .py`` both drive it.
+"""
+
+from repro.eval.golden import GoldenQuery, GoldenQuerySet, generate_golden_set
+from repro.eval.harness import EvalConfig, QUICK_CONFIG, compare_to_baseline, run_ir_eval
+from repro.eval.metrics import mean_metrics, mrr, ndcg_at_k, precision_at_k
+
+__all__ = [
+    "EvalConfig",
+    "GoldenQuery",
+    "GoldenQuerySet",
+    "QUICK_CONFIG",
+    "compare_to_baseline",
+    "generate_golden_set",
+    "mean_metrics",
+    "mrr",
+    "ndcg_at_k",
+    "precision_at_k",
+    "run_ir_eval",
+]

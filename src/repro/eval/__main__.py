@@ -1,0 +1,12 @@
+"""``python -m repro.eval`` — the IR eval harness CLI.
+
+Thin wrapper so the CLI entry point doesn't re-execute the harness
+module under ``runpy`` (``python -m repro.eval.harness`` works too but
+warns, because the package ``__init__`` already imported it).
+"""
+
+import sys
+
+from repro.eval.harness import main
+
+sys.exit(main())

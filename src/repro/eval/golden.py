@@ -1,0 +1,137 @@
+"""Golden query sets from synthetic-corpus ground truth.
+
+The lineage generators in :mod:`repro.datasets.pdms_gen` know, by
+construction, which corpus schemas descend from which domain reference
+— that is exactly a relevance judgment: a held-out query perturbed
+from domain ``d``'s reference is *relevant* to every corpus schema of
+lineage ``d`` and to nothing else.  Crucially the lineages share one
+English vocabulary (:func:`~repro.datasets.pdms_gen
+.clustered_schema_corpus`), so cross-domain schemas are genuine
+distractors — ranking is a real problem, not a vocabulary partition.
+
+Two splits per set:
+
+* ``"clean"`` — queries perturbed at the corpus's own rename level:
+  plenty of shared vocabulary with their lineage, the regime sparse
+  cosine is built for;
+* ``"perturbed"`` — queries perturbed near the rename ceiling: most
+  identifiers renamed through synonyms/abbreviations/styles, so token
+  overlap with the home lineage is thin and ranking depends on corpus
+  statistics bridging the gap (the paper's core bet, and the split
+  where ``bench_c16`` requires hybrid to *strictly* beat sparse-only).
+
+Determinism: everything downstream of ``seed`` is a pure function —
+two calls with equal arguments produce equal corpora, equal query
+schemas, and equal relevance sets (pinned in
+``tests/test_ir_eval.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.model import Corpus, CorpusSchema
+from repro.datasets.pdms_gen import clustered_query_schemas, clustered_schema_corpus
+
+#: Split names, in reporting order.
+SPLITS = ("clean", "perturbed")
+
+
+@dataclass
+class GoldenQuery:
+    """One held-out query with its ground-truth relevance set."""
+
+    qid: str
+    schema: CorpusSchema
+    domain: int
+    split: str
+    relevant: frozenset
+    #: Perturbation ground truth: domain-reference element path ->
+    #: query element path (round-trips through ``mapping_to_reference``).
+    gold: dict = field(default_factory=dict)
+
+
+@dataclass
+class GoldenQuerySet:
+    """A corpus plus ground-truthed queries over it."""
+
+    corpus: Corpus
+    queries: list[GoldenQuery]
+    corpus_size: int
+    domains: int
+    seed: int
+
+    def split(self, name: str) -> list[GoldenQuery]:
+        """The queries of one split, in generation order."""
+        return [query for query in self.queries if query.split == name]
+
+
+def corpus_domain_members(corpus_size: int, domains: int) -> dict[int, frozenset]:
+    """Domain -> corpus schema names, per the generators' round-robin
+    assignment (``index % domains``)."""
+    members: dict[int, set] = {domain: set() for domain in range(domains)}
+    for index in range(corpus_size):
+        members[index % domains].add(f"peer{index:05d}")
+    return {domain: frozenset(names) for domain, names in members.items()}
+
+
+def generate_golden_set(
+    corpus_size: int = 120,
+    domains: int = 4,
+    seed: int = 7,
+    queries_per_split: int = 16,
+    courses: int = 2,
+    base_level: float = 0.6,
+    corpus_level: float = 0.35,
+    clean_level: float = 0.35,
+    perturbed_level: float = 0.95,
+) -> GoldenQuerySet:
+    """Build the corpus and both query splits from one seed.
+
+    The corpus is ``clustered_schema_corpus`` (lineage domains over a
+    shared vocabulary, no instance data).  Queries are held out — never
+    added to the corpus — and their relevant sets are the lineage
+    membership the generator itself assigned.
+    """
+    corpus = clustered_schema_corpus(
+        corpus_size,
+        seed=seed,
+        domains=domains,
+        base_level=base_level,
+        level=corpus_level,
+        courses=courses,
+    )
+    members = corpus_domain_members(corpus_size, domains)
+    queries: list[GoldenQuery] = []
+    for split, level, split_seed in (
+        ("clean", clean_level, seed + 1),
+        ("perturbed", perturbed_level, seed + 2),
+    ):
+        generated = clustered_query_schemas(
+            queries_per_split,
+            seed=split_seed,
+            corpus_seed=seed,
+            domains=domains,
+            base_level=base_level,
+            level=level,
+            courses=courses,
+            prefix=f"{split}-q",
+        )
+        for schema, domain, gold in generated:
+            queries.append(
+                GoldenQuery(
+                    qid=schema.name,
+                    schema=schema,
+                    domain=domain,
+                    split=split,
+                    relevant=members[domain],
+                    gold=gold,
+                )
+            )
+    return GoldenQuerySet(
+        corpus=corpus,
+        queries=queries,
+        corpus_size=corpus_size,
+        domains=domains,
+        seed=seed,
+    )

@@ -1,0 +1,245 @@
+"""Run the IR eval: every retrieval strategy over a golden query set.
+
+The harness is the regression gate's engine room.  It builds one
+corpus + golden set (:mod:`repro.eval.golden`), routes every query
+through :meth:`CorpusSearchEngine.search_schemas` once per strategy,
+scores MRR / nDCG@10 / P@5 / P@10 per query, and aggregates overall
+and per split.  Results are plain dicts so they serialize to the
+committed baseline JSON (``benchmarks/baselines/ir_quality.json``)
+unchanged.
+
+Two entry points:
+
+* ``run_ir_eval(config)`` — library API, used by
+  ``benchmarks/bench_c16_ir_quality.py`` and ``docs/search.md``;
+* ``python -m repro.eval.harness --check <baseline.json>`` — the CI
+  ``ir-regression-gate`` job: recompute in quick mode, fail on any
+  gated metric dropping more than ``--epsilon`` below the baseline
+  (improvements pass; regenerate the baseline with ``--write`` when a
+  deliberate improvement lands).
+
+Determinism: the config seeds everything (corpus, queries, dense
+projections via the engine's named seed), so two runs of the same
+config on the same interpreter produce identical JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.corpus.stats import BasicStatistics
+from repro.eval.golden import SPLITS, GoldenQuerySet, generate_golden_set
+from repro.eval.metrics import mean_metrics, mrr, ndcg_at_k, precision_at_k
+
+#: Strategies the harness scores, in reporting order.
+EVAL_STRATEGIES = ("sparse", "dense", "hybrid")
+
+#: Metrics the regression gate checks (the rest are reported only).
+GATED_METRICS = ("mrr", "ndcg@10")
+
+#: Allowed drop per gated metric before the gate fails.
+DEFAULT_EPSILON = 0.02
+
+#: The committed baseline the CI gate compares against.
+DEFAULT_BASELINE = (
+    Path(__file__).resolve().parents[3] / "benchmarks" / "baselines" / "ir_quality.json"
+)
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """One reproducible harness configuration (everything seeded)."""
+
+    corpus_size: int = 120
+    domains: int = 4
+    seed: int = 7
+    queries_per_split: int = 16
+    courses: int = 2
+    base_level: float = 0.6
+    corpus_level: float = 0.35
+    clean_level: float = 0.35
+    perturbed_level: float = 0.95
+    limit: int = 10
+
+
+#: The CI gate's configuration — must match the committed baseline's
+#: ``config`` block exactly, or the gate refuses to compare.
+QUICK_CONFIG = EvalConfig()
+
+#: The full benchmark configuration (bench C16 without BENCH_C16_QUICK).
+FULL_CONFIG = EvalConfig(corpus_size=480, domains=6, queries_per_split=36, courses=3)
+
+
+def build_golden_set(config: EvalConfig) -> GoldenQuerySet:
+    """The golden set for ``config`` (separated for reuse in tests)."""
+    return generate_golden_set(
+        corpus_size=config.corpus_size,
+        domains=config.domains,
+        seed=config.seed,
+        queries_per_split=config.queries_per_split,
+        courses=config.courses,
+        base_level=config.base_level,
+        corpus_level=config.corpus_level,
+        clean_level=config.clean_level,
+        perturbed_level=config.perturbed_level,
+    )
+
+
+def score_query(ranked_names: list[str], relevant, limit: int) -> dict:
+    """Per-query metric dict for one ranked result list."""
+    return {
+        "mrr": mrr(ranked_names, relevant),
+        f"ndcg@{limit}": ndcg_at_k(ranked_names, relevant, limit),
+        "p@5": precision_at_k(ranked_names, relevant, 5),
+        f"p@{limit}": precision_at_k(ranked_names, relevant, limit),
+    }
+
+
+def run_ir_eval(
+    config: EvalConfig = QUICK_CONFIG,
+    strategies: tuple = EVAL_STRATEGIES,
+    golden: GoldenQuerySet | None = None,
+    engine_options: dict | None = None,
+) -> dict:
+    """Score every strategy over the golden set; return the report dict.
+
+    Pass ``golden`` to reuse a prebuilt set (the benchmark scores
+    several strategies against one corpus build).  The returned dict is
+    the baseline JSON schema::
+
+        {"config": {...},
+         "strategies": {name: {"overall": {...},
+                               "splits": {split: {...}}}}}
+    """
+    golden = golden or build_golden_set(config)
+    stats = BasicStatistics(golden.corpus)
+    stats.ensure_built()
+    engine = (
+        stats.configure_engine(**engine_options) if engine_options else stats.engine
+    )
+    # Profiles and signatures are strategy-independent: compute once.
+    prepared = [
+        (
+            query,
+            stats.schema_profile(query.schema),
+            stats.schema_signature(query.schema),
+        )
+        for query in golden.queries
+    ]
+    report: dict = {"config": asdict(config), "strategies": {}}
+    for strategy in strategies:
+        per_split: dict[str, list[dict]] = {split: [] for split in SPLITS}
+        for query, profile, signature in prepared:
+            ranked = engine.search_schemas(
+                profile,
+                limit=config.limit,
+                strategy=strategy,
+                signature=signature,
+            )
+            names = [name for name, _score in ranked]
+            per_split[query.split].append(
+                score_query(names, query.relevant, config.limit)
+            )
+        all_queries = [metrics for split in SPLITS for metrics in per_split[split]]
+        report["strategies"][strategy] = {
+            "overall": mean_metrics(all_queries),
+            "splits": {split: mean_metrics(per_split[split]) for split in SPLITS},
+        }
+    return report
+
+
+def compare_to_baseline(
+    current: dict,
+    baseline: dict,
+    epsilon: float = DEFAULT_EPSILON,
+    metrics: tuple = GATED_METRICS,
+) -> list[str]:
+    """Regressions of ``current`` vs ``baseline`` (empty list = pass).
+
+    A regression is any gated metric, for any strategy, overall or per
+    split, more than ``epsilon`` *below* the baseline.  Improvements
+    never fail.  A config mismatch is itself a failure: comparing
+    different workloads silently is how gates rot.
+    """
+    problems: list[str] = []
+    if current.get("config") != baseline.get("config"):
+        problems.append(
+            "config mismatch: harness config differs from the baseline's "
+            f"(current={current.get('config')!r} baseline={baseline.get('config')!r}); "
+            "regenerate the baseline with `python -m repro.eval.harness --write`"
+        )
+        return problems
+    for strategy, expected in baseline.get("strategies", {}).items():
+        actual = current.get("strategies", {}).get(strategy)
+        if actual is None:
+            problems.append(f"strategy {strategy!r} missing from the current run")
+            continue
+        scopes = [("overall", expected.get("overall", {}), actual.get("overall", {}))]
+        for split, split_expected in expected.get("splits", {}).items():
+            scopes.append(
+                (f"split {split}", split_expected, actual.get("splits", {}).get(split, {}))
+            )
+        for scope, expected_metrics, actual_metrics in scopes:
+            for metric in metrics:
+                if metric not in expected_metrics:
+                    continue
+                want = expected_metrics[metric]
+                got = actual_metrics.get(metric, 0.0)
+                if got < want - epsilon:
+                    problems.append(
+                        f"{strategy}/{scope}/{metric}: {got:.4f} < baseline "
+                        f"{want:.4f} - epsilon {epsilon}"
+                    )
+    return problems
+
+
+def render_report(report: dict) -> str:
+    """Human-readable per-strategy metric table."""
+    lines = ["strategy      scope            " + "  ".join(f"{m:>8}" for m in GATED_METRICS + ("p@5",))]
+    for strategy, result in report["strategies"].items():
+        scopes = [("overall", result["overall"])]
+        scopes += [(f"{name}", result["splits"][name]) for name in result["splits"]]
+        for scope, metrics in scopes:
+            values = "  ".join(
+                f"{metrics.get(metric, 0.0):8.4f}" for metric in GATED_METRICS + ("p@5",)
+            )
+            lines.append(f"{strategy:<12}  {scope:<15}  {values}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run the harness; optionally write or check a baseline."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="full config (slow)")
+    parser.add_argument("--write", nargs="?", const=str(DEFAULT_BASELINE), default=None,
+                        metavar="PATH", help="write the baseline JSON")
+    parser.add_argument("--check", nargs="?", const=str(DEFAULT_BASELINE), default=None,
+                        metavar="PATH", help="fail on regression vs the baseline JSON")
+    parser.add_argument("--epsilon", type=float, default=DEFAULT_EPSILON)
+    args = parser.parse_args(argv)
+    config = FULL_CONFIG if args.full else QUICK_CONFIG
+    report = run_ir_eval(config)
+    print(render_report(report))
+    if args.write:
+        path = Path(args.write)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        print(f"baseline written: {path}")
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text(encoding="utf-8"))
+        problems = compare_to_baseline(report, baseline, epsilon=args.epsilon)
+        if problems:
+            print("IR regression gate FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("IR regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

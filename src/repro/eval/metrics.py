@@ -1,0 +1,74 @@
+"""Ranking-quality metrics: MRR, nDCG@k, P@k.
+
+Binary relevance (a corpus schema is or is not a domain-mate of the
+query), the standard IR definitions:
+
+* **MRR** — reciprocal rank of the first relevant result (0.0 if none
+  retrieved);
+* **nDCG@k** — DCG with gain 1 for relevant results and the usual
+  ``1 / log2(rank + 1)`` discount, normalized by the ideal DCG for
+  ``min(k, |relevant|)`` relevant results;
+* **P@k** — fraction of the top ``k`` that is relevant.  Note the
+  denominator is ``k`` even when fewer than ``k`` results were
+  returned: an engine that retrieves nothing scores 0, not NaN.
+
+All functions take the ranked list as document ids (scores are the
+engine's business, not the metric's) and the relevant set as any
+container supporting ``in``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Collection, Sequence
+
+
+def mrr(ranked: Sequence, relevant: Collection) -> float:
+    """Reciprocal rank of the first relevant document (0.0 if absent)."""
+    for position, doc in enumerate(ranked, start=1):
+        if doc in relevant:
+            return 1.0 / position
+    return 0.0
+
+
+def dcg_at_k(ranked: Sequence, relevant: Collection, k: int) -> float:
+    """Binary-gain discounted cumulative gain over the top ``k``."""
+    total = 0.0
+    for position, doc in enumerate(ranked[:k], start=1):
+        if doc in relevant:
+            total += 1.0 / math.log2(position + 1)
+    return total
+
+
+def ndcg_at_k(ranked: Sequence, relevant: Collection, k: int) -> float:
+    """DCG@k normalized by the ideal ordering's DCG@k.
+
+    0.0 when there are no relevant documents at all (nothing to rank
+    well), as is conventional for generated sets where that case means
+    the generator is broken — the golden-set tests assert it never
+    happens.
+    """
+    ideal_hits = min(k, len(relevant))
+    if ideal_hits == 0:
+        return 0.0
+    ideal = sum(1.0 / math.log2(position + 1) for position in range(1, ideal_hits + 1))
+    return dcg_at_k(ranked, relevant, k) / ideal
+
+
+def precision_at_k(ranked: Sequence, relevant: Collection, k: int) -> float:
+    """Fraction of the top ``k`` slots filled with relevant documents."""
+    if k <= 0:
+        return 0.0
+    hits = sum(1 for doc in ranked[:k] if doc in relevant)
+    return hits / k
+
+
+def mean_metrics(per_query: Sequence[dict]) -> dict:
+    """Arithmetic mean of each metric key over per-query dicts."""
+    if not per_query:
+        return {}
+    keys = per_query[0].keys()
+    return {
+        key: sum(metrics[key] for metrics in per_query) / len(per_query)
+        for key in keys
+    }

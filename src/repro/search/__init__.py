@@ -9,20 +9,33 @@ statistics.  This package provides it:
 * :mod:`repro.search.vectors` — sparse-vector store with precomputed
   norms and heap-based top-k cosine that scores only posting-sharing
   candidates, bitwise-identical to a brute-force scan;
+* :mod:`repro.search.dense` — seeded random-projection embeddings over
+  the same profiles: the dense tier that makes corpus-statistics query
+  expansion affordable (fixed-dimension scoring);
+* :mod:`repro.search.fusion` — exact (Fraction-scored) reciprocal-rank
+  fusion of per-tier runs;
 * :mod:`repro.search.cache` — bounded LRU query cache invalidated by
-  index epoch;
+  index epoch, retrieval strategy included in every key;
 * :mod:`repro.search.engine` — :class:`CorpusSearchEngine`, the facade
-  the corpus statistics and advisors route through.
+  the corpus statistics and advisors route through, including the
+  tiered ``search_schemas`` router whose ranking quality is measured
+  (not assumed) by :mod:`repro.eval`.
 """
 
 from repro.search.cache import LRUQueryCache
-from repro.search.engine import CorpusSearchEngine
+from repro.search.dense import DenseVectorStore, RandomProjectionEmbedder
+from repro.search.engine import STRATEGIES, CorpusSearchEngine
+from repro.search.fusion import reciprocal_rank_fusion
 from repro.search.postings import InvertedIndex
 from repro.search.vectors import SparseVectorStore
 
 __all__ = [
+    "STRATEGIES",
     "CorpusSearchEngine",
+    "DenseVectorStore",
     "InvertedIndex",
     "LRUQueryCache",
+    "RandomProjectionEmbedder",
     "SparseVectorStore",
+    "reciprocal_rank_fusion",
 ]

@@ -1,0 +1,172 @@
+"""Dense retrieval tier: seeded random-projection embeddings.
+
+The sparse stores in :mod:`repro.search.vectors` score on exact token
+overlap, which is precisely where the structure chasm bites: two
+schemas of the same domain that renamed an attribute with different
+synonyms share no dimension and score zero.  The corpus statistics
+already know the renames are related (their co-occurrence profiles
+match — the paper's "similar names" statistic); the dense tier is the
+machinery that makes that knowledge cheap to use at query time:
+
+* the *query* is expanded with corpus-similar terms (done by the
+  engine, see ``CorpusSearchEngine._expand_profile``), which blows up
+  its sparse dimensionality — in posting-pruned sparse scoring the
+  expanded query would touch most of the corpus;
+* the expanded query and every document are projected into a fixed
+  ``dim``-dimensional space, where scoring is one dot product per
+  document regardless of how many tokens the expansion added
+  (Johnson–Lindenstrauss: random projections preserve cosines up to
+  noise the IR harness in :mod:`repro.eval` measures instead of
+  assuming away).
+
+**Determinism contract.**  The projection of a term is derived from a
+*named seed* and a stable (blake2b) digest of the term itself — never
+from insertion order, process hash salt, or a shared RNG stream.  A
+document's embedding therefore depends only on its own sparse vector,
+so building a store incrementally (documents added one at a time, in
+any arrival order, queries interleaved) yields bitwise-identical
+vectors to a fresh rebuild — the same regression PR 1 pinned for the
+inverted index, asserted in ``tests/test_search_dense.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.search.postings import DocId
+
+#: Default embedding width: large enough that projection noise does not
+#: dominate the cosine gaps the eval harness measures (C16), small
+#: enough that a full-store scan is one tiny matrix-vector product.
+DEFAULT_DENSE_DIM = 256
+
+#: Default named seed for the projection matrix.  Versioned on purpose:
+#: changing the embedding recipe means changing the name, which makes
+#: stored vectors from different recipes impossible to confuse.
+DEFAULT_DENSE_SEED = "corpus-dense-v1"
+
+
+class RandomProjectionEmbedder:
+    """Terms -> seeded Gaussian directions; sparse vectors -> dense sums.
+
+    ``projection(term)`` is a unit-variance Gaussian vector drawn from
+    an RNG seeded by ``blake2b(named_seed, term)``; ``embed(vector)``
+    is the weight-scaled sum of its terms' projections, accumulated in
+    the vector's own iteration order (a schema profile's construction
+    order), so the result is a pure function of ``(named_seed, dim,
+    vector)``.
+    """
+
+    def __init__(self, dim: int = DEFAULT_DENSE_DIM, seed: str = DEFAULT_DENSE_SEED):  # noqa: D107
+        if dim < 1:
+            raise ValueError(f"embedding dim must be >= 1, got {dim}")
+        self.dim = dim
+        self.seed = seed
+        self._projections: dict[str, np.ndarray] = {}
+
+    def projection(self, term: str) -> np.ndarray:
+        """The (memoized) projection direction of one term."""
+        vector = self._projections.get(term)
+        if vector is None:
+            digest = hashlib.blake2b(
+                f"{self.seed}\x1f{term}".encode("utf-8"), digest_size=16
+            ).digest()
+            rng = np.random.default_rng(int.from_bytes(digest, "big"))
+            vector = rng.standard_normal(self.dim)
+            vector.flags.writeable = False
+            self._projections[term] = vector
+        return vector
+
+    def embed(self, vector: Mapping) -> np.ndarray:
+        """Dense embedding of a sparse term -> weight mapping."""
+        dense = np.zeros(self.dim)
+        for term, weight in vector.items():
+            if weight:
+                dense += weight * self.projection(term)
+        return dense
+
+
+class DenseVectorStore:
+    """Documents as dense embeddings; incremental adds; exact top-k.
+
+    Mirrors the :class:`~repro.search.vectors.SparseVectorStore`
+    surface (``put`` / ``remove`` / ``vector`` / ``top_k`` / ``epoch``)
+    so the engine can treat the tiers uniformly.  There is no candidate
+    pruning — the whole point of the fixed dimension is that scoring
+    everything is one ``O(docs * dim)`` pass.
+    """
+
+    def __init__(self, dim: int = DEFAULT_DENSE_DIM, seed: str = DEFAULT_DENSE_SEED):  # noqa: D107
+        self.embedder = RandomProjectionEmbedder(dim, seed)
+        self._vectors: dict[DocId, np.ndarray] = {}
+        self._norms: dict[DocId, float] = {}
+        self.epoch = 0
+
+    # -- maintenance ----------------------------------------------------------
+    def put(self, doc_id: DocId, sparse_vector: Mapping) -> None:
+        """Embed and store one document's sparse vector."""
+        dense = self.embedder.embed(sparse_vector)
+        dense.flags.writeable = False
+        self._vectors[doc_id] = dense
+        self._norms[doc_id] = float(np.sqrt(np.dot(dense, dense)))
+        self.epoch += 1
+
+    def remove(self, doc_id: DocId) -> None:
+        """Drop a document from the store."""
+        if self._vectors.pop(doc_id, None) is not None:
+            self._norms.pop(doc_id, None)
+            self.epoch += 1
+
+    # -- access ---------------------------------------------------------------
+    def vector(self, doc_id: DocId) -> np.ndarray | None:
+        """The stored (read-only) embedding, or None if absent."""
+        return self._vectors.get(doc_id)
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __contains__(self, doc_id: DocId) -> bool:
+        return doc_id in self._vectors
+
+    # -- retrieval ------------------------------------------------------------
+    def top_k(
+        self,
+        query: Mapping | np.ndarray,
+        k: int,
+        exclude: Iterable[DocId] = (),
+        candidates: Iterable[DocId] | None = None,
+    ) -> list[tuple[DocId, float]]:
+        """Top ``k`` documents by dense cosine, ties by ascending doc id.
+
+        ``query`` may be a sparse mapping (embedded here) or an already
+        dense array.  ``candidates`` restricts scoring to a subset (the
+        rerank mode of the tiered router); by default every stored
+        document is scored.  Zero-norm documents and queries score 0.0
+        and are dropped, matching the sparse store's filter.
+        """
+        if k <= 0:
+            return []
+        dense = self.embedder.embed(query) if isinstance(query, Mapping) else query
+        query_norm = float(np.sqrt(np.dot(dense, dense)))
+        if query_norm == 0.0:
+            return []
+        excluded = set(exclude)
+        pool = self._vectors.keys() if candidates is None else candidates
+        scored: list[tuple[DocId, float]] = []
+        for doc_id in pool:
+            if doc_id in excluded:
+                continue
+            vector = self._vectors.get(doc_id)
+            if vector is None:
+                continue
+            norm = self._norms[doc_id]
+            if norm == 0.0:
+                continue
+            score = float(np.dot(dense, vector)) / (query_norm * norm)
+            if score > 0.0:
+                scored.append((doc_id, score))
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:k]

@@ -14,8 +14,16 @@ Ties the pieces of :mod:`repro.search` together over one
 * a :class:`~repro.search.vectors.SparseVectorStore` over whole-schema
   name/instance term profiles (powers ``similar_schemas`` — the
   matching pipeline's candidate blocking);
+* a :class:`~repro.search.dense.DenseVectorStore` of seeded
+  random-projection embeddings over the same schema profiles, plus an
+  exact signature index — together with the sparse store these form
+  the **tiered router** (``search_schemas``): exact structured lookup
+  → sparse top-k → corpus-expanded dense scoring, fused by
+  reciprocal-rank fusion (:mod:`repro.search.fusion`), each tier
+  selectable per query and measured by the IR harness in
+  :mod:`repro.eval`;
 * an epoch-validated :class:`~repro.search.cache.LRUQueryCache` over
-  all of the above.
+  all of the above (retrieval strategy is part of every cache key).
 
 The engine *pulls* from the statistics lazily: nothing is indexed until
 the first query, and after incremental schema adds only the dirty terms
@@ -28,16 +36,22 @@ in :mod:`repro.search.vectors` and the ``*_brute_force`` references in
 
 from __future__ import annotations
 
+import time
 import typing
 from collections import Counter
 
 from repro import obs as _obs
 from repro.search.cache import LRUQueryCache
+from repro.search.dense import DEFAULT_DENSE_DIM, DEFAULT_DENSE_SEED, DenseVectorStore
+from repro.search.fusion import DEFAULT_RRF_K, reciprocal_rank_fusion
 from repro.search.postings import InvertedIndex
 from repro.search.vectors import SparseVectorStore
 
 if typing.TYPE_CHECKING:  # circularity guard: stats owns its engine
     from repro.corpus.stats import BasicStatistics
+
+#: The retrieval strategies ``search_schemas`` routes between.
+STRATEGIES = ("exact", "sparse", "dense", "hybrid")
 
 
 class CorpusSearchEngine:
@@ -53,6 +67,13 @@ class CorpusSearchEngine:
         stats: "BasicStatistics",
         cache_size: int = 1024,
         obs: "_obs.Observability | None" = None,
+        dense_dim: int = DEFAULT_DENSE_DIM,
+        dense_seed: str = DEFAULT_DENSE_SEED,
+        expansion_terms: int = 3,
+        expansion_weight: float = 0.1,
+        rrf_k: int = DEFAULT_RRF_K,
+        sparse_weight: int = 2,
+        dense_weight: int = 1,
     ):  # noqa: D107
         self.stats = stats
         self.obs = obs or _obs.default()
@@ -60,12 +81,42 @@ class CorpusSearchEngine:
         metrics = self.obs.metrics
         self._m_queries = metrics.counter("search.queries")
         self._m_syncs = metrics.counter("search.syncs")
+        # Per-tier routing counters + per-strategy latency histograms:
+        # the router's traffic split and cost show up in explain()
+        # alongside the cache and reformulation counters.
+        self._m_route = {
+            strategy: metrics.counter(f"search.route.{strategy}")
+            for strategy in STRATEGIES
+        }
+        self._m_exact_hits = metrics.counter("search.route.exact_hits")
+        self._m_strategy_ms = {
+            strategy: metrics.histogram(f"search.{strategy}.ms")
+            for strategy in STRATEGIES
+        }
         self._terms = SparseVectorStore()
         self._signatures = InvertedIndex()
         self._signature_rows: list[tuple[str, frozenset]] = []
         self._schema_names = InvertedIndex()
         self._schema_relation_terms: dict[str, frozenset] = {}
         self._schema_profiles = SparseVectorStore()
+        # Dense tier: seeded random-projection embeddings of the same
+        # schema profiles the sparse store indexes.  The named seed is
+        # part of the engine's identity — see repro.search.dense for
+        # the determinism contract.
+        self.dense_seed = dense_seed
+        self._schema_dense = DenseVectorStore(dense_dim, dense_seed)
+        # Exact tier: structural signature (relation term + attribute
+        # set per relation) -> schemas, for the "this exact design is
+        # already in the corpus" hit.
+        self._signature_schemas: dict[frozenset, list[str]] = {}
+        self.expansion_terms = expansion_terms
+        self.expansion_weight = expansion_weight
+        self.rrf_k = rrf_k
+        # Hybrid fusion votes: sparse gets the heavier vote because
+        # token overlap, when present, is the stronger signal; dense
+        # still decides queries where sparse has little to go on.
+        self.sparse_weight = sparse_weight
+        self.dense_weight = dense_weight
         self._synced_version = -1
         # Constant per engine (one stats instance, one options object);
         # kept in cache keys so entries can never collide across engines
@@ -97,10 +148,12 @@ class CorpusSearchEngine:
         for name, signature in new_rows:
             self._signature_rows.append((name, signature))
             self._signatures.add(len(self._signature_rows) - 1, signature)
-        for name, relation_terms, profile in new_schemas:
+        for name, relation_terms, signature, profile in new_schemas:
             self._schema_relation_terms[name] = relation_terms
             self._schema_names.add(name, relation_terms)
             self._schema_profiles.put(name, profile)
+            self._schema_dense.put(name, profile)
+            self._signature_schemas.setdefault(signature, []).append(name)
         self._synced_version = stats.version
 
     def _fingerprint(self) -> tuple:
@@ -180,6 +233,126 @@ class CorpusSearchEngine:
         self._m_queries.inc()
         return self._schema_profiles.top_k(profile, limit, exclude=exclude)
 
+    # -- tiered schema retrieval ----------------------------------------------
+    def dense_vector(self, schema_name: str):
+        """The dense embedding of one indexed schema (None if absent)."""
+        self.sync()
+        return self._schema_dense.vector(schema_name)
+
+    def _expand_profile(self, profile) -> dict:
+        """Corpus-statistics query expansion of a schema profile.
+
+        For every profile term that has a co-occurrence row (i.e. is a
+        corpus attribute term), the top ``expansion_terms`` similar
+        names are folded in at ``expansion_weight * weight * cosine``.
+        This is the paper's bet made operational: the corpus knows that
+        "teacher" keeps the same company as "instructor", so a query
+        using one can reach schemas using the other even with zero
+        token overlap.  The expanded vector is high-dimensional — it is
+        scored in the dense tier, where dimensionality is fixed.
+        """
+        expanded = dict(profile)
+        if not self.expansion_terms or self.expansion_weight <= 0.0:
+            return expanded
+        for term, weight in profile.items():
+            row = self._terms.vector(term)
+            if not row:
+                continue
+            for similar, score in self._terms.top_k(
+                row, self.expansion_terms, exclude=(term,)
+            ):
+                expanded[similar] = (
+                    expanded.get(similar, 0.0)
+                    + self.expansion_weight * weight * score
+                )
+        return expanded
+
+    def _exact_matches(self, signature: frozenset | None, exclude) -> list[str]:
+        """Schemas whose structural signature equals the query's."""
+        if not signature:
+            return []
+        names = self._signature_schemas.get(frozenset(signature), ())
+        excluded = set(exclude)
+        return sorted(name for name in names if name not in excluded)
+
+    def search_schemas(
+        self,
+        profile,
+        limit: int = 5,
+        strategy: str = "hybrid",
+        exclude=(),
+        signature: frozenset | None = None,
+    ) -> list[tuple[str, float]]:
+        """Tiered top-``limit`` schema retrieval.
+
+        ``strategy`` selects the tier stack per query:
+
+        * ``"exact"`` — structured lookup only: schemas whose
+          structural signature (``BasicStatistics.schema_signature``)
+          equals ``signature`` (score 1.0 each);
+        * ``"sparse"`` — the token-overlap cosine tier (identical
+          ranking to :meth:`similar_schemas`);
+        * ``"dense"`` — expanded-query embedding cosine over the dense
+          store (full fixed-dim scan: with ``dim`` columns the whole
+          store *is* the candidate set, so the scan and the rerank are
+          the same pass);
+        * ``"hybrid"`` — exact hits pinned first, then reciprocal-rank
+          fusion of the sparse and dense runs (depth ``3 * limit``).
+
+        Scores are tier-native (cosines for sparse/dense, RRF sums for
+        the fused tail) — comparable within one result list, not across
+        strategies.  Results are cached with the strategy in the key,
+        so switching strategies for the same profile can never serve
+        the other tier's ranking.
+        """
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+        self.sync()
+        self._m_queries.inc()
+        self._m_route[strategy].inc()
+        signature = frozenset(signature) if signature else None
+        key = (
+            "search-schemas",
+            strategy,
+            limit,
+            tuple(sorted(profile.items())),
+            signature,
+            tuple(sorted(exclude)),
+            self._fingerprint(),
+        )
+        cached = self.cache.get(key, self._synced_version)
+        if cached is not None:
+            return list(cached)
+        started = time.perf_counter()
+        exact = self._exact_matches(signature, exclude)
+        if exact:
+            self._m_exact_hits.inc(len(exact))
+        if strategy == "exact":
+            result = [(name, 1.0) for name in exact[:limit]]
+        elif strategy == "sparse":
+            result = self._schema_profiles.top_k(profile, limit, exclude=exclude)
+        elif strategy == "dense":
+            expanded = self._expand_profile(profile)
+            result = self._schema_dense.top_k(expanded, limit, exclude=exclude)
+        else:  # hybrid
+            depth = max(3 * limit, 10)
+            sparse_run = self._schema_profiles.top_k(profile, depth, exclude=exclude)
+            expanded = self._expand_profile(profile)
+            dense_run = self._schema_dense.top_k(expanded, depth, exclude=exclude)
+            fused = reciprocal_rank_fusion(
+                (sparse_run, dense_run),
+                k=self.rrf_k,
+                limit=limit,
+                weights=(self.sparse_weight, self.dense_weight),
+            )
+            pinned = [(name, 1.0) for name in exact]
+            pinned_names = set(exact)
+            result = pinned + [item for item in fused if item[0] not in pinned_names]
+            result = result[:limit]
+        self._m_strategy_ms[strategy].observe((time.perf_counter() - started) * 1000.0)
+        self.cache.put(key, self._synced_version, result)
+        return list(result)
+
     # -- schema popularity ----------------------------------------------------
     def schema_popularity(self, schema_name: str) -> float:
         """Fraction of other corpus schemas sharing most relation concepts
@@ -215,6 +388,9 @@ class CorpusSearchEngine:
             "term_vectors": len(self._terms),
             "signature_rows": len(self._signature_rows),
             "schema_profiles": len(self._schema_profiles),
+            "schema_dense_vectors": len(self._schema_dense),
+            "dense_dim": self._schema_dense.embedder.dim,
+            "dense_seed": self.dense_seed,
             "schemas": len(self._schema_relation_terms),
             "cache_entries": len(self.cache),
             "cache_hits": self.cache.hits,

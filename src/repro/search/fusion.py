@@ -1,0 +1,120 @@
+"""Reciprocal-rank fusion of retrieval runs.
+
+The tiered router in :class:`~repro.search.engine.CorpusSearchEngine`
+combines a sparse (token-overlap cosine) run and a dense
+(expanded-query embedding) run for the same query.  The two tiers
+score on incommensurable scales, so the hybrid list is fused on *ranks*
+with reciprocal-rank fusion (Cormack et al.):
+
+    score(d) = sum over runs r containing d of 1 / (k + rank_r(d))
+
+Three laws the property tests pin (``tests/test_rank_fusion.py``):
+
+* **Permutation invariance** — fusing the same runs in any order, or
+  permuting the items inside a run, yields the identical fused list.
+  Scores are summed as exact :class:`~fractions.Fraction`\\ s (ranks are
+  integers), so there is no float-accumulation order to leak through.
+* **Monotonicity** — an item ranked at least as well as another in
+  every run (and present in every run the other appears in) never gets
+  a lower fused score.
+* **Tie stability** — ranks are *competition ranks* computed from
+  scores alone (``rank(d) = 1 + #{e : score(e) > score(d)}``), so items
+  tied within a run get the same rank no matter how the run lists them.
+
+Final ordering: descending fused score, ties broken by ascending
+document id — the same tie rule every store in :mod:`repro.search`
+uses.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Iterable, Sequence
+
+#: The standard RRF smoothing constant: large enough that a single
+#: first-place vote cannot drown consistent mid-list agreement.
+DEFAULT_RRF_K = 60
+
+Run = Sequence[tuple[Hashable, float]]
+
+
+def competition_ranks(run: Run) -> dict:
+    """Competition ("1224") rank of every document in one run.
+
+    ``run`` is a sequence of ``(doc, score)`` pairs; a document's rank
+    is one plus the number of *strictly better* scores, which makes the
+    result independent of the order the run lists tied documents in.
+    Duplicate documents keep their best score.
+    """
+    best: dict = {}
+    for doc, score in run:
+        previous = best.get(doc)
+        if previous is None or score > previous:
+            best[doc] = score
+    scores = sorted(best.values(), reverse=True)
+    ranks: dict = {}
+    for doc, score in best.items():
+        # First index of `score` in the descending list = number of
+        # strictly greater scores.
+        low, high = 0, len(scores)
+        while low < high:
+            mid = (low + high) // 2
+            if scores[mid] > score:
+                low = mid + 1
+            else:
+                high = mid
+        ranks[doc] = low + 1
+    return ranks
+
+
+def rrf_scores(
+    runs: Iterable[Run],
+    k: int = DEFAULT_RRF_K,
+    weights: Sequence[int] | None = None,
+) -> dict:
+    """Exact (Fraction) RRF score per document across ``runs``.
+
+    ``weights`` (optional, positive integers, one per run) scale each
+    run's vote: ``score(d) += w_r / (k + rank_r(d))``.  Integer weights
+    keep the sums exact Fractions, so weighted fusion stays bitwise
+    permutation-invariant — permuting ``(run, weight)`` *pairs* never
+    changes the fused list.
+    """
+    if k < 1:
+        raise ValueError(f"rrf k must be >= 1, got {k}")
+    runs = list(runs)
+    if weights is None:
+        weights = [1] * len(runs)
+    else:
+        weights = list(weights)
+        if len(weights) != len(runs):
+            raise ValueError(
+                f"got {len(weights)} weights for {len(runs)} runs"
+            )
+        if any(weight < 1 or weight != int(weight) for weight in weights):
+            raise ValueError(f"rrf weights must be positive integers, got {weights}")
+    scores: dict = {}
+    for run, weight in zip(runs, weights):
+        for doc, rank in competition_ranks(run).items():
+            scores[doc] = scores.get(doc, Fraction(0)) + Fraction(int(weight), k + rank)
+    return scores
+
+
+def reciprocal_rank_fusion(
+    runs: Iterable[Run],
+    k: int = DEFAULT_RRF_K,
+    limit: int | None = None,
+    weights: Sequence[int] | None = None,
+) -> list[tuple[Hashable, float]]:
+    """Fuse retrieval runs into one ranked ``(doc, score)`` list.
+
+    Scores are returned as floats for reporting, but the ordering is
+    decided on the exact Fraction sums, so the fused list is bitwise
+    reproducible regardless of run order.  See :func:`rrf_scores` for
+    the optional per-run integer ``weights``.
+    """
+    exact = rrf_scores(runs, k, weights=weights)
+    ordered = sorted(exact.items(), key=lambda item: (-item[1], item[0]))
+    if limit is not None:
+        ordered = ordered[:limit]
+    return [(doc, float(score)) for doc, score in ordered]

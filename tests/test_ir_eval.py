@@ -1,0 +1,204 @@
+"""Tests for the IR eval harness (repro.eval) and its golden sets.
+
+Three contracts:
+
+* **metrics** — MRR / nDCG@k / P@k match hand-computed values on known
+  rankings, including the degenerate cases (nothing retrieved, nothing
+  relevant);
+* **golden sets** — every query carries usable ground truth: at least
+  one relevant corpus schema, relevance sets partition by lineage, the
+  perturbation gold round-trips through ``mapping_to_reference``, and
+  the whole set is deterministic under a fixed seed;
+* **harness / gate** — the report schema is stable, the baseline
+  comparison passes on itself, fails on a regression beyond epsilon,
+  tolerates drops within epsilon, and refuses config mismatches.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.datasets.perturb import mapping_to_reference
+from repro.eval.golden import (
+    SPLITS,
+    corpus_domain_members,
+    generate_golden_set,
+)
+from repro.eval.harness import (
+    DEFAULT_BASELINE,
+    EvalConfig,
+    compare_to_baseline,
+    run_ir_eval,
+)
+from repro.eval.metrics import (
+    dcg_at_k,
+    mean_metrics,
+    mrr,
+    ndcg_at_k,
+    precision_at_k,
+)
+
+#: A tiny config so harness tests stay fast.
+TINY = EvalConfig(corpus_size=24, domains=3, queries_per_split=3, courses=2)
+
+
+# -- metrics -------------------------------------------------------------------
+
+class TestMetrics:
+    def test_mrr(self):
+        assert mrr(["a", "b", "c"], {"b"}) == pytest.approx(0.5)
+        assert mrr(["a"], {"a"}) == 1.0
+        assert mrr(["a", "b"], {"z"}) == 0.0
+        assert mrr([], {"a"}) == 0.0
+
+    def test_dcg_and_ndcg(self):
+        # Relevant at ranks 1 and 3: DCG = 1 + 1/log2(4).
+        ranked = ["a", "x", "b"]
+        assert dcg_at_k(ranked, {"a", "b"}, 3) == pytest.approx(1.5)
+        # Ideal for 2 relevant in top 3: 1 + 1/log2(3).
+        assert ndcg_at_k(ranked, {"a", "b"}, 3) == pytest.approx(
+            1.5 / (1.0 + 1.0 / 1.5849625007211562)
+        )
+        assert ndcg_at_k(["a"], {"a"}, 10) == 1.0
+        assert ndcg_at_k(["x"], set(), 10) == 0.0
+
+    def test_precision_at_k_keeps_denominator_k(self):
+        assert precision_at_k(["a", "x"], {"a"}, 2) == 0.5
+        assert precision_at_k(["a"], {"a"}, 5) == pytest.approx(0.2)
+        assert precision_at_k([], {"a"}, 5) == 0.0
+        assert precision_at_k(["a"], {"a"}, 0) == 0.0
+
+    def test_mean_metrics(self):
+        merged = mean_metrics([{"mrr": 1.0}, {"mrr": 0.0}])
+        assert merged == {"mrr": 0.5}
+        assert mean_metrics([]) == {}
+
+
+# -- golden sets ---------------------------------------------------------------
+
+class TestGoldenSets:
+    def test_every_query_has_relevant_corpus_schemas(self):
+        golden = generate_golden_set(
+            corpus_size=24, domains=3, seed=5, queries_per_split=4
+        )
+        assert len(golden.queries) == 8
+        for query in golden.queries:
+            assert len(query.relevant) >= 1
+            assert query.relevant <= set(golden.corpus.schemas)
+            assert query.schema.name not in golden.corpus.schemas
+
+    def test_relevance_partitions_by_lineage(self):
+        members = corpus_domain_members(10, 3)
+        assert sum(len(m) for m in members.values()) == 10
+        union = set()
+        for names in members.values():
+            assert not (union & names)
+            union |= names
+        golden = generate_golden_set(
+            corpus_size=24, domains=3, seed=5, queries_per_split=4
+        )
+        expected = corpus_domain_members(24, 3)
+        for query in golden.queries:
+            assert query.relevant == expected[query.domain]
+
+    def test_gold_round_trips_through_mapping_to_reference(self):
+        golden = generate_golden_set(
+            corpus_size=24, domains=3, seed=5, queries_per_split=4
+        )
+        for query in golden.queries:
+            assert query.gold, query.qid
+            inverted = mapping_to_reference(query.gold)
+            assert inverted, query.qid
+            query_paths = {
+                f"{relation}.{attribute}"
+                for relation, attributes in query.schema.relations.items()
+                for attribute in attributes
+            }
+            for variant_path, reference_path in inverted.items():
+                # Inversion restricted to attribute paths, targets the
+                # query schema, and round-trips exactly.
+                assert "." in reference_path
+                assert variant_path in query_paths
+                assert query.gold[reference_path] == variant_path
+
+    def test_splits_differ_only_in_query_vocabulary(self):
+        golden = generate_golden_set(
+            corpus_size=24, domains=3, seed=5, queries_per_split=4
+        )
+        clean = golden.split("clean")
+        perturbed = golden.split("perturbed")
+        assert len(clean) == len(perturbed) == 4
+        assert {q.split for q in golden.queries} == set(SPLITS)
+        # Same lineage coverage either way.
+        assert [q.domain for q in clean] == [q.domain for q in perturbed]
+
+    def test_deterministic_under_fixed_seed(self):
+        a = generate_golden_set(corpus_size=24, domains=3, seed=5, queries_per_split=4)
+        b = generate_golden_set(corpus_size=24, domains=3, seed=5, queries_per_split=4)
+        assert [q.qid for q in a.queries] == [q.qid for q in b.queries]
+        for qa, qb in zip(a.queries, b.queries):
+            assert qa.schema.relations == qb.schema.relations
+            assert qa.relevant == qb.relevant
+            assert qa.gold == qb.gold
+        for name, schema in a.corpus.schemas.items():
+            assert schema.relations == b.corpus.schemas[name].relations
+
+    def test_seed_moves_the_set(self):
+        a = generate_golden_set(corpus_size=24, domains=3, seed=5, queries_per_split=4)
+        b = generate_golden_set(corpus_size=24, domains=3, seed=6, queries_per_split=4)
+        assert any(
+            qa.schema.relations != qb.schema.relations
+            for qa, qb in zip(a.queries, b.queries)
+        )
+
+
+# -- harness + regression gate -------------------------------------------------
+
+class TestHarness:
+    def test_report_schema_and_determinism(self):
+        report = run_ir_eval(TINY)
+        assert report["config"]["corpus_size"] == 24
+        for strategy in ("sparse", "dense", "hybrid"):
+            result = report["strategies"][strategy]
+            for scope in (result["overall"], *result["splits"].values()):
+                assert set(scope) == {"mrr", "ndcg@10", "p@5", "p@10"}
+                for value in scope.values():
+                    assert 0.0 <= value <= 1.0
+        assert run_ir_eval(TINY) == report
+
+    def test_compare_to_baseline_gate(self):
+        report = run_ir_eval(TINY, strategies=("sparse",))
+        assert compare_to_baseline(report, report) == []
+
+        regressed = copy.deepcopy(report)
+        regressed["strategies"]["sparse"]["overall"]["mrr"] -= 0.5
+        problems = compare_to_baseline(regressed, report, epsilon=0.02)
+        assert any("sparse/overall/mrr" in p for p in problems)
+
+        within_epsilon = copy.deepcopy(report)
+        within_epsilon["strategies"]["sparse"]["overall"]["mrr"] -= 0.01
+        assert compare_to_baseline(within_epsilon, report, epsilon=0.02) == []
+
+        improved = copy.deepcopy(report)
+        improved["strategies"]["sparse"]["overall"]["mrr"] = 1.0
+        assert compare_to_baseline(improved, report) == []
+
+    def test_compare_rejects_config_mismatch_and_missing_strategy(self):
+        report = run_ir_eval(TINY, strategies=("sparse",))
+        other = copy.deepcopy(report)
+        other["config"]["corpus_size"] = 999
+        assert any("config mismatch" in p for p in compare_to_baseline(other, report))
+
+        pruned = copy.deepcopy(report)
+        extra = copy.deepcopy(report)
+        extra["strategies"]["dense"] = copy.deepcopy(report["strategies"]["sparse"])
+        assert any(
+            "missing" in p for p in compare_to_baseline(pruned, extra)
+        )
+
+    def test_committed_baseline_parses_and_has_gated_strategies(self):
+        baseline = json.loads(DEFAULT_BASELINE.read_text(encoding="utf-8"))
+        assert set(baseline["strategies"]) == {"sparse", "dense", "hybrid"}
+        for result in baseline["strategies"].values():
+            assert {"clean", "perturbed"} == set(result["splits"])

@@ -1,0 +1,170 @@
+"""Property tests for reciprocal-rank fusion (repro.search.fusion).
+
+The three laws the module docstring promises, checked with hypothesis
+over randomized runs:
+
+* permutation invariance — run order and within-run listing order of
+  tied items never change the fused output (exact Fraction arithmetic,
+  order-free competition ranks);
+* monotonicity — dominating an item in every run never yields a lower
+  fused score;
+* tie stability — items with equal scores inside a run get the same
+  competition rank regardless of listing order.
+
+Plus the weighted-fusion contract: integer per-run weights, permuting
+(run, weight) pairs together is invariant, and weight 1 for every run
+equals the unweighted fusion.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.fusion import (
+    DEFAULT_RRF_K,
+    competition_ranks,
+    reciprocal_rank_fusion,
+    rrf_scores,
+)
+
+# Small doc/score alphabets on purpose: collisions (shared docs across
+# runs, tied scores within a run) are where the laws have teeth.
+docs = st.sampled_from([f"d{i}" for i in range(8)])
+scores = st.sampled_from([0.0, 0.25, 0.5, 0.5, 0.75, 1.0])
+run = st.lists(st.tuples(docs, scores), max_size=10)
+runs = st.lists(run, min_size=1, max_size=4)
+
+
+# -- competition ranks ---------------------------------------------------------
+
+class TestCompetitionRanks:
+    def test_basic_1224(self):
+        ranks = competition_ranks(
+            [("a", 3.0), ("b", 2.0), ("c", 2.0), ("d", 1.0)]
+        )
+        assert ranks == {"a": 1, "b": 2, "c": 2, "d": 4}
+
+    def test_duplicates_keep_best_score(self):
+        ranks = competition_ranks([("a", 1.0), ("a", 3.0), ("b", 2.0)])
+        assert ranks == {"a": 1, "b": 2}
+
+    @given(run)
+    @settings(max_examples=200)
+    def test_rank_counts_strictly_better_scores(self, items):
+        ranks = competition_ranks(items)
+        best = {}
+        for doc, score in items:
+            if doc not in best or score > best[doc]:
+                best[doc] = score
+        for doc, rank in ranks.items():
+            better = sum(1 for other in best.values() if other > best[doc])
+            assert rank == 1 + better
+
+    @given(run, st.randoms(use_true_random=False))
+    @settings(max_examples=200)
+    def test_tie_stability_under_shuffle(self, items, rng):
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert competition_ranks(items) == competition_ranks(shuffled)
+
+
+# -- fusion laws ---------------------------------------------------------------
+
+class TestFusionProperties:
+    @given(runs, st.randoms(use_true_random=False))
+    @settings(max_examples=200)
+    def test_permutation_invariance(self, fusion_runs, rng):
+        """Permuting run order AND within-run order changes nothing."""
+        baseline = reciprocal_rank_fusion(fusion_runs)
+        shuffled_runs = [list(r) for r in fusion_runs]
+        rng.shuffle(shuffled_runs)
+        for r in shuffled_runs:
+            rng.shuffle(r)
+        assert reciprocal_rank_fusion(shuffled_runs) == baseline
+
+    @given(runs)
+    @settings(max_examples=200)
+    def test_monotonicity(self, fusion_runs):
+        """If a ranks at least as well as b in every run, and appears in
+        every run b appears in, then fused(a) >= fused(b)."""
+        exact = rrf_scores(fusion_runs)
+        per_run_ranks = [competition_ranks(r) for r in fusion_runs]
+        for a in exact:
+            for b in exact:
+                dominates = all(
+                    (b not in ranks)
+                    or (a in ranks and ranks[a] <= ranks[b])
+                    for ranks in per_run_ranks
+                )
+                if dominates:
+                    assert exact[a] >= exact[b]
+
+    @given(runs)
+    @settings(max_examples=200)
+    def test_scores_are_exact_fractions(self, fusion_runs):
+        for score in rrf_scores(fusion_runs).values():
+            assert isinstance(score, Fraction)
+            assert score > 0
+
+    @given(run)
+    @settings(max_examples=100)
+    def test_single_run_preserves_order_of_distinct_scores(self, items):
+        fused = reciprocal_rank_fusion([items])
+        ranks = competition_ranks(items)
+        fused_position = {doc: i for i, (doc, _s) in enumerate(fused)}
+        for a in ranks:
+            for b in ranks:
+                if ranks[a] < ranks[b]:
+                    assert fused_position[a] < fused_position[b]
+
+    @given(runs, st.integers(min_value=0, max_value=5))
+    @settings(max_examples=100)
+    def test_limit_is_a_prefix(self, fusion_runs, limit):
+        full = reciprocal_rank_fusion(fusion_runs)
+        assert reciprocal_rank_fusion(fusion_runs, limit=limit) == full[:limit]
+
+
+# -- weighted fusion -----------------------------------------------------------
+
+class TestWeightedFusion:
+    @given(runs)
+    @settings(max_examples=100)
+    def test_unit_weights_equal_unweighted(self, fusion_runs):
+        weights = [1] * len(fusion_runs)
+        assert rrf_scores(fusion_runs, weights=weights) == rrf_scores(fusion_runs)
+
+    @given(runs, st.randoms(use_true_random=False))
+    @settings(max_examples=100)
+    def test_weighted_permutation_invariance(self, fusion_runs, rng):
+        weights = [rng.randint(1, 4) for _ in fusion_runs]
+        baseline = reciprocal_rank_fusion(fusion_runs, weights=weights)
+        paired = list(zip([list(r) for r in fusion_runs], weights))
+        rng.shuffle(paired)
+        for r, _w in paired:
+            rng.shuffle(r)
+        shuffled = reciprocal_rank_fusion(
+            [r for r, _w in paired], weights=[w for _r, w in paired]
+        )
+        assert shuffled == baseline
+
+    def test_weight_tilts_a_conflict(self):
+        sparse = [("a", 1.0), ("b", 0.5)]
+        dense = [("b", 1.0), ("a", 0.5)]
+        even = reciprocal_rank_fusion([sparse, dense], k=10)
+        assert even[0][0] == "a"  # tie on score -> doc-id tiebreak
+        tilted = reciprocal_rank_fusion([sparse, dense], k=10, weights=(1, 2))
+        assert tilted[0][0] == "b"
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            rrf_scores([[("a", 1.0)]], weights=[0])
+        with pytest.raises(ValueError):
+            rrf_scores([[("a", 1.0)]], weights=[1, 2])
+        with pytest.raises(ValueError):
+            rrf_scores([[("a", 1.0)]], k=0)
+
+    def test_default_k_is_the_standard_constant(self):
+        assert DEFAULT_RRF_K == 60

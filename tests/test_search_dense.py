@@ -1,0 +1,176 @@
+"""Tests for the dense retrieval tier (repro.search.dense).
+
+The load-bearing guarantee is the determinism contract: a term's
+projection is a pure function of ``(named seed, dim, term)`` — never of
+insertion order, a shared RNG stream, or the process hash salt — so a
+store built incrementally (adds in any order, queries interleaved) is
+**bitwise identical** to a fresh rebuild.  The same holds one level up:
+``CorpusSearchEngine`` dense vectors after incremental ``add_schema``
+calls equal the vectors of an engine built from the full corpus at
+once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.corpus import BasicStatistics, Corpus, CorpusSchema
+from repro.datasets.pdms_gen import clustered_schema_corpus
+from repro.search.dense import (
+    DEFAULT_DENSE_SEED,
+    DenseVectorStore,
+    RandomProjectionEmbedder,
+)
+
+
+# -- embedder ------------------------------------------------------------------
+
+class TestRandomProjectionEmbedder:
+    def test_projection_is_pure_in_seed_dim_term(self):
+        a = RandomProjectionEmbedder(dim=32, seed="s1")
+        b = RandomProjectionEmbedder(dim=32, seed="s1")
+        # Different access order, same projections, bitwise.
+        a.projection("alpha")
+        a.projection("beta")
+        b.projection("beta")
+        assert np.array_equal(a.projection("alpha"), b.projection("alpha"))
+        assert np.array_equal(a.projection("beta"), b.projection("beta"))
+
+    def test_named_seed_changes_projections(self):
+        a = RandomProjectionEmbedder(dim=32, seed="corpus-dense-v1")
+        b = RandomProjectionEmbedder(dim=32, seed="corpus-dense-v2")
+        assert not np.array_equal(a.projection("alpha"), b.projection("alpha"))
+
+    def test_distinct_terms_get_distinct_directions(self):
+        embedder = RandomProjectionEmbedder(dim=32)
+        assert not np.array_equal(
+            embedder.projection("alpha"), embedder.projection("beta")
+        )
+
+    def test_projections_are_read_only(self):
+        embedder = RandomProjectionEmbedder(dim=8)
+        with pytest.raises(ValueError):
+            embedder.projection("alpha")[0] = 0.0
+
+    def test_embed_is_linear_in_weights(self):
+        embedder = RandomProjectionEmbedder(dim=16)
+        one = embedder.embed({"a": 1.0, "b": 2.0})
+        doubled = embedder.embed({"a": 2.0, "b": 4.0})
+        assert np.allclose(doubled, 2.0 * one)
+
+    def test_zero_weights_are_skipped(self):
+        embedder = RandomProjectionEmbedder(dim=16)
+        assert np.array_equal(
+            embedder.embed({"a": 1.0, "b": 0.0}), embedder.embed({"a": 1.0})
+        )
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            RandomProjectionEmbedder(dim=0)
+
+
+# -- store ---------------------------------------------------------------------
+
+class TestDenseVectorStore:
+    def test_incremental_equals_rebuild_bitwise(self):
+        docs = {
+            "d1": {"title": 1.0, "instructor": 2.0},
+            "d2": {"teacher": 1.0, "room": 0.5},
+            "d3": {"title": 0.25, "room": 3.0, "email": 1.0},
+        }
+        rebuilt = DenseVectorStore(dim=64)
+        for doc_id in sorted(docs):
+            rebuilt.put(doc_id, docs[doc_id])
+        incremental = DenseVectorStore(dim=64)
+        # Reverse arrival order, a query interleaved, a doc re-put.
+        incremental.put("d3", docs["d3"])
+        incremental.put("d1", {"stale": 9.0})
+        incremental.top_k(docs["d2"], 2)
+        incremental.put("d2", docs["d2"])
+        incremental.put("d1", docs["d1"])
+        for doc_id in docs:
+            assert np.array_equal(
+                incremental.vector(doc_id), rebuilt.vector(doc_id)
+            ), doc_id
+
+    def test_top_k_ranks_by_cosine_with_doc_id_ties(self):
+        store = DenseVectorStore(dim=64)
+        store.put("near", {"title": 1.0, "instructor": 1.0})
+        store.put("same-b", {"title": 2.0})
+        store.put("same-a", {"title": 2.0})
+        result = store.top_k({"title": 1.0}, 3)
+        # The two scaled copies tie at cosine 1.0 and sort by doc id.
+        assert [doc for doc, _s in result[:2]] == ["same-a", "same-b"]
+        assert result[0][1] == pytest.approx(1.0)
+
+    def test_candidates_restrict_the_pool(self):
+        store = DenseVectorStore(dim=64)
+        store.put("a", {"x": 1.0})
+        store.put("b", {"x": 1.0, "y": 0.5})
+        result = store.top_k({"x": 1.0}, 5, candidates=["b", "missing"])
+        assert [doc for doc, _s in result] == ["b"]
+
+    def test_exclude_and_remove(self):
+        store = DenseVectorStore(dim=64)
+        store.put("a", {"x": 1.0})
+        store.put("b", {"x": 1.0})
+        assert [d for d, _s in store.top_k({"x": 1.0}, 5, exclude=("a",))] == ["b"]
+        store.remove("a")
+        assert "a" not in store
+        assert len(store) == 1
+
+    def test_zero_norm_query_and_docs_score_nothing(self):
+        store = DenseVectorStore(dim=16)
+        store.put("empty", {})
+        store.put("real", {"x": 1.0})
+        assert store.top_k({}, 5) == []
+        assert [d for d, _s in store.top_k({"x": 1.0}, 5)] == ["real"]
+
+    def test_epoch_ticks_on_mutation(self):
+        store = DenseVectorStore(dim=8)
+        assert store.epoch == 0
+        store.put("a", {"x": 1.0})
+        store.remove("a")
+        store.remove("a")  # absent: no tick
+        assert store.epoch == 2
+
+
+# -- engine-level determinism --------------------------------------------------
+
+class TestEngineDenseDeterminism:
+    def test_incremental_engine_matches_rebuild_bitwise(self):
+        corpus = clustered_schema_corpus(12, seed=3, domains=3)
+        schemas = list(corpus.schemas.values())
+
+        full = BasicStatistics(corpus)
+        full.ensure_built()
+        full.engine.sync()
+
+        grown = BasicStatistics(Corpus())
+        grown.ensure_built()
+        for schema in schemas:
+            clone = CorpusSchema(schema.name)
+            for relation, attributes in schema.relations.items():
+                clone.add_relation(relation, list(attributes))
+            grown.add_schema(clone)
+            # Interleave queries so sync runs mid-growth.
+            grown.engine.search_schemas({"instructor": 1.0}, limit=3)
+
+        for schema in schemas:
+            expected = full.engine.dense_vector(schema.name)
+            actual = grown.engine.dense_vector(schema.name)
+            assert np.array_equal(actual, expected), schema.name
+
+    def test_engine_dense_seed_is_named_and_reported(self):
+        stats = BasicStatistics(clustered_schema_corpus(4, seed=1, domains=2))
+        engine = stats.engine
+        engine.sync()
+        snapshot = engine.stats_snapshot()
+        assert snapshot["dense_seed"] == DEFAULT_DENSE_SEED
+        assert snapshot["schema_dense_vectors"] == 4
+
+        other = stats.configure_engine(dense_seed="corpus-dense-v2")
+        other.sync()
+        name = next(iter(stats.corpus.schemas))
+        assert not np.array_equal(
+            other.dense_vector(name), engine.dense_vector(name)
+        )

@@ -263,6 +263,86 @@ class TestIncrementalEquivalence:
         assert engine.epoch > epoch
 
 
+# -- tiered retrieval router ---------------------------------------------------
+
+class TestTieredRetrieval:
+    def test_unknown_strategy_rejected(self):
+        stats = BasicStatistics(small_corpus())
+        with pytest.raises(ValueError):
+            stats.engine.search_schemas({"title": 1.0}, strategy="cosmic")
+
+    def test_exact_tier_requires_structural_identity(self):
+        stats = BasicStatistics(small_corpus())
+        s1 = stats.corpus.schemas["s1"]
+        assert [name for name, _s in stats.search_schemas(s1, strategy="exact")] == ["s1"]
+        # Same relation names, different attributes: NOT an exact hit.
+        probe = CorpusSchema("probe")
+        probe.add_relation("course", ["title", "instructor"])
+        probe.add_relation("ta", ["name", "email"])
+        assert stats.search_schemas(probe, strategy="exact") == []
+
+    def test_sparse_strategy_matches_similar_schemas(self):
+        stats = BasicStatistics(small_corpus())
+        s2 = stats.corpus.schemas["s2"]
+        profile = stats.schema_profile(s2)
+        assert (
+            stats.search_schemas(s2, limit=3, strategy="sparse")
+            == stats.similar_schemas(profile, 3)
+        )
+
+    def test_hybrid_pins_exact_hits_first(self):
+        stats = BasicStatistics(small_corpus())
+        s1 = stats.corpus.schemas["s1"]
+        ranked = stats.search_schemas(s1, limit=3, strategy="hybrid")
+        assert ranked[0] == ("s1", 1.0)
+        assert len(ranked) <= 3
+
+    def test_strategy_switch_is_a_cache_miss_not_a_wrong_hit(self):
+        # The regression this pins: the retrieval strategy is part of
+        # the cache key, so re-querying the same profile under another
+        # strategy must recompute, never serve the other tier's ranking.
+        stats = BasicStatistics(small_corpus())
+        engine = stats.engine
+        s2 = stats.corpus.schemas["s2"]
+        sparse = stats.search_schemas(s2, limit=3, strategy="sparse")
+        misses = engine.cache.misses
+        hits = engine.cache.hits
+        dense = stats.search_schemas(s2, limit=3, strategy="dense")
+        assert engine.cache.misses == misses + 1
+        assert engine.cache.hits == hits
+        # Same strategy again IS a hit, and serves its own ranking.
+        assert stats.search_schemas(s2, limit=3, strategy="dense") == dense
+        assert engine.cache.hits == hits + 1
+        assert stats.search_schemas(s2, limit=3, strategy="sparse") == sparse
+
+    def test_router_counters_and_latency_histograms(self):
+        from repro import obs as _obs
+
+        observability = _obs.Observability()
+        stats = BasicStatistics(small_corpus())
+        engine = stats.configure_engine(obs=observability)
+        s1 = stats.corpus.schemas["s1"]
+        for strategy in ("exact", "sparse", "dense", "hybrid"):
+            stats.search_schemas(s1, strategy=strategy)
+        snapshot = observability.metrics.snapshot()
+        counters = snapshot["counters"]
+        for strategy in ("exact", "sparse", "dense", "hybrid"):
+            assert counters[f"search.route.{strategy}"] == 1
+            assert snapshot["histograms"][f"search.{strategy}.ms"]["count"] == 1
+        assert counters["search.route.exact_hits"] >= 2  # exact + hybrid
+
+    def test_dense_results_reflect_incremental_adds(self):
+        stats = BasicStatistics(small_corpus())
+        s1 = stats.corpus.schemas["s1"]
+        before = [n for n, _s in stats.search_schemas(s1, limit=10, strategy="dense")]
+        assert "s4" not in before
+        addition = CorpusSchema("s4")
+        addition.add_relation("course", ["title", "instructor", "time"])
+        stats.add_schema(addition)
+        after = [n for n, _s in stats.search_schemas(s1, limit=10, strategy="dense")]
+        assert "s4" in after
+
+
 # -- corpus-boosted matching ---------------------------------------------------
 
 class TestCorpusBoostMatcher:

@@ -38,6 +38,7 @@ EXECUTABLE_DOCS = (
     "docs/matching.md",
     "docs/mangrove.md",
     "docs/observability.md",
+    "docs/search.md",
 )
 
 
