@@ -15,6 +15,14 @@ Two strategies, compared in benchmark C5:
 * :class:`PeriodicCrawler` — the baseline the paper rejects: changes
   take effect only when the next crawl visits the page, so applications
   serve stale data in between and every crawl re-reads every page.
+
+On a durable store (a :class:`~repro.rdf.store.TripleStore` over a
+:class:`~repro.storage.log.LogEngine`) a publish stays exactly this
+atomic: the whole ``replace_source`` diff is **one** write-ahead-log
+record (whose logical payload is the delta itself) committed before
+the **one** delta notification fires — crash mid-publish and recovery
+shows either the whole re-publish or none of it, never a half-replaced
+page.
 """
 
 from __future__ import annotations

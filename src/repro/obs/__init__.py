@@ -29,6 +29,13 @@ is that substrate:
   ``benchmarks/conftest.py`` can dump it next to every bench's timing
   output.
 
+The storage layer (ISSUE 8) reports here too: durable engines count
+``storage.wal.appends`` / ``storage.wal.bytes`` and
+``storage.snapshot.writes`` / ``storage.snapshot.bytes``, recovery
+records ``storage.replay.records`` plus the ``storage.replay.ms``
+histogram, and :class:`~repro.storage.engine.ShardedEngine` exports
+per-shard ``storage.shard.rows.<i>`` gauges.
+
 See ``docs/observability.md`` for the runnable walkthrough (trace one
 C14-style serve, print the span tree and the ``explain()`` report).
 """

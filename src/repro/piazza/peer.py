@@ -66,6 +66,7 @@ from repro.piazza.datalog import (
 from repro.piazza.mapping_index import MappingIndex
 from repro.piazza.parse import parse_query
 from repro.piazza.reformulation import ReformulationResult, reformulate
+from repro.piazza.updates import Updategram
 
 
 class PdmsError(Exception):
@@ -101,6 +102,16 @@ class Peer:
     :meth:`~repro.piazza.execution.DistributedExecutor.view_for`, the
     :class:`~repro.piazza.serving.ViewServer` — refuse state captured
     under an older epoch, so stale answers are structurally impossible.
+
+    Durability (ISSUE 8): :meth:`attach_log` wires a
+    :class:`~repro.storage.peerlog.PeerLog` under the peer, after which
+    every mutation appends its updategram (or stored-schema record) to
+    the write-ahead log *before* applying it.  :meth:`restore` is the
+    inverse: replay the log's grams through this same apply logic, so
+    the recovered peer's data sets *and* epoch counter match the
+    original run exactly.  Only stored relations and their data are
+    durable — the logical peer schema and the mappings are PDMS
+    topology, re-declared by the application at startup.
     """
 
     name: str
@@ -108,42 +119,64 @@ class Peer:
     stored: dict[str, list[str]] = field(default_factory=dict)
     data: dict[str, set[tuple]] = field(default_factory=dict)
     epoch: int = 0
+    log: object = field(default=None, repr=False, compare=False)
 
     def add_relation(self, relation: str, attributes: list[str]) -> None:
         """Declare a peer-schema relation."""
         self.schema[relation] = list(attributes)
 
+    def attach_log(self, log) -> None:
+        """Make every subsequent mutation durable through ``log``."""
+        self.log = log
+
     def add_stored(self, relation: str, attributes: list[str], rows: Iterable[tuple] = ()) -> None:
         """Declare a stored relation and optionally load rows."""
+        rows = [tuple(row) for row in rows]
+        if self.log is not None:
+            self.log.append_schema(relation, attributes)
+            if rows:
+                self.log.append_gram(Updategram().insert(relation, rows))
         self.stored[relation] = list(attributes)
         target = self.data.setdefault(relation, set())
         before = len(target)
-        target.update(tuple(row) for row in rows)
+        target.update(rows)
         if len(target) != before:
             self.epoch += 1
+        if self.log is not None:
+            self.log.gram_applied(self)
 
     def insert(self, relation: str, rows: Iterable[tuple]) -> int:
         """Add rows to a stored relation; returns count added."""
         if relation not in self.stored:
             raise PdmsError(f"peer {self.name} has no stored relation {relation!r}")
+        rows = [tuple(row) for row in rows]
+        if self.log is not None:
+            self.log.append_gram(Updategram().insert(relation, rows))
         target = self.data.setdefault(relation, set())
         before = len(target)
-        target.update(tuple(row) for row in rows)
+        target.update(rows)
         added = len(target) - before
         if added:
             self.epoch += 1
+        if self.log is not None:
+            self.log.gram_applied(self)
         return added
 
     def delete(self, relation: str, rows: Iterable[tuple]) -> int:
         """Remove rows from a stored relation; returns count removed."""
         if relation not in self.stored:
             raise PdmsError(f"peer {self.name} has no stored relation {relation!r}")
+        rows = [tuple(row) for row in rows]
+        if self.log is not None:
+            self.log.append_gram(Updategram().delete(relation, rows))
         target = self.data.setdefault(relation, set())
         before = len(target)
-        target.difference_update(tuple(row) for row in rows)
+        target.difference_update(rows)
         removed = before - len(target)
         if removed:
             self.epoch += 1
+        if self.log is not None:
+            self.log.gram_applied(self)
         return removed
 
     def apply_updategram(self, gram) -> int:
@@ -153,12 +186,19 @@ class Peer:
         so an insert wins over a delete of the same row); the epoch is
         bumped at most once per gram.  Returns the number of rows that
         actually changed.  Raises on relations the peer does not store.
+
+        With a log attached the gram is appended to the WAL *before* it
+        is applied (write-ahead: the log is always at least as new as
+        the in-memory data — a crash between append and apply replays
+        to the post-apply state, never loses an acknowledged change).
         """
         for relation in gram.relations():
             if relation not in self.stored:
                 raise PdmsError(
                     f"peer {self.name} has no stored relation {relation!r}"
                 )
+        if self.log is not None:
+            self.log.append_gram(gram)
         changed = 0
         for relation, rows in gram.deletes.items():
             target = self.data.setdefault(relation, set())
@@ -172,7 +212,35 @@ class Peer:
             changed += len(target) - before
         if changed:
             self.epoch += 1
+        if self.log is not None:
+            self.log.gram_applied(self)
         return changed
+
+    @classmethod
+    def restore(cls, name: str, log) -> "Peer":
+        """Recover a peer from its durable log (snapshot + gram replay).
+
+        The WAL tail is replayed through the peer's *own* mutation
+        methods (with the log attached only afterwards, so nothing
+        re-logs), which makes the recovered data sets and epoch counter
+        bit-equal to the pre-crash peer's — the property the
+        kill-and-recover suite in ``tests/test_storage_recovery.py``
+        pins against an uninterrupted run.
+        """
+        state = log.recover()
+        peer = cls(name)
+        peer.stored = {rel: list(attrs) for rel, attrs in state.stored.items()}
+        peer.data = {rel: set(rows) for rel, rows in state.data.items()}
+        peer.epoch = state.epoch
+        for kind, *payload in state.grams:
+            if kind == "schema":
+                relation, attributes = payload
+                peer.add_stored(relation, attributes)
+            else:
+                (gram,) = payload
+                peer.apply_updategram(gram)
+        peer.attach_log(log)
+        return peer
 
     def qualified_schema(self) -> dict[str, list[str]]:
         """Peer relations with qualified names."""
@@ -333,6 +401,28 @@ class PDMS:
         self._topology_version += 1
         return peer
 
+    def restore_peer(self, name: str, log) -> Peer:
+        """Recover a peer from its :class:`~repro.storage.peerlog.PeerLog`
+        and register it.
+
+        The restart path: :meth:`Peer.restore` replays the log
+        (snapshot + updategram tail) into a fresh peer whose data and
+        epoch match the pre-crash run, the log stays attached for
+        subsequent mutations, and the topology caches are invalidated
+        just like :meth:`add_peer`.  Continuous queries
+        (:class:`~repro.piazza.serving.ViewServer` registrations)
+        re-attach by simply re-registering against the recovered data —
+        the epoch fidelity is what makes their freshness checks hold.
+        """
+        if name in self.peers:
+            raise PdmsError(f"peer {name!r} already exists")
+        peer = Peer.restore(name, log)
+        self.peers[name] = peer
+        self._rules_cache = None
+        self._index_cache = None
+        self._topology_version += 1
+        return peer
+
     def add_storage(
         self,
         peer: str,
@@ -448,15 +538,18 @@ class PDMS:
     def apply_updategram(self, peer: str, gram) -> int:
         """Apply an :class:`~repro.piazza.updates.Updategram` at a peer.
 
-        This is the system's mutation entry point: the peer's data
-        changes atomically, its epoch bumps, and every subscriber
-        (:meth:`subscribe_updates` — the serving layer's hook) is
-        notified with ``(peer_name, gram, epoch_before)`` after the
-        data is in place.  ``epoch_before`` is the peer's epoch just
-        before this gram — a listener that tracked a different value
-        knows mutations bypassed the pipeline in between and can
-        re-read rather than replay.  Returns the number of rows that
-        actually changed.
+        This is the system's mutation entry point — and, for a peer
+        with a :class:`~repro.storage.peerlog.PeerLog` attached, the
+        WAL write path: the gram is appended to the peer's log, then
+        the data changes atomically, the epoch bumps, and every
+        subscriber (:meth:`subscribe_updates` — the serving layer's
+        hook) is notified with ``(peer_name, gram, epoch_before)``
+        after the data is in place, so listeners never observe a
+        change the log could lose.  ``epoch_before`` is the peer's
+        epoch just before this gram — a listener that tracked a
+        different value knows mutations bypassed the pipeline in
+        between and can re-read rather than replay.  Returns the
+        number of rows that actually changed.
         """
         owner = self._peer(peer)
         epoch_before = owner.epoch

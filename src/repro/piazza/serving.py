@@ -251,6 +251,19 @@ class ViewServer:
             self._m_registrations.inc()
             return registration
 
+    def register_all(self, queries) -> list:
+        """Register many ``(peer, query)`` continuous queries in order.
+
+        The recovery re-attach path: after a crashed peer is restored
+        (:meth:`~repro.piazza.peer.PDMS.restore_peer` — log replay
+        reproduces its data *and* epoch), a fresh server re-registers
+        the same continuous queries and materializes them from the
+        recovered state; because the epochs match the original run,
+        every subsequent :meth:`serve` is answered fresh, exactly as it
+        would have been without the crash.
+        """
+        return [self.register(peer, query) for peer, query in queries]
+
     def unregister(self, peer: str, query: str | ConjunctiveQuery) -> bool:
         """Drop a registration; shared views survive while referenced."""
         if isinstance(query, str):

@@ -42,12 +42,25 @@ from collections.abc import Callable, Iterable, Iterator
 
 from repro.rdf.triples import Delta, Triple
 from repro.relational import ColumnType, Database
+from repro.storage.records import encode_delta
 
 
 class TripleStore:
-    """Add/remove/match triples; provenance-aware deletion by source."""
+    """Add/remove/match triples; provenance-aware deletion by source.
 
-    def __init__(self, name: str = "annotations"):  # noqa: D107
+    ``engine`` plugs a :class:`~repro.storage.engine.StorageEngine`
+    under the triples table: a :class:`~repro.storage.log.LogEngine`
+    makes the store durable (each logical mutation — one ``add_all``,
+    one ``replace_source`` — is exactly one WAL record whose logical
+    payload is the same :class:`~repro.rdf.triples.Delta` the
+    subscribers receive), a
+    :class:`~repro.storage.engine.ShardedEngine` splits the triples
+    across shards.  Constructing a store over a recovered engine
+    re-attaches: indexes rebuild from the engine scan and the logical
+    clock resumes past the largest recovered timestamp.
+    """
+
+    def __init__(self, name: str = "annotations", engine=None):  # noqa: D107
         self._db = Database(name)
         self._table = self._db.create_table(
             "triples",
@@ -58,6 +71,7 @@ class TripleStore:
                 ("source", ColumnType.TEXT),
                 ("ts", ColumnType.INT),
             ],
+            engine=engine,
         )
         self._table.create_hash_index(("subject",))
         self._table.create_hash_index(("predicate",))
@@ -67,7 +81,9 @@ class TripleStore:
         self._index_p = self._table.hash_index_for({"predicate"})
         self._index_sp = self._table.hash_index_for({"subject", "predicate"})
         self._index_source = self._table.hash_index_for({"source"})
-        self._clock = 0
+        # Resume the logical clock past any recovered rows (fresh
+        # engines scan empty and leave it at zero).
+        self._clock = max((raw[4] for raw in self._table.raw_scan()), default=0)
         # (listener, wants_delta) in subscription order.
         self._listeners: list[tuple[Callable, bool]] = []
         # Triples added with notify=False, owed to the next delta.
@@ -142,7 +158,12 @@ class TripleStore:
         triple is folded into the *next* delta that fires, so
         incremental subscribers stay eventually consistent.
         """
-        stamped = self._insert_stamped(triple)
+        with self._table.engine.batch() as batch:
+            stamped = self._insert_stamped(triple)
+            if batch.wants_logical:
+                batch.annotate("delta", encode_delta(Delta(added=(stamped,))))
+        # Listeners fire only after the WAL record is committed, so a
+        # crash never shows subscribers a change the log lost.
         if notify:
             self._notify(Delta(added=(stamped,)))
         else:
@@ -151,7 +172,10 @@ class TripleStore:
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples as one batch (single notification)."""
-        stamped = tuple(self._insert_stamped(triple) for triple in triples)
+        with self._table.engine.batch() as batch:
+            stamped = tuple(self._insert_stamped(triple) for triple in triples)
+            if stamped and batch.wants_logical:
+                batch.annotate("delta", encode_delta(Delta(added=stamped)))
         if stamped:
             self._notify(Delta(added=stamped))
         return len(stamped)
@@ -167,11 +191,14 @@ class TripleStore:
     def remove(self, subject: str, predicate: str, obj: object) -> int:
         """Delete matching (s, p, o) triples regardless of source."""
         removed: list[Triple] = []
-        for row_id in sorted(self._index_sp.lookup((subject, predicate))):
-            raw = self._table.raw_row(row_id)
-            if raw is not None and raw[2] == obj:
-                self._table.delete_row(row_id)
-                removed.append(self._triple_of(raw))
+        with self._table.engine.batch() as batch:
+            for row_id in sorted(self._index_sp.lookup((subject, predicate))):
+                raw = self._table.raw_row(row_id)
+                if raw is not None and raw[2] == obj:
+                    self._table.delete_row(row_id)
+                    removed.append(self._triple_of(raw))
+            if removed and batch.wants_logical:
+                batch.annotate("delta", encode_delta(Delta(removed=tuple(removed))))
         if removed:
             self._notify(Delta(removed=tuple(removed)))
         return len(removed)
@@ -186,6 +213,9 @@ class TripleStore:
         timestamps, and at most **one** delta notification fires,
         carrying only the actual difference.  Re-publishing an
         unchanged page is a no-op (empty delta, no notification).
+
+        On a durable engine the whole diff is a single atomic WAL
+        record whose logical payload is exactly this delta.
         """
         fresh = [
             Triple(t.subject, t.predicate, t.object, source) for t in triples
@@ -193,24 +223,27 @@ class TripleStore:
         new_counts = Counter(t.spo() for t in fresh)
         kept: Counter = Counter()
         removed: list[Triple] = []
-        for row_id in sorted(self._index_source.lookup((source,))):
-            raw = self._table.raw_row(row_id)
-            if raw is None:
-                continue
-            spo = (raw[0], raw[1], raw[2])
-            if kept[spo] < new_counts[spo]:
-                kept[spo] += 1  # earliest copies survive, timestamps intact
-            else:
-                self._table.delete_row(row_id)
-                removed.append(self._triple_of(raw))
         added: list[Triple] = []
-        for triple in fresh:
-            spo = triple.spo()
-            if kept[spo] > 0:
-                kept[spo] -= 1
-                continue
-            added.append(self._insert_stamped(triple))
-        delta = Delta(added=tuple(added), removed=tuple(removed))
+        with self._table.engine.batch() as batch:
+            for row_id in sorted(self._index_source.lookup((source,))):
+                raw = self._table.raw_row(row_id)
+                if raw is None:
+                    continue
+                spo = (raw[0], raw[1], raw[2])
+                if kept[spo] < new_counts[spo]:
+                    kept[spo] += 1  # earliest copies survive, timestamps intact
+                else:
+                    self._table.delete_row(row_id)
+                    removed.append(self._triple_of(raw))
+            for triple in fresh:
+                spo = triple.spo()
+                if kept[spo] > 0:
+                    kept[spo] -= 1
+                    continue
+                added.append(self._insert_stamped(triple))
+            delta = Delta(added=tuple(added), removed=tuple(removed))
+            if delta and batch.wants_logical:
+                batch.annotate("delta", encode_delta(delta))
         if delta:
             self._notify(delta)
         return delta
@@ -295,6 +328,20 @@ class TripleStore:
     def all_triples(self) -> list[Triple]:
         """Every triple (mostly for tests and statistics)."""
         return list(self.match())
+
+    # -- durability ---------------------------------------------------------
+    @property
+    def engine(self):
+        """The storage engine backing the triples table."""
+        return self._table.engine
+
+    def checkpoint(self) -> None:
+        """Snapshot the backing engine (no-op on volatile engines)."""
+        self._table.checkpoint()
+
+    def close(self) -> None:
+        """Release the backing engine's file handles."""
+        self._table.close()
 
     def __len__(self) -> int:
         return len(self._table)

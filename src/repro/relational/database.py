@@ -31,10 +31,21 @@ from repro.relational.table import Table
 
 
 class Database:
-    """A named collection of tables."""
+    """A named collection of tables.
 
-    def __init__(self, name: str = "db"):  # noqa: D107
+    ``engine_factory(table_name, schema) -> StorageEngine`` makes every
+    table created here delegate its row state to a custom
+    :class:`~repro.storage.engine.StorageEngine` (durable
+    :class:`~repro.storage.log.LogEngine`, hash-partitioned
+    :class:`~repro.storage.engine.ShardedEngine`, ...); without one,
+    tables default to the seed-identical in-memory engine.  A
+    per-table ``engine=`` on :meth:`create_table` overrides the
+    factory.
+    """
+
+    def __init__(self, name: str = "db", engine_factory=None):  # noqa: D107
         self.name = name
+        self.engine_factory = engine_factory
         self._tables: dict[str, Table] = {}
 
     # -- DDL --------------------------------------------------------------
@@ -43,6 +54,7 @@ class Database:
         name: str,
         columns: list[Column | tuple[str, ColumnType] | str],
         primary_key: tuple[str, ...] | list[str] = (),
+        engine=None,
     ) -> Table:
         """Create a table; columns may be ``Column``, ``(name, type)`` or name."""
         if name in self._tables:
@@ -55,7 +67,10 @@ class Database:
                 normalized.append(Column(column[0], column[1]))
             else:
                 normalized.append(Column(column))
-        table = Table(TableSchema(name, normalized, tuple(primary_key)))
+        schema = TableSchema(name, normalized, tuple(primary_key))
+        if engine is None and self.engine_factory is not None:
+            engine = self.engine_factory(name, schema)
+        table = Table(schema, engine=engine)
         self._tables[name] = table
         return table
 
@@ -94,6 +109,17 @@ class Database:
             target.insert(values)
             count += 1
         return count
+
+    # -- durability -------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Snapshot every table's engine (no-op for volatile engines)."""
+        for table in self._tables.values():
+            table.checkpoint()
+
+    def close(self) -> None:
+        """Release every table engine's file handles."""
+        for table in self._tables.values():
+            table.close()
 
     # -- query ------------------------------------------------------------
     def query(self, table: str) -> "Query":

@@ -30,6 +30,10 @@ class HashIndex:
         """Row ids stored under ``key`` (empty set if none)."""
         return self._buckets.get(key, set())
 
+    def clear(self) -> None:
+        """Drop every entry (index rebuild after storage recovery)."""
+        self._buckets.clear()
+
     def keys(self) -> Iterable[tuple]:
         """All distinct keys currently indexed."""
         return self._buckets.keys()
@@ -70,6 +74,11 @@ class SortedIndex:
             position = bisect.bisect_left(self._keys, key)
             if position < len(self._keys) and self._keys[position] == key:
                 del self._keys[position]
+
+    def clear(self) -> None:
+        """Drop every entry (index rebuild after storage recovery)."""
+        self._keys.clear()
+        self._rows.clear()
 
     def range_lookup(self, lo: object = None, hi: object = None) -> Iterator[int]:
         """Yield row ids with ``lo <= key <= hi`` in key order."""

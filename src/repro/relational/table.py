@@ -1,4 +1,29 @@
-"""Heap tables with primary keys and maintained secondary indexes."""
+"""Tables with primary keys, maintained secondary indexes and pluggable
+row storage.
+
+Row *state* lives in a :class:`~repro.storage.engine.StorageEngine`
+(ISSUE 8): :class:`~repro.storage.engine.MemoryEngine` is the seed's
+dict behavior and the default, :class:`~repro.storage.log.LogEngine`
+adds WAL + snapshot durability, and
+:class:`~repro.storage.engine.ShardedEngine` hash-partitions rows
+across child engines.  The table keeps everything semantic — schema
+validation, primary-key enforcement, secondary indexes — so engines
+are swappable without observable behavior changes (the randomized
+parity suite in ``tests/test_storage.py`` pins this row-for-row).
+
+Rows are identified by a monotonically increasing, never-reused row
+id; all mutation goes through :meth:`insert`, :meth:`delete_where` and
+:meth:`update_where` so indexes never go stale.  Each public mutation
+is one engine :meth:`~repro.storage.engine.StorageEngine.batch` — on a
+durable engine that means exactly one WAL record per logical
+operation, carrying the mutation as an updategram payload.
+
+A table constructed over an engine that already holds rows (a
+``LogEngine`` that just recovered from disk) attaches to that state:
+indexes are rebuilt from the engine scan and the primary-key index is
+backfilled, so recovery restores secondary-index-visible behavior, not
+just rows.
+"""
 
 from __future__ import annotations
 
@@ -7,26 +32,25 @@ from collections.abc import Iterator, Mapping
 from repro.relational.errors import IntegrityError, SchemaError
 from repro.relational.index import HashIndex, SortedIndex
 from repro.relational.schema import TableSchema
+from repro.storage.engine import MemoryEngine, StorageEngine
+from repro.storage.records import encode_row, sorted_rows
 
 
 class Table:
-    """A heap of row tuples with optional primary key and indexes.
+    """A heap of row tuples with optional primary key and indexes."""
 
-    Rows are identified by a monotonically increasing row id; deleted
-    rows leave holes (``None``) that iteration skips.  All mutation goes
-    through :meth:`insert`, :meth:`delete_where` and :meth:`update_where`
-    so indexes never go stale.
-    """
-
-    def __init__(self, schema: TableSchema):  # noqa: D107
+    def __init__(self, schema: TableSchema, engine: StorageEngine | None = None):  # noqa: D107
         self.schema = schema
-        self._rows: list[tuple | None] = []
-        self._live = 0
+        self.engine = engine if engine is not None else MemoryEngine()
         self._pk_index: HashIndex | None = (
             HashIndex(schema.primary_key) if schema.primary_key else None
         )
         self._hash_indexes: dict[tuple[str, ...], HashIndex] = {}
         self._sorted_indexes: dict[str, SortedIndex] = {}
+        if len(self.engine):
+            # Recovery attach: the engine came back from disk with rows;
+            # rebuild everything index-shaped from the engine scan.
+            self.rebuild_indexes()
 
     # -- index management ----------------------------------------------
     def create_hash_index(self, columns: tuple[str, ...] | list[str]) -> None:
@@ -38,9 +62,8 @@ class Table:
             return
         index = HashIndex(columns)
         positions = [self.schema.column_index(name) for name in columns]
-        for row_id, row in enumerate(self._rows):
-            if row is not None:
-                index.insert(tuple(row[p] for p in positions), row_id)
+        for row_id, row in self.engine.scan():
+            index.insert(tuple(row[p] for p in positions), row_id)
         self._hash_indexes[columns] = index
 
     def create_sorted_index(self, column: str) -> None:
@@ -49,10 +72,24 @@ class Table:
         if column in self._sorted_indexes:
             return
         index = SortedIndex(column)
-        for row_id, row in enumerate(self._rows):
-            if row is not None:
-                index.insert(row[position], row_id)
+        for row_id, row in self.engine.scan():
+            index.insert(row[position], row_id)
         self._sorted_indexes[column] = index
+
+    def rebuild_indexes(self) -> None:
+        """Re-derive every index (primary, hash, sorted) from the engine.
+
+        Used when attaching to a recovered engine and safe to call any
+        time the engine state is trusted over the index state.
+        """
+        if self._pk_index is not None:
+            self._pk_index.clear()
+        for index in self._hash_indexes.values():
+            index.clear()
+        for index in self._sorted_indexes.values():
+            index.clear()
+        for row_id, row in self.engine.scan():
+            self._index_insert(row, row_id)
 
     def hash_index_for(self, columns: set[str]) -> HashIndex | None:
         """The widest hash index whose columns are all in ``columns``."""
@@ -86,10 +123,14 @@ class Table:
                 raise IntegrityError(
                     f"duplicate primary key {key!r} in table {self.schema.name}"
                 )
-        row_id = len(self._rows)
-        self._rows.append(row)
-        self._live += 1
-        self._index_insert(row, row_id)
+        with self.engine.batch() as batch:
+            row_id = self.engine.append(row)
+            self._index_insert(row, row_id)
+            if batch.wants_logical:
+                batch.annotate(
+                    "updategram",
+                    {"inserts": {self.schema.name: [encode_row(row)]}, "deletes": {}},
+                )
         return row_id
 
     def _index_insert(self, row: tuple, row_id: int) -> None:
@@ -116,51 +157,71 @@ class Table:
 
     def delete_row(self, row_id: int) -> bool:
         """Delete by row id; returns True if a live row was removed."""
-        if row_id < 0 or row_id >= len(self._rows) or self._rows[row_id] is None:
-            return False
-        row = self._rows[row_id]
-        assert row is not None
-        self._index_remove(row, row_id)
-        self._rows[row_id] = None
-        self._live -= 1
+        with self.engine.batch() as batch:
+            row = self.engine.delete(row_id)
+            if row is None:
+                return False
+            self._index_remove(row, row_id)
+            if batch.wants_logical:
+                batch.annotate(
+                    "updategram",
+                    {"inserts": {}, "deletes": {self.schema.name: [encode_row(row)]}},
+                )
         return True
 
     def delete_where(self, predicate) -> int:
         """Delete rows matching ``predicate(row_dict) -> bool``; returns count."""
-        deleted = 0
-        for row_id, row in enumerate(self._rows):
-            if row is not None and predicate(self.row_dict(row)):
-                self.delete_row(row_id)
-                deleted += 1
-        return deleted
+        deleted: list[tuple] = []
+        with self.engine.batch() as batch:
+            for row_id, row in list(self.engine.scan()):
+                if predicate(self.row_dict(row)):
+                    self.delete_row(row_id)
+                    deleted.append(row)
+            if deleted and batch.wants_logical:
+                batch.annotate(
+                    "updategram",
+                    {"inserts": {}, "deletes": {self.schema.name: sorted_rows(deleted)}},
+                )
+        return len(deleted)
 
     def update_where(self, predicate, changes: Mapping[str, object]) -> int:
         """Update matching rows with ``changes``; returns affected count."""
         for name in changes:
             self.schema.column_index(name)
-        updated = 0
-        for row_id, row in enumerate(self._rows):
-            if row is None or not predicate(self.row_dict(row)):
-                continue
-            new_values = list(row)
-            for name, value in changes.items():
-                new_values[self.schema.column_index(name)] = value
-            new_row = self.schema.validate_row(tuple(new_values))
-            key_before = self.schema.key_of(row)
-            key_after = self.schema.key_of(new_row)
-            if (
-                self._pk_index is not None
-                and key_after != key_before
-                and self._pk_index.lookup(key_after)
-            ):
-                raise IntegrityError(
-                    f"update would duplicate primary key {key_after!r}"
+        removed: list[tuple] = []
+        added: list[tuple] = []
+        with self.engine.batch() as batch:
+            for row_id, row in list(self.engine.scan()):
+                if not predicate(self.row_dict(row)):
+                    continue
+                new_values = list(row)
+                for name, value in changes.items():
+                    new_values[self.schema.column_index(name)] = value
+                new_row = self.schema.validate_row(tuple(new_values))
+                key_before = self.schema.key_of(row)
+                key_after = self.schema.key_of(new_row)
+                if (
+                    self._pk_index is not None
+                    and key_after != key_before
+                    and self._pk_index.lookup(key_after)
+                ):
+                    raise IntegrityError(
+                        f"update would duplicate primary key {key_after!r}"
+                    )
+                self._index_remove(row, row_id)
+                self.engine.replace(row_id, new_row)
+                self._index_insert(new_row, row_id)
+                removed.append(row)
+                added.append(new_row)
+            if removed and batch.wants_logical:
+                batch.annotate(
+                    "updategram",
+                    {
+                        "inserts": {self.schema.name: sorted_rows(added)},
+                        "deletes": {self.schema.name: sorted_rows(removed)},
+                    },
                 )
-            self._index_remove(row, row_id)
-            self._rows[row_id] = new_row
-            self._index_insert(new_row, row_id)
-            updated += 1
-        return updated
+        return len(removed)
 
     # -- access ----------------------------------------------------------
     def row_dict(self, row: tuple) -> dict[str, object]:
@@ -174,16 +235,13 @@ class Table:
         once instead of building a dict per row (see
         :meth:`repro.rdf.store.TripleStore.match`).
         """
-        if 0 <= row_id < len(self._rows):
-            return self._rows[row_id]
-        return None
+        return self.engine.get(row_id)
 
     def get_row(self, row_id: int) -> dict[str, object] | None:
         """Row dict by id, or None for deleted/invalid ids."""
-        if 0 <= row_id < len(self._rows):
-            row = self._rows[row_id]
-            if row is not None:
-                return self.row_dict(row)
+        row = self.engine.get(row_id)
+        if row is not None:
+            return self.row_dict(row)
         return None
 
     def lookup_pk(self, key: tuple) -> dict[str, object] | None:
@@ -196,24 +254,32 @@ class Table:
 
     def raw_scan(self) -> Iterator[tuple]:
         """Yield every live row as its raw tuple, in row-id order."""
-        for row in self._rows:
-            if row is not None:
-                yield row
+        for _row_id, row in self.engine.scan():
+            yield row
 
     def scan(self) -> Iterator[dict[str, object]]:
         """Yield every live row as a dict."""
-        for row in self._rows:
-            if row is not None:
-                yield self.row_dict(row)
+        for _row_id, row in self.engine.scan():
+            yield self.row_dict(row)
 
     def scan_ids(self) -> Iterator[tuple[int, dict[str, object]]]:
         """Yield ``(row_id, row_dict)`` for every live row."""
-        for row_id, row in enumerate(self._rows):
-            if row is not None:
-                yield row_id, self.row_dict(row)
+        for row_id, row in self.engine.scan():
+            yield row_id, self.row_dict(row)
+
+    def checkpoint(self) -> None:
+        """Ask the engine to snapshot (no-op on volatile engines)."""
+        self.engine.checkpoint()
+
+    def close(self) -> None:
+        """Release the engine's file handles (no-op on volatile engines)."""
+        self.engine.close()
 
     def __len__(self) -> int:
-        return self._live
+        return len(self.engine)
 
     def __repr__(self) -> str:
-        return f"<Table {self.schema.name} rows={self._live}>"
+        return (
+            f"<Table {self.schema.name} rows={len(self.engine)} "
+            f"engine={self.engine.kind}>"
+        )

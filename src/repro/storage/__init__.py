@@ -1,0 +1,84 @@
+"""Pluggable storage engines: durable and sharded state under the stores.
+
+Every byte of the reproduction used to live in process-local dicts and
+die with the process.  This package (ISSUE 8) extracts the row/triple
+state behind :class:`~repro.relational.table.Table`,
+:class:`~repro.relational.database.Database` and
+:class:`~repro.rdf.store.TripleStore` into a swappable
+:class:`~repro.storage.engine.StorageEngine`, following the
+nexus-style swappable-backend pattern (one schema, many engines):
+
+* :class:`~repro.storage.engine.MemoryEngine` — the seed's dict
+  behavior, bitwise-identical and the default; also the parity oracle
+  every other engine is pinned against;
+* :class:`~repro.storage.log.LogEngine` — append-only WAL where the
+  PR 4/5 change records (:class:`~repro.piazza.updates.Updategram`,
+  :class:`~repro.rdf.triples.Delta`) double as the log records, with
+  periodic snapshots; restart-recovery = snapshot load + replay;
+* :class:`~repro.storage.engine.ShardedEngine` — hash-partitioned rows
+  across N child engines with per-shard scan fan-in.
+
+Peers get the same treatment one level up:
+:class:`~repro.storage.peerlog.PeerLog` makes
+:meth:`~repro.piazza.peer.PDMS.apply_updategram` the WAL write path and
+:meth:`~repro.piazza.peer.Peer.restore` the recovery path.
+
+``docs/storage.md`` is the runnable walkthrough (engine swap, crash,
+recover, shard); ``benchmarks/bench_c17_storage.py`` gates recovery
+equality and per-shard scaling in CI.
+"""
+
+from repro.storage.engine import (
+    MemoryEngine,
+    ShardedEngine,
+    StorageEngine,
+    stable_row_hash,
+)
+from repro.storage.log import LogEngine
+from repro.storage.peerlog import PeerLog, RecoveredPeerState
+from repro.storage.records import (
+    decode_delta,
+    decode_engine_snapshot,
+    decode_peer_snapshot,
+    decode_row,
+    decode_updategram,
+    decode_value,
+    encode_delta,
+    encode_engine_snapshot,
+    encode_peer_snapshot,
+    encode_row,
+    encode_updategram,
+    encode_value,
+)
+from repro.storage.wal import (
+    CorruptLogError,
+    SnapshotFile,
+    StorageError,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "CorruptLogError",
+    "LogEngine",
+    "MemoryEngine",
+    "PeerLog",
+    "RecoveredPeerState",
+    "ShardedEngine",
+    "SnapshotFile",
+    "StorageEngine",
+    "StorageError",
+    "WriteAheadLog",
+    "decode_delta",
+    "decode_engine_snapshot",
+    "decode_peer_snapshot",
+    "decode_row",
+    "decode_updategram",
+    "decode_value",
+    "encode_delta",
+    "encode_engine_snapshot",
+    "encode_peer_snapshot",
+    "encode_row",
+    "encode_updategram",
+    "encode_value",
+    "stable_row_hash",
+]

@@ -1,0 +1,150 @@
+"""Durable peers: an Updategram WAL + peer-state snapshots.
+
+The PDMS mutation entry point
+(:meth:`~repro.piazza.peer.PDMS.apply_updategram`) is the WAL write
+path: a peer with a :class:`PeerLog` attached appends the gram *before*
+applying it, so the log is always at least as new as the in-memory
+data.  The log records are the :class:`~repro.piazza.updates.Updategram`
+objects themselves (plus ``schema`` records for stored-relation
+declarations) — replaying them through the peer's own apply logic
+reproduces the exact data sets *and* epoch counter of the original
+run, which is what lets a recovered peer re-enter the serving layer
+(:class:`~repro.piazza.serving.ViewServer`) with provably fresh views.
+
+Snapshots (every ``snapshot_every`` grams, or on demand via
+:meth:`snapshot`) capture the peer's stored schema, data and epoch;
+the WAL resets afterwards, so recovery cost is bounded by the snapshot
+interval, not the peer's lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+
+from repro.storage import records as _records
+from repro.storage.wal import SnapshotFile, StorageError, WriteAheadLog
+
+
+@dataclass
+class RecoveredPeerState:
+    """What a :class:`PeerLog` found on disk at recovery time."""
+
+    stored: dict = field(default_factory=dict)
+    data: dict = field(default_factory=dict)
+    epoch: int = 0
+    grams: list = field(default_factory=list)  # [(relation-schema | gram record)]
+    replayed_records: int = 0
+    truncated_tail: bool = False
+    recovery_ms: float = 0.0
+
+
+class PeerLog:
+    """WAL + snapshot pair for one peer's stored data."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        name: str,
+        snapshot_every: int | None = None,
+        sync: bool = False,
+        obs=None,
+    ):  # noqa: D107
+        from repro import obs as _obs
+
+        self.obs = obs or _obs.default()
+        self.name = name
+        self.directory = Path(directory)
+        self.snapshot_every = snapshot_every
+        self._wal = WriteAheadLog(self.directory / f"{name}.peer.wal", sync=sync)
+        self._snapshot = SnapshotFile(self.directory / f"{name}.peer.snapshot")
+        self._grams_since_snapshot = 0
+        metrics = self.obs.metrics
+        self._m_appends = metrics.counter("storage.wal.appends")
+        self._m_append_bytes = metrics.counter("storage.wal.bytes")
+        self._m_snapshots = metrics.counter("storage.snapshot.writes")
+        self._m_snapshot_bytes = metrics.counter("storage.snapshot.bytes")
+        self._m_replayed = metrics.counter("storage.replay.records")
+        self._h_replay = metrics.histogram("storage.replay.ms")
+
+    # -- the write path ---------------------------------------------------
+    def append_schema(self, relation: str, attributes: list[str]) -> None:
+        """Record a stored-relation declaration."""
+        written = self._wal.append(
+            {"kind": "schema", "relation": relation, "attributes": list(attributes)}
+        )
+        self._m_appends.inc()
+        self._m_append_bytes.inc(written)
+
+    def append_gram(self, gram) -> None:
+        """Record one updategram (called *before* it is applied)."""
+        record = {"kind": "gram"}
+        record.update(_records.encode_updategram(gram))
+        written = self._wal.append(record)
+        self._m_appends.inc()
+        self._m_append_bytes.inc(written)
+
+    def gram_applied(self, peer) -> None:
+        """Post-apply hook: snapshot when the interval elapsed."""
+        self._grams_since_snapshot += 1
+        if (
+            self.snapshot_every is not None
+            and self._grams_since_snapshot >= self.snapshot_every
+        ):
+            self.snapshot(peer)
+
+    def snapshot(self, peer) -> None:
+        """Write the peer's full durable state and reset the WAL."""
+        payload = _records.encode_peer_snapshot(peer.stored, peer.data, peer.epoch)
+        written = self._snapshot.write(payload)
+        self._wal.reset()
+        self._grams_since_snapshot = 0
+        self._m_snapshots.inc()
+        self._m_snapshot_bytes.inc(written)
+
+    # -- recovery ---------------------------------------------------------
+    def recover(self) -> RecoveredPeerState:
+        """Read the snapshot + decoded WAL tail (the replay worklist).
+
+        The caller (:meth:`repro.piazza.peer.Peer.restore`) replays the
+        grams through the peer's own apply logic so epoch accounting
+        matches the original run exactly.
+        """
+        started = perf_counter()
+        state = RecoveredPeerState()
+        payload = self._snapshot.read()
+        if payload is not None:
+            state.stored, state.data, state.epoch = _records.decode_peer_snapshot(
+                payload
+            )
+        for record in self._wal.records():
+            kind = record.get("kind")
+            if kind == "schema":
+                state.grams.append(
+                    ("schema", record["relation"], list(record["attributes"]))
+                )
+            elif kind == "gram":
+                state.grams.append(("gram", _records.decode_updategram(record)))
+            else:
+                raise StorageError(
+                    f"unknown peer-log record kind {kind!r} in {self.name}"
+                )
+            state.replayed_records += 1
+        state.truncated_tail = self._wal.truncated_tail
+        state.recovery_ms = (perf_counter() - started) * 1000.0
+        self._m_replayed.inc(state.replayed_records)
+        self._h_replay.observe(state.recovery_ms)
+        return state
+
+    def wal_records(self) -> list[dict]:
+        """Decode the on-disk WAL (inspection/debugging)."""
+        return list(self._wal.records())
+
+    def wal_size_bytes(self) -> int:
+        """Current WAL size on disk."""
+        return self._wal.size_bytes()
+
+    def close(self) -> None:
+        """Close the WAL append handle."""
+        self._wal.close()

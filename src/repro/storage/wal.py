@@ -1,0 +1,172 @@
+"""Write-ahead-log and snapshot files: framing, checksums, crash safety.
+
+One record on disk is ``length (4 bytes, big-endian) + crc32 (4 bytes)
++ payload (UTF-8 JSON)``.  The framing gives the two crash guarantees
+the recovery layer is built on:
+
+* a **truncated tail** — the process died mid-append, leaving fewer
+  bytes than the header promised — is detected and dropped cleanly:
+  :meth:`WriteAheadLog.records` yields every complete record, sets
+  :attr:`WriteAheadLog.truncated_tail` and stops;
+* a **complete but corrupt** record (checksum or JSON mismatch — the
+  bytes are all there, they are just wrong) raises the typed
+  :class:`CorruptLogError` instead of silently replaying garbage.
+
+Snapshots reuse the same framing for a single record and are written
+via temp-file + ``os.replace`` so a crash mid-snapshot leaves the old
+snapshot intact.  After a successful snapshot the WAL is reset:
+recovery is "load snapshot, replay the (short) remaining log".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from collections.abc import Iterator
+from pathlib import Path
+
+
+class StorageError(Exception):
+    """Base error of the storage package."""
+
+
+class CorruptLogError(StorageError):
+    """A complete log/snapshot record failed its checksum or decode."""
+
+
+_HEADER = struct.Struct(">II")  # payload length, crc32 of payload
+
+
+def _frame(payload: dict) -> bytes:
+    data = json.dumps(payload, ensure_ascii=False, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    return _HEADER.pack(len(data), zlib.crc32(data)) + data
+
+
+def _read_frames(data: bytes, context: str) -> tuple[list[dict], bool]:
+    """Decode every complete record; returns ``(records, truncated_tail)``."""
+    records: list[dict] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < _HEADER.size:
+            return records, True  # partial header: torn final append
+        length, checksum = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        if total - start < length:
+            return records, True  # partial payload: torn final append
+        payload = data[start : start + length]
+        if zlib.crc32(payload) != checksum:
+            raise CorruptLogError(
+                f"{context}: checksum mismatch at byte {offset} "
+                f"(record {len(records)})"
+            )
+        try:
+            records.append(json.loads(payload.decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise CorruptLogError(
+                f"{context}: undecodable record {len(records)} at byte "
+                f"{offset}: {error}"
+            ) from error
+        offset = start + length
+    return records, False
+
+
+class WriteAheadLog:
+    """Append-only record log with checksummed framing.
+
+    Appends are flushed to the OS per record, so a simulated crash
+    (dropping the writing objects and re-opening the path) observes
+    every committed record.  ``sync=True`` additionally ``fsync``\\ s
+    per append for real-crash durability at a heavy cost.
+    """
+
+    def __init__(self, path: str | Path, sync: bool = False):  # noqa: D107
+        self.path = Path(path)
+        self.sync = sync
+        self.truncated_tail = False
+        self._handle = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, payload: dict) -> int:
+        """Append one record; returns the bytes written."""
+        frame = _frame(payload)
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+        self._handle.write(frame)
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+        return len(frame)
+
+    def records(self) -> Iterator[dict]:
+        """Yield every complete record in append order.
+
+        A truncated tail (torn final append) is dropped and flagged on
+        :attr:`truncated_tail`; corruption of a *complete* record
+        raises :class:`CorruptLogError`.
+        """
+        if not self.path.exists():
+            return iter(())
+        decoded, truncated = _read_frames(self.path.read_bytes(), str(self.path))
+        self.truncated_tail = truncated
+        return iter(decoded)
+
+    def reset(self) -> None:
+        """Truncate the log to empty (called after a snapshot)."""
+        self.close()
+        with open(self.path, "wb"):
+            pass
+
+    def size_bytes(self) -> int:
+        """Current on-disk size of the log."""
+        return self.path.stat().st_size if self.path.exists() else 0
+
+    def close(self) -> None:
+        """Close the append handle (reopened lazily on next append)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class SnapshotFile:
+    """A single checksummed record, replaced atomically on every write."""
+
+    def __init__(self, path: str | Path):  # noqa: D107
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def write(self, payload: dict) -> int:
+        """Write the snapshot atomically; returns the bytes written."""
+        frame = _frame(payload)
+        scratch = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(scratch, "wb") as handle:
+            handle.write(frame)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, self.path)
+        return len(frame)
+
+    def read(self) -> dict | None:
+        """The snapshot payload, or ``None`` when no snapshot exists.
+
+        A snapshot is written atomically, so *any* incompleteness or
+        checksum failure here is corruption, not a torn write:
+        :class:`CorruptLogError` either way.
+        """
+        if not self.path.exists():
+            return None
+        records, truncated = _read_frames(self.path.read_bytes(), str(self.path))
+        if truncated or len(records) != 1:
+            raise CorruptLogError(
+                f"{self.path}: snapshot is incomplete "
+                f"({len(records)} records, truncated={truncated})"
+            )
+        return records[0]
+
+    def size_bytes(self) -> int:
+        """Current on-disk size of the snapshot."""
+        return self.path.stat().st_size if self.path.exists() else 0

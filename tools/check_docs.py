@@ -39,6 +39,7 @@ EXECUTABLE_DOCS = (
     "docs/mangrove.md",
     "docs/observability.md",
     "docs/search.md",
+    "docs/storage.md",
 )
 
 
