@@ -34,7 +34,9 @@ The storage layer (ISSUE 8) reports here too: durable engines count
 ``storage.snapshot.writes`` / ``storage.snapshot.bytes``, recovery
 records ``storage.replay.records`` plus the ``storage.replay.ms``
 histogram, and :class:`~repro.storage.engine.ShardedEngine` exports
-per-shard ``storage.shard.rows.<i>`` gauges.
+per-shard ``storage.shard.rows.<i>`` gauges (namespaced
+``storage.shard.rows.<name>.<i>`` when the engine is named, so several
+sharded engines can share one registry without colliding).
 
 See ``docs/observability.md`` for the runnable walkthrough (trace one
 C14-style serve, print the span tree and the ``explain()`` report).

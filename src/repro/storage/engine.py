@@ -209,35 +209,55 @@ class ShardedEngine(StorageEngine):
     :class:`~repro.storage.log.LogEngine` for sharded durability.
 
     Per-shard row counts are exported as ``storage.shard.rows.<i>``
-    gauges on the shared metrics registry.
+    gauges on the shared metrics registry — or
+    ``storage.shard.rows.<name>.<i>`` when ``name=`` is given.  Pass a
+    distinct name per engine (e.g. the table name) whenever more than
+    one sharded engine shares a registry, or their gauges overwrite
+    each other.
     """
 
     kind = "sharded"
 
-    def __init__(self, shards: int = 4, child_factory=None, obs=None):  # noqa: D107
+    def __init__(
+        self, shards: int = 4, child_factory=None, obs=None, name: str | None = None
+    ):  # noqa: D107
         if shards < 1:
             raise ValueError("shards must be >= 1")
         from repro import obs as _obs
 
         self.obs = obs or _obs.default()
+        self.name = name
         self._children = [
             child_factory(i) if child_factory is not None else MemoryEngine()
             for i in range(shards)
         ]
         self._shard_of: dict[int, int] = {}
         self._next_id = 0
+        prefix = "storage.shard.rows" if name is None else f"storage.shard.rows.{name}"
         self._gauges = [
-            self.obs.metrics.gauge(f"storage.shard.rows.{i}") for i in range(shards)
+            self.obs.metrics.gauge(f"{prefix}.{i}") for i in range(shards)
         ]
+        self._m_dedup = self.obs.metrics.counter("storage.shard.recovered_duplicates")
         # Children recovered from their own logs: rebuild the routing
-        # map and id counter from what they already hold.
+        # map and id counter from what they already hold.  A crash in
+        # the middle of a cross-shard replace (see :meth:`replace`) can
+        # leave the same row id live in two children; keep one copy
+        # deterministically (the highest-index shard) and durably
+        # delete the stale one so scans never yield a row id twice.
+        stale: list[tuple[int, int]] = []
         for shard, child in enumerate(self._children):
             for row_id, _row in child.scan():
+                prior = self._shard_of.get(row_id)
+                if prior is not None:
+                    stale.append((prior, row_id))
                 self._shard_of[row_id] = shard
                 if row_id >= self._next_id:
                     self._next_id = row_id + 1
             if hasattr(child, "next_id"):
                 self._next_id = max(self._next_id, child.next_id)
+        for prior_shard, row_id in stale:
+            self._children[prior_shard].delete(row_id)
+            self._m_dedup.inc()
         self._update_gauges()
 
     @property
@@ -284,7 +304,18 @@ class ShardedEngine(StorageEngine):
         self._gauges[shard].set(len(self._children[shard]))
         return row
 
-    def replace(self, row_id: int, row: tuple) -> None:  # noqa: D102
+    def replace(self, row_id: int, row: tuple) -> None:
+        """Overwrite the live row, re-routing it when its hash moved.
+
+        A cross-shard replace over durable children is NOT crash-atomic:
+        the delete on the old shard and the insert on the new one commit
+        as separate records in separate per-shard logs, so a crash
+        between the two commits either loses the row or leaves it live
+        in both shards.  Recovery (``__init__``) repairs the duplicate
+        case by keeping one copy and durably deleting the stale one
+        (counted on ``storage.shard.recovered_duplicates``); the lost
+        case is unrecoverable from the shard logs alone.
+        """
         old_shard = self._shard_of.get(row_id)
         if old_shard is None:
             raise KeyError(f"no live row {row_id}")

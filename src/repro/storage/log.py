@@ -88,7 +88,7 @@ class LogEngine(StorageEngine):
         self.snapshot_every = snapshot_every
         self._inner = MemoryEngine()
         self._wal = WriteAheadLog(self.directory / f"{name}.wal", sync=sync)
-        self._snapshot = SnapshotFile(self.directory / f"{name}.snapshot")
+        self._snapshot = SnapshotFile(self.directory / f"{name}.snapshot", sync=sync)
         self._batch_depth = 0
         self._pending_ops: list = []
         self._annotation: tuple | None = None

@@ -58,7 +58,9 @@ class PeerLog:
         self.directory = Path(directory)
         self.snapshot_every = snapshot_every
         self._wal = WriteAheadLog(self.directory / f"{name}.peer.wal", sync=sync)
-        self._snapshot = SnapshotFile(self.directory / f"{name}.peer.snapshot")
+        self._snapshot = SnapshotFile(
+            self.directory / f"{name}.peer.snapshot", sync=sync
+        )
         self._grams_since_snapshot = 0
         metrics = self.obs.metrics
         self._m_appends = metrics.counter("storage.wal.appends")

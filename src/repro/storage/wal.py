@@ -7,7 +7,10 @@ the recovery layer is built on:
 * a **truncated tail** — the process died mid-append, leaving fewer
   bytes than the header promised — is detected and dropped cleanly:
   :meth:`WriteAheadLog.records` yields every complete record, sets
-  :attr:`WriteAheadLog.truncated_tail` and stops;
+  :attr:`WriteAheadLog.truncated_tail`, and truncates the torn bytes
+  from the file (as does the first :meth:`WriteAheadLog.append` to a
+  never-read log) so later appends start on a clean frame boundary
+  instead of burying good records behind garbage;
 * a **complete but corrupt** record (checksum or JSON mismatch — the
   bytes are all there, they are just wrong) raises the typed
   :class:`CorruptLogError` instead of silently replaying garbage.
@@ -46,18 +49,23 @@ def _frame(payload: dict) -> bytes:
     return _HEADER.pack(len(data), zlib.crc32(data)) + data
 
 
-def _read_frames(data: bytes, context: str) -> tuple[list[dict], bool]:
-    """Decode every complete record; returns ``(records, truncated_tail)``."""
+def _read_frames(data: bytes, context: str) -> tuple[list[dict], bool, int]:
+    """Decode every complete record.
+
+    Returns ``(records, truncated_tail, valid_bytes)`` where
+    ``valid_bytes`` is the length of the clean frame prefix — the offset
+    a torn tail must be truncated to before any further append.
+    """
     records: list[dict] = []
     offset = 0
     total = len(data)
     while offset < total:
         if total - offset < _HEADER.size:
-            return records, True  # partial header: torn final append
+            return records, True, offset  # partial header: torn final append
         length, checksum = _HEADER.unpack_from(data, offset)
         start = offset + _HEADER.size
         if total - start < length:
-            return records, True  # partial payload: torn final append
+            return records, True, offset  # partial payload: torn final append
         payload = data[start : start + length]
         if zlib.crc32(payload) != checksum:
             raise CorruptLogError(
@@ -72,7 +80,36 @@ def _read_frames(data: bytes, context: str) -> tuple[list[dict], bool]:
                 f"{offset}: {error}"
             ) from error
         offset = start + length
-    return records, False
+    return records, False, offset
+
+
+def _valid_frame_prefix(data: bytes) -> int:
+    """Length of the clean frame prefix, by header walk alone.
+
+    A torn append only ever truncates the *final* frame, so walking the
+    length headers finds the same boundary as a full decode without
+    paying for CRC/JSON — what :meth:`WriteAheadLog.append` needs when
+    it opens a log whose tail was never validated by a recovery read.
+    """
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < _HEADER.size:
+            return offset
+        length, _checksum = _HEADER.unpack_from(data, offset)
+        if total - (offset + _HEADER.size) < length:
+            return offset
+        offset += _HEADER.size + length
+    return offset
+
+
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so a rename/creation inside it survives power loss."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class WriteAheadLog:
@@ -89,13 +126,45 @@ class WriteAheadLog:
         self.sync = sync
         self.truncated_tail = False
         self._handle = None
+        self._tail_validated = False
         self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def _truncate_to(self, valid: int) -> None:
+        """Chop a torn tail so the file ends on a clean frame boundary."""
+        with open(self.path, "r+b") as handle:
+            handle.truncate(valid)
+            if self.sync:
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def _ensure_clean_tail(self) -> None:
+        """Drop any torn tail before the first append touches the file.
+
+        Without this, appending to a log whose final append was torn
+        would write complete records *after* the garbage bytes — the
+        next recovery would then hit the garbage mid-stream and raise
+        :class:`CorruptLogError`, losing every record after it.
+        """
+        self._tail_validated = True
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        valid = _valid_frame_prefix(data)
+        if valid < len(data):
+            self.truncated_tail = True
+            self._truncate_to(valid)
 
     def append(self, payload: dict) -> int:
         """Append one record; returns the bytes written."""
         frame = _frame(payload)
         if self._handle is None:
+            if not self._tail_validated:
+                self._ensure_clean_tail()
+            created = not self.path.exists()
             self._handle = open(self.path, "ab")
+            if self.sync and created:
+                self._handle.flush()
+                _fsync_dir(self.path.parent)
         self._handle.write(frame)
         self._handle.flush()
         if self.sync:
@@ -105,14 +174,20 @@ class WriteAheadLog:
     def records(self) -> Iterator[dict]:
         """Yield every complete record in append order.
 
-        A truncated tail (torn final append) is dropped and flagged on
-        :attr:`truncated_tail`; corruption of a *complete* record
-        raises :class:`CorruptLogError`.
+        A truncated tail (torn final append) is dropped, flagged on
+        :attr:`truncated_tail` *and truncated from the file*, so later
+        appends start at a clean frame boundary; corruption of a
+        *complete* record raises :class:`CorruptLogError`.
         """
         if not self.path.exists():
+            self._tail_validated = True
             return iter(())
-        decoded, truncated = _read_frames(self.path.read_bytes(), str(self.path))
+        data = self.path.read_bytes()
+        decoded, truncated, valid = _read_frames(data, str(self.path))
         self.truncated_tail = truncated
+        if truncated:
+            self._truncate_to(valid)
+        self._tail_validated = True
         return iter(decoded)
 
     def reset(self) -> None:
@@ -120,6 +195,7 @@ class WriteAheadLog:
         self.close()
         with open(self.path, "wb"):
             pass
+        self._tail_validated = True
 
     def size_bytes(self) -> int:
         """Current on-disk size of the log."""
@@ -133,10 +209,16 @@ class WriteAheadLog:
 
 
 class SnapshotFile:
-    """A single checksummed record, replaced atomically on every write."""
+    """A single checksummed record, replaced atomically on every write.
 
-    def __init__(self, path: str | Path):  # noqa: D107
+    ``sync=True`` additionally ``fsync``\\ s the parent directory after
+    the ``os.replace``, so the rename itself — not just the bytes —
+    survives a real power loss.
+    """
+
+    def __init__(self, path: str | Path, sync: bool = False):  # noqa: D107
         self.path = Path(path)
+        self.sync = sync
         self.path.parent.mkdir(parents=True, exist_ok=True)
 
     def write(self, payload: dict) -> int:
@@ -148,6 +230,8 @@ class SnapshotFile:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(scratch, self.path)
+        if self.sync:
+            _fsync_dir(self.path.parent)
         return len(frame)
 
     def read(self) -> dict | None:
@@ -159,7 +243,9 @@ class SnapshotFile:
         """
         if not self.path.exists():
             return None
-        records, truncated = _read_frames(self.path.read_bytes(), str(self.path))
+        records, truncated, _valid = _read_frames(
+            self.path.read_bytes(), str(self.path)
+        )
         if truncated or len(records) != 1:
             raise CorruptLogError(
                 f"{self.path}: snapshot is incomplete "

@@ -268,6 +268,68 @@ def test_truncated_tail_partial_header_dropped(tmp_path):
     engine.close()
 
 
+def test_append_after_torn_tail_recovery_stays_recoverable(tmp_path):
+    """Regression: the torn tail must be truncated, not just dropped.
+
+    Crash mid-append -> recover -> write one record -> recover again.
+    Before the fix, recovery dropped the garbage bytes in memory but
+    left them on disk, so the post-recovery append landed *behind*
+    them and the second recovery raised ``CorruptLogError``.
+    """
+    table = logged_table(tmp_path)
+    for key in range(5):
+        table.insert((key, "a", key))
+    table.close()
+    wal = tmp_path / "t.wal"
+    torn_size = len(wal.read_bytes())
+    wal.write_bytes(wal.read_bytes()[:-3])  # tear the final append
+    engine = LogEngine(tmp_path, name="t", snapshot_every=None)
+    assert engine.truncated_tail
+    assert wal.stat().st_size < torn_size - 3  # garbage truncated on disk
+    survivor = make_table(engine)
+    survivor.insert((4, "b", 4))  # append after the repaired tail
+    survivor.close()
+    recovered = LogEngine(tmp_path, name="t", snapshot_every=None)
+    assert not recovered.truncated_tail
+    assert recovered.replayed_records == 5
+    assert [row["id"] for row in make_table(recovered).scan()] == [0, 1, 2, 3, 4]
+    recovered.close()
+
+
+def test_append_to_unread_torn_log_truncates_first(tmp_path):
+    """A torn log appended to without a recovery read is repaired too.
+
+    ``PeerLog`` appends grams without necessarily calling ``records()``
+    first, so ``append`` itself must validate the tail on first touch.
+    """
+    path = tmp_path / "x.wal"
+    wal = WriteAheadLog(path)
+    for i in range(3):
+        wal.append({"i": i})
+    wal.close()
+    path.write_bytes(path.read_bytes()[:-2])  # tear the final append
+    fresh = WriteAheadLog(path)
+    fresh.append({"i": 99})  # first touch is a write, not a read
+    assert fresh.truncated_tail
+    fresh.close()
+    reader = WriteAheadLog(path)
+    assert [r["i"] for r in reader.records()] == [0, 1, 99]
+    assert not reader.truncated_tail
+
+
+def test_sync_mode_survives_restart(tmp_path):
+    """sync=True (per-append fsync + directory fsync) round-trips."""
+    engine = LogEngine(tmp_path, name="s", snapshot_every=None, sync=True)
+    engine.append((1,))
+    engine.append((2,))
+    engine.checkpoint()
+    engine.append((3,))
+    engine.close()
+    recovered = LogEngine(tmp_path, name="s", snapshot_every=None, sync=True)
+    assert [row for _id, row in recovered.scan()] == [(1,), (2,), (3,)]
+    recovered.close()
+
+
 def test_corrupt_complete_record_raises_typed_error(tmp_path):
     table = logged_table(tmp_path)
     for key in range(3):
@@ -325,6 +387,53 @@ def test_recovery_preserves_next_id_past_trailing_deletes(tmp_path):
     assert recovered.next_id == 4
     assert recovered.append(("new",)) == 4
     recovered.close()
+
+
+def test_sharded_recovery_dedups_cross_shard_replace_duplicate(tmp_path):
+    """A row id live in two shards after a crash is repaired on recovery.
+
+    A crash between the two per-shard commits of a cross-shard
+    ``replace`` can leave the row live in both children; recovery must
+    keep exactly one copy (highest-index shard wins, deterministically)
+    and durably delete the stale one so ``scan`` never yields a row id
+    twice.
+    """
+
+    def factory(i):
+        return LogEngine(tmp_path / f"s{i}", name="shard", snapshot_every=None)
+
+    first = factory(0)
+    first.insert_at(0, ("old", 1))
+    first.close()
+    second = factory(1)
+    second.insert_at(0, ("new", 2))
+    second.close()
+
+    obs = obs_mod.Observability()
+    engine = ShardedEngine(shards=2, child_factory=factory, obs=obs)
+    assert list(engine.scan()) == [(0, ("new", 2))]
+    assert len(engine) == 1
+    assert obs.metrics.counter("storage.shard.recovered_duplicates").value == 1
+    engine.close()
+
+    # the repair was written to the losing shard's log: a second
+    # recovery is already clean
+    engine2 = ShardedEngine(shards=2, child_factory=factory)
+    assert list(engine2.scan()) == [(0, ("new", 2))]
+    engine2.close()
+
+
+def test_named_sharded_engines_do_not_collide_on_gauges():
+    obs = obs_mod.Observability()
+    employees = ShardedEngine(shards=2, obs=obs, name="emp")
+    departments = ShardedEngine(shards=2, obs=obs, name="dept")
+    employees.append(("x",))
+    employees.append(("y",))
+    departments.append(("z",))
+    metrics = obs.metrics
+    emp = sum(metrics.gauge(f"storage.shard.rows.emp.{i}").value for i in range(2))
+    dept = sum(metrics.gauge(f"storage.shard.rows.dept.{i}").value for i in range(2))
+    assert (emp, dept) == (2, 1)
 
 
 # -- one record + one notification per logical operation ---------------------
