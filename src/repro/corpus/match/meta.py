@@ -32,8 +32,24 @@ import numpy as np
 
 from repro import obs as _obs
 from repro.corpus.match.learners import BaseLearner, ElementSample
+from repro.runtime import SerialRuntime
 
 _RRF_K = 1.0
+
+
+def _score_learner(task):
+    """One learner's batched scoring — the parallel fan-out work unit.
+
+    Module-level (not a closure) so a :class:`~repro.runtime.
+    ProcessPoolRuntime` can pickle it for CPU-bound fan-out; thread
+    pools call it on the shared learner objects directly.  Returns the
+    distributions plus the scoring time so the per-learner timing
+    histograms can be recorded by the coordinating thread.
+    """
+    learner, samples, labels = task
+    started = perf_counter()
+    distributions = learner.predict_batch(samples, labels)
+    return distributions, (perf_counter() - started) * 1000.0
 
 
 def stratified_holdout_indices(labels: list[str], fraction: float) -> list[int]:
@@ -93,10 +109,16 @@ class MetaLearner:
         learners: list[BaseLearner],
         stack_fraction: float = 0.33,
         obs: "_obs.Observability | None" = None,
+        runtime: "SerialRuntime | None" = None,
     ):  # noqa: D107
         if not learners:
             raise ValueError("MetaLearner needs at least one base learner")
         self.learners = learners
+        # Fan-out runtime for per-learner batched scoring (ISSUE 9):
+        # learners are independent given frozen weights, and the work
+        # unit is a picklable module-level function, so thread AND
+        # process pools both apply here.
+        self.runtime = runtime or SerialRuntime()
         self.stack_fraction = stack_fraction
         self.weights = np.ones(len(learners)) / len(learners)
         self.labels: list[str] = []
@@ -255,6 +277,16 @@ class MetaLearner:
 
         return max(candidates, key=holdout_quality)
 
+    def freeze_weights(self) -> None:
+        """Refresh stale stacking weights now, on the calling thread.
+
+        Fan-out call sites (``match_corpus``) invoke this before
+        handing samples to worker threads so every worker predicts
+        against identical, already-refreshed learner state instead of
+        racing the lazy refresh.
+        """
+        self._refresh_weights()
+
     # -- prediction -----------------------------------------------------------
     def predict(self, sample: ElementSample) -> dict[str, float]:
         """Rank-fused combination of the base learners (fast paths)."""
@@ -272,13 +304,28 @@ class MetaLearner:
         restricts scoring to a candidate subset (the pipeline's
         blocking).  With ``labels=None`` the output is bitwise
         identical to per-sample :meth:`predict`.
+
+        With a concurrent runtime the learners are scored on the
+        worker pool — each learner's output depends only on its own
+        trained state, so the combined distributions are identical to
+        the serial order (``tests/test_runtime.py`` pins it bitwise).
+        Weights are refreshed *before* the fan-out, on the calling
+        thread, so workers see frozen learner state.
         """
         self._refresh_weights()
         per_learner = []
-        for learner, timer in zip(self.learners, self._learner_timers):
-            started = perf_counter()
-            per_learner.append(learner.predict_batch(samples, labels))
-            timer.observe((perf_counter() - started) * 1000.0)
+        if self.runtime.concurrent and len(self.learners) > 1:
+            tasks = [(learner, samples, labels) for learner in self.learners]
+            for (distributions, ms), timer in zip(
+                self.runtime.map(_score_learner, tasks), self._learner_timers
+            ):
+                per_learner.append(distributions)
+                timer.observe(ms)
+        else:
+            for learner, timer in zip(self.learners, self._learner_timers):
+                started = perf_counter()
+                per_learner.append(learner.predict_batch(samples, labels))
+                timer.observe((perf_counter() - started) * 1000.0)
         if labels is None:
             combine_labels = self.labels
         else:

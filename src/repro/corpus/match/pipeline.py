@@ -38,6 +38,8 @@ bitwise parity guarantees.
 
 from __future__ import annotations
 
+import threading
+
 from repro import obs as _obs
 from repro.corpus.match.base import MatchResult
 from repro.corpus.match.learners import samples_of
@@ -45,6 +47,7 @@ from repro.corpus.match.lsd import default_learners
 from repro.corpus.match.meta import MetaLearner
 from repro.corpus.model import Corpus, CorpusSchema
 from repro.corpus.stats import BasicStatistics, StatisticsOptions
+from repro.runtime import SerialRuntime
 from repro.text import SynonymTable
 
 
@@ -67,10 +70,20 @@ class CorpusMatchPipeline:
         threshold: float = 0.0,
         one_to_one: bool = False,
         obs: "_obs.Observability | None" = None,
+        runtime: "SerialRuntime | None" = None,
     ):  # noqa: D107
         self.mediated = mediated
         self.obs = obs or _obs.default()
-        self.meta = MetaLearner(learners or default_learners(synonyms), obs=self.obs)
+        # Fan-out runtime (ISSUE 9): per-learner scoring inside
+        # predict_batch always routes through it; match_corpus
+        # additionally fans out across sources when it supports
+        # closures (thread pools).  Serial oracle by default.
+        self.runtime = runtime or SerialRuntime(obs=self.obs)
+        self.meta = MetaLearner(
+            learners or default_learners(synonyms),
+            obs=self.obs,
+            runtime=self.runtime,
+        )
         self.block_k = block_k
         self.threshold = threshold
         self.one_to_one = one_to_one
@@ -88,6 +101,9 @@ class CorpusMatchPipeline:
             "labels_scored": 0,
             "labels_available": 0,
         }
+        # Dict += is read-modify-write: concurrent match_corpus workers
+        # must not lose counts (registry instruments lock themselves).
+        self._counter_lock = threading.Lock()
         # The per-object counters above stay the stats_snapshot() source
         # of truth; the registry mirrors them under ``match.*`` so they
         # aggregate with the rest of the stack in one explain() report.
@@ -190,17 +206,20 @@ class CorpusMatchPipeline:
         ) as span:
             samples = samples_of(schema)
             labels = self.candidate_labels(schema) if blocking else None
-            self.counters["sources_matched"] += 1
-            self.counters["labels_available"] += self.label_count
+            with self._counter_lock:
+                self.counters["sources_matched"] += 1
+                self.counters["labels_available"] += self.label_count
+                if labels is None:
+                    self.counters["labels_scored"] += self.label_count
+                else:
+                    self.counters["blocked_sources"] += 1
+                    self.counters["labels_scored"] += len(labels)
             self._m_sources.inc()
             self._m_labels_available.inc(self.label_count)
             if labels is None:
-                self.counters["labels_scored"] += self.label_count
                 self._m_labels_scored.inc(self.label_count)
                 self._h_candidates.observe(self.label_count)
             else:
-                self.counters["blocked_sources"] += 1
-                self.counters["labels_scored"] += len(labels)
                 self._m_blocked.inc()
                 self._m_labels_scored.inc(len(labels))
                 self._h_candidates.observe(len(labels))
@@ -239,7 +258,31 @@ class CorpusMatchPipeline:
         self, corpus: Corpus, blocking: bool = True
     ) -> dict[str, MatchResult]:
         """Predict mappings for every schema in ``corpus`` — the
-        paper's "predict mappings for subsequent data sources", plural."""
+        paper's "predict mappings for subsequent data sources", plural.
+
+        Under a concurrent runtime the sources are scored in parallel
+        (each worker runs the full :meth:`match_source` path; the
+        nested per-learner fan-out degrades to inline on worker
+        threads).  Stacking weights are frozen up front so every
+        worker scores against identical state, and results are
+        reassembled in corpus order — output is identical to the
+        serial path.
+        """
+        names = list(corpus.schemas)
+        if (
+            self.runtime.concurrent
+            and self.runtime.supports_closures
+            and len(names) > 1
+        ):
+            self._require_training()
+            self.meta.freeze_weights()
+            results = self.runtime.map(
+                lambda name: self.match_source(
+                    corpus.schemas[name], blocking=blocking
+                ),
+                names,
+            )
+            return dict(zip(names, results))
         return {
             name: self.match_source(schema, blocking=blocking)
             for name, schema in corpus.schemas.items()

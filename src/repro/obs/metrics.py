@@ -29,6 +29,18 @@ Design points:
   hold direct references; a registry reset must not silently detach
   them.
 
+* **Thread-safe mutation.**  The parallel runtime (ISSUE 9) made the
+  fan-out sites the first callers to hit one registry from multiple
+  threads, and ``value += amount`` / ``bucket += 1`` are read-modify-
+  write races under preemption.  Every instrument therefore guards its
+  mutations (and ``reset``) with a per-instrument lock, and the
+  registry's get-or-create is locked so two threads asking for the same
+  name always receive the same object.  Reads (snapshots, quantiles)
+  stay lockless: they are only meaningful after the writers have been
+  joined, which is how every caller uses them
+  (``tests/test_runtime.py`` hammers one registry from N threads and
+  asserts exact final totals).
+
 * **Export.**  :meth:`MetricsRegistry.snapshot` is a plain dict (what
   ``benchmarks/conftest.py`` dumps next to each bench's timing output),
   :meth:`MetricsRegistry.to_json` the serialized form, and
@@ -39,6 +51,7 @@ Design points:
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left
 from math import ceil, inf
 
@@ -59,39 +72,45 @@ DEFAULT_BUCKETS_COUNT = (
 
 
 class Counter:
-    """A monotonically increasing named count."""
+    """A monotonically increasing named count (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):  # noqa: D107
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         """Add ``amount`` (default 1)."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
         """Zero the count (the object survives — holders keep working)."""
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
     """A named last-written value (sizes, versions, ratios)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):  # noqa: D107
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Record the current value."""
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def reset(self) -> None:
         """Zero the gauge."""
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
 
 class Histogram:
@@ -105,7 +124,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "bounds", "bucket_counts", "overflow",
-                 "count", "total", "min", "max")
+                 "count", "total", "min", "max", "_lock")
 
     def __init__(self, name: str, bounds: tuple = DEFAULT_BUCKETS_MS):  # noqa: D107
         bounds = tuple(bounds)
@@ -119,20 +138,22 @@ class Histogram:
         self.total = 0.0
         self.min = inf
         self.max = -inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one sample."""
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
         position = bisect_left(self.bounds, value)
-        if position == len(self.bounds):
-            self.overflow += 1
-        else:
-            self.bucket_counts[position] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if position == len(self.bounds):
+                self.overflow += 1
+            else:
+                self.bucket_counts[position] += 1
 
     def quantile(self, q: float) -> float:
         """The upper bound of the bucket holding the ``ceil(q*count)``-th
@@ -198,12 +219,13 @@ class Histogram:
 
     def reset(self) -> None:
         """Zero all samples (the object survives)."""
-        self.bucket_counts = [0] * len(self.bounds)
-        self.overflow = 0
-        self.count = 0
-        self.total = 0.0
-        self.min = inf
-        self.max = -inf
+        with self._lock:
+            self.bucket_counts = [0] * len(self.bounds)
+            self.overflow = 0
+            self.count = 0
+            self.total = 0.0
+            self.min = inf
+            self.max = -inf
 
     def snapshot(self) -> dict:
         """Summary dict: count/total/min/max/mean and the quantiles."""
@@ -233,19 +255,25 @@ class MetricsRegistry:
 
     def __init__(self):  # noqa: D107
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._create_lock = threading.Lock()
 
     def _get_or_create(self, name: str, kind, *args):
         existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, kind):
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}, not {kind.__name__}"
-                )
-            return existing
-        created = kind(name, *args)
-        self._metrics[name] = created
-        return created
+        if existing is None:
+            # Locked double-check so two threads asking for the same
+            # name always receive the same instrument object.
+            with self._create_lock:
+                existing = self._metrics.get(name)
+                if existing is None:
+                    created = kind(name, *args)
+                    self._metrics[name] = created
+                    return created
+        if not isinstance(existing, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(existing).__name__}, not {kind.__name__}"
+            )
+        return existing
 
     def counter(self, name: str) -> Counter:
         """Get-or-create the counter ``name``."""

@@ -12,6 +12,19 @@ nodes").  The executor here:
   :class:`ExecutionStats` records messages, tuples and latency once per
   peer, not once per relation (the pre-scale per-relation path survives
   as :meth:`DistributedExecutor.execute_brute_force`);
+* **fans out per peer** (ISSUE 9): with a concurrent
+  :mod:`repro.runtime` installed (``runtime=ThreadPoolRuntime(N)``),
+  the already-batched per-peer fetches are dispatched through the
+  runtime's worker pool and the network charges the batch its
+  *overlapped* cost
+  (:meth:`~repro.piazza.network.SimulatedNetwork.concurrent_round_trips`
+  — makespan over N workers, not the serial sum).  Workers only
+  snapshot peer data; every stat, metric and network charge is applied
+  on the calling thread *after* the whole batch returns, in plan
+  order — so answers and message/byte accounting are identical to the
+  serial path (the C18 benchmark and ``tests/test_runtime.py`` assert
+  it) and a worker failing mid-fan-out propagates without leaving a
+  partially-applied :class:`ExecutionStats` or a half-charged network;
 * evaluates the union with the shared-table hash join of
   :func:`repro.piazza.datalog.evaluate_union`, fetching only the
   relations the rewritings mention instead of materializing the global
@@ -49,6 +62,7 @@ from repro.piazza.datalog import (
 )
 from repro.piazza.network import SimulatedNetwork
 from repro.piazza.peer import PDMS, owner_of
+from repro.runtime import SerialRuntime
 
 
 @dataclass
@@ -93,10 +107,15 @@ class DistributedExecutor:
         pdms: PDMS,
         network: SimulatedNetwork | None = None,
         obs: "_obs.Observability | None" = None,
+        runtime: "SerialRuntime | None" = None,
     ):  # noqa: D107
         self.pdms = pdms
         self.obs = obs or pdms.obs
         self.network = network or SimulatedNetwork(obs=self.obs)
+        # The fan-out runtime: the serial oracle unless a concurrent
+        # one (ThreadPoolRuntime) is installed.  Closure-incapable
+        # runtimes (process pools) keep the serial fetch path.
+        self.runtime = runtime or SerialRuntime(obs=self.obs)
         self._views: dict[tuple, MaterializedView] = {}
         # Metric handles cached once: the per-query hot path records
         # events with attribute adds, not registry lookups.
@@ -170,6 +189,70 @@ class DistributedExecutor:
         self._h_round_trip.observe(cost)
         return cost
 
+    def _fetch_concurrent(
+        self,
+        stats: ExecutionStats,
+        at_peer: str,
+        by_owner: dict,
+        remote: list,
+    ) -> Instance:
+        """Dispatch the per-peer fetch batch through the runtime pool.
+
+        Workers only *snapshot* each remote peer's relation extents —
+        pure reads of independent peers, the simulated-I/O-bound half
+        of a fetch.  All shared-state mutation happens back on the
+        calling thread after the whole batch has returned, in plan
+        order: the fetched instance is merged deterministically, every
+        stat/metric is applied once, and the network records the same
+        request/response messages as the serial path but charges the
+        batch its overlapped cost (makespan over the runtime's
+        workers).  A worker raising therefore propagates before
+        anything — stats, metrics, network — has been touched, and the
+        pool stays reusable.
+        """
+
+        def _snapshot(item):
+            owner, predicates = item
+            return [
+                (predicate, set(self._stored_tuples(predicate)))
+                for predicate in predicates
+            ]
+
+        with self.obs.tracer.span(
+            "execute.fetch_batch", peers=len(remote), workers=self.runtime.workers
+        ) as batch_span:
+            snapshots = self.runtime.map(_snapshot, remote)
+            fetched: Instance = {}
+            # Local relations are free and read inline, as ever.
+            for predicate in by_owner.get(at_peer, ()):
+                fetched[predicate] = self._stored_tuples(predicate)
+            stats.relations_fetched += len(by_owner.get(at_peer, ()))
+            trips = []
+            for (owner, predicates), rows in zip(remote, snapshots):
+                payload = 0
+                for predicate, tuples in rows:
+                    fetched[predicate] = tuples
+                    payload += len(tuples)
+                stats.relations_fetched += len(predicates)
+                stats.peers_contacted += 1
+                stats.messages += 2
+                stats.tuples_shipped += payload
+                self._m_round_trips.inc()
+                self._m_tuples.inc(payload)
+                trips.append(
+                    (
+                        (at_peer, owner, 1, "request"),
+                        (owner, at_peer, payload, "response"),
+                    )
+                )
+            cost = self.network.concurrent_round_trips(
+                trips, workers=self.runtime.workers
+            )
+            stats.latency_ms += cost
+            self._h_round_trip.observe(cost)
+            batch_span.annotate(overlapped_ms=round(cost, 3))
+        return fetched
+
     def _stored_tuples(self, predicate: str) -> set[tuple]:
         """The live tuple set behind a ``peer!relation`` predicate."""
         owner, relation = predicate.split("!", 1)
@@ -242,19 +325,31 @@ class DistributedExecutor:
                         atom.predicate
                     )
 
-            fetched: Instance = {}
-            for owner, predicates in by_owner.items():
-                payload = 0
-                for predicate in predicates:
-                    tuples = self._stored_tuples(predicate)
-                    fetched[predicate] = tuples
-                    payload += len(tuples)
-                stats.relations_fetched += len(predicates)
-                if owner != at_peer:
-                    stats.peers_contacted += 1
-                    self._charge_fetch(
-                        stats, at_peer, owner, payload, relations=len(predicates)
-                    )
+            remote = [
+                (owner, predicates)
+                for owner, predicates in by_owner.items()
+                if owner != at_peer
+            ]
+            if (
+                self.runtime.concurrent
+                and self.runtime.supports_closures
+                and len(remote) > 1
+            ):
+                fetched = self._fetch_concurrent(stats, at_peer, by_owner, remote)
+            else:
+                fetched: Instance = {}
+                for owner, predicates in by_owner.items():
+                    payload = 0
+                    for predicate in predicates:
+                        tuples = self._stored_tuples(predicate)
+                        fetched[predicate] = tuples
+                        payload += len(tuples)
+                    stats.relations_fetched += len(predicates)
+                    if owner != at_peer:
+                        stats.peers_contacted += 1
+                        self._charge_fetch(
+                            stats, at_peer, owner, payload, relations=len(predicates)
+                        )
 
             stats.answers |= evaluate_union(pending, fetched)
             span.annotate(

@@ -29,6 +29,18 @@ Accounting: every :meth:`SimulatedNetwork.send` appends a
 ``network.tuples_shipped``, the ``network.transfer_ms`` histogram) so
 traffic shows up in the unified ``explain()`` report.
 
+Overlapped accounting (ISSUE 9): round trips dispatched concurrently
+by a :mod:`repro.runtime` pool do not queue behind each other, so
+:meth:`SimulatedNetwork.concurrent_round_trips` charges a batch the
+**makespan of a ``workers``-wide schedule** — the max over the batch
+with unlimited workers, the serial sum with one — instead of the sum,
+while recording every message exactly as the serial path would
+(``messages`` log order, ``kind_counts``, ``bytes_shipped`` and the
+per-message ``network.*`` metrics are identical in both modes; only
+``total_latency_ms`` differs).  That is what lets
+``benchmarks/bench_c18_parallel.py`` measure real modeled wall-clock
+parallelism.
+
 Reset semantics (:meth:`SimulatedNetwork.reset`): **traffic clears,
 topology survives.**  Cleared: the ``messages`` log,
 ``total_latency_ms``, and the per-kind ``kind_counts``.  Kept: the
@@ -41,10 +53,35 @@ registry is also untouched: it aggregates across resets by design
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass, field
 
 from repro import obs as _obs
+
+
+def schedule_makespan(costs: list[float], workers: int | None = None) -> float:
+    """Modeled wall-clock of running ``costs`` on ``workers`` workers.
+
+    Greedy earliest-available-worker assignment in list order — the
+    deterministic model of a pool draining a submission-ordered queue.
+    ``workers=None`` (or >= the batch size) degenerates to ``max``:
+    everything overlaps.  ``workers=1`` degenerates to the serial sum.
+    """
+    if not costs:
+        return 0.0
+    if workers is None or workers >= len(costs):
+        return max(costs)
+    if workers <= 1:
+        total = 0.0
+        for cost in costs:
+            total += cost
+        return total
+    free_at = [0.0] * workers
+    for cost in costs:
+        available = heapq.heappop(free_at)
+        heapq.heappush(free_at, available + cost)
+    return max(free_at)
 
 
 @dataclass
@@ -103,13 +140,20 @@ class SimulatedNetwork:
             return 0.0
         return self._latency.get((peer_a, peer_b), self.default_latency_ms)
 
-    def send(self, sender: str, receiver: str, size: int, kind: str = "data") -> float:
-        """Record a message; returns its simulated transfer time in ms."""
+    def _record(self, sender: str, receiver: str, size: int, kind: str) -> float:
+        """Record one message's traffic; returns its transfer cost in ms.
+
+        Everything :meth:`send` does *except* charging
+        ``total_latency_ms`` — the message log, per-kind counts, and the
+        ``network.*`` metrics — so serial and overlapped charging modes
+        share one recording path and can never drift in anything but
+        the latency total.  Local (same-peer) transfers are free and
+        unrecorded, as always.
+        """
         if sender == receiver:
             return 0.0
         self.messages.append(Message(sender, receiver, size, kind))
         cost = self.latency(sender, receiver) + size * self.per_tuple_ms
-        self.total_latency_ms += cost
         self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
         counter = self._kind_counters.get(kind)
         if counter is None:
@@ -118,6 +162,12 @@ class SimulatedNetwork:
         counter.inc()
         self._m_tuples.inc(size)
         self._h_transfer.observe(cost)
+        return cost
+
+    def send(self, sender: str, receiver: str, size: int, kind: str = "data") -> float:
+        """Record a message; returns its simulated transfer time in ms."""
+        cost = self._record(sender, receiver, size, kind)
+        self.total_latency_ms += cost
         return cost
 
     def round_trip(
@@ -138,6 +188,33 @@ class SimulatedNetwork:
         cost = self.send(sender, receiver, payload, kind=kind)
         cost += self.send(receiver, sender, ack_size, kind=f"{kind}-ack")
         return cost
+
+    def concurrent_round_trips(
+        self, trips, workers: int | None = None
+    ) -> float:
+        """Charge a batch of round trips dispatched concurrently.
+
+        ``trips`` is a sequence of message sequences: each trip is the
+        messages one worker sends serially (e.g. request then response,
+        or payload then ack), each message a ``(sender, receiver, size,
+        kind)`` tuple.  Every message is *recorded* exactly as
+        :meth:`send` would — same log order, same ``kind_counts``, same
+        ``bytes_shipped``, same ``network.*`` metrics — but the latency
+        charged to ``total_latency_ms`` is the
+        :func:`schedule_makespan` of the per-trip costs over
+        ``workers`` concurrent workers: the max over the batch with
+        unlimited workers, the serial sum with one.  Returns the
+        charged (overlapped) latency in ms.
+        """
+        costs = []
+        for trip in trips:
+            cost = 0.0
+            for sender, receiver, size, kind in trip:
+                cost += self._record(sender, receiver, size, kind)
+            costs.append(cost)
+        charged = schedule_makespan(costs, workers)
+        self.total_latency_ms += charged
+        return charged
 
     def messages_of_kind(self, kind: str) -> int:
         """How many recorded messages carry the given kind tag.

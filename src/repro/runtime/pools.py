@@ -1,0 +1,245 @@
+"""Pluggable execution runtimes for the stack's fan-out sites.
+
+Every fan-out in the reproduction — per-peer fetches in
+:meth:`~repro.piazza.execution.DistributedExecutor.execute`, per-learner
+scoring in :meth:`~repro.corpus.match.meta.MetaLearner.predict_batch`,
+per-subscriber updategram propagation in
+:class:`~repro.piazza.serving.ViewServer` — dispatches its independent
+tasks through one of these runtimes.  The contract is deliberately
+small:
+
+* :meth:`ExecutionRuntime.map` runs ``fn`` over ``items`` and returns
+  the results **in item order**, whatever order the workers finished
+  in.  Order-stable results are what make the concurrent paths
+  deterministic and bitwise comparable to the serial oracle.
+* A task that raises makes ``map`` raise **the exception of the
+  earliest-submitted failing item** (deterministic regardless of thread
+  scheduling); the pool survives and the runtime is reusable for the
+  next batch.  Callers apply shared-state mutations (stats, network
+  charges) only *after* ``map`` returns, so a mid-fan-out failure
+  leaves no partially-applied accounting.
+* ``map`` called from inside one of the runtime's own workers (a
+  nested fan-out, e.g. per-learner scoring inside a per-source batch)
+  degrades to inline serial execution instead of re-submitting to the
+  pool — re-entrant submission from saturated workers is the classic
+  thread-pool deadlock.
+
+Three implementations:
+
+* :class:`SerialRuntime` — the oracle.  Plain in-order loop, one
+  worker, no threads; every concurrent path is pinned against it by
+  ``tests/test_runtime.py``.
+* :class:`ThreadPoolRuntime` — ``concurrent.futures`` thread pool for
+  the simulated-I/O-bound work (peer fetches, propagation): tasks are
+  closures over live shared state, cheap to dispatch, and the GIL is
+  irrelevant because the modeled cost lives in
+  :meth:`~repro.piazza.network.SimulatedNetwork.concurrent_round_trips`.
+* :class:`ProcessPoolRuntime` — process pool for CPU-bound work
+  (learner scoring ships picklable ``(learner, samples)`` work units).
+  ``supports_closures`` is ``False``: sites whose tasks are closures
+  over live objects (executor, view server) fall back to their serial
+  path rather than attempting to pickle them.
+
+Pools are created lazily on first ``map`` and torn down by
+:meth:`close` (also a context manager), so constructing a runtime is
+free and a crashed batch never wedges the next one.
+
+Instrumentation (``repro.obs``): every ``map`` call counts its tasks
+(``runtime.tasks``), records the configured worker count
+(``runtime.workers`` gauge) and times the batch
+(``runtime.batch.ms`` histogram) — the first metrics in the stack
+recorded from multiple threads, which is why instrument mutation is
+lock-protected (see :mod:`repro.obs.metrics`).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from time import perf_counter
+
+from repro import obs as _obs
+
+
+class ExecutionRuntime:
+    """The contract every runtime implements (see the module docstring).
+
+    ``concurrent`` tells a fan-out site whether dispatching through
+    :meth:`map` buys anything; ``supports_closures`` whether tasks may
+    be closures over live shared objects (false for process pools,
+    whose work units must pickle).
+    """
+
+    #: Whether map() may run tasks on more than one worker.
+    concurrent = False
+    #: Whether tasks may be unpicklable closures over shared state.
+    supports_closures = True
+    #: Configured worker count (1 for the serial oracle).
+    workers = 1
+
+    def __init__(self, obs: "_obs.Observability | None" = None):  # noqa: D107
+        self.obs = obs or _obs.default()
+        metrics = self.obs.metrics
+        self._m_tasks = metrics.counter("runtime.tasks")
+        self._m_batches = metrics.counter("runtime.batches")
+        self._g_workers = metrics.gauge("runtime.workers")
+        self._h_batch = metrics.histogram("runtime.batch.ms")
+
+    def _account(self, tasks: int, started: float) -> None:
+        """Record one completed batch on the ``runtime.*`` instruments."""
+        self._m_tasks.inc(tasks)
+        self._m_batches.inc()
+        self._g_workers.set(self.workers)
+        self._h_batch.observe((perf_counter() - started) * 1000.0)
+
+    def map(self, fn, items) -> list:
+        """``[fn(item) for item in items]`` with results in item order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; a no-op when poolless)."""
+
+    def __enter__(self) -> "ExecutionRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class SerialRuntime(ExecutionRuntime):
+    """The in-order, single-worker oracle every parallel path is pinned to."""
+
+    def map(self, fn, items) -> list:
+        """Run the batch inline, strictly in item order."""
+        items = list(items)
+        started = perf_counter()
+        results = [fn(item) for item in items]
+        self._account(len(items), started)
+        return results
+
+
+class _PoolRuntime(ExecutionRuntime):
+    """Shared submit/collect machinery for the two pooled runtimes."""
+
+    concurrent = True
+
+    def __init__(self, workers: int, obs: "_obs.Observability | None" = None):  # noqa: D107
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        super().__init__(obs=obs)
+        self.workers = workers
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._local = threading.local()
+
+    def _create_pool(self):
+        raise NotImplementedError
+
+    def _ensure_pool(self):
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = self._pool = self._create_pool()
+        return pool
+
+    def _in_worker(self) -> bool:
+        return getattr(self._local, "worker", False)
+
+    def _run(self, fn, item):
+        # Marks the thread so a nested map() degrades to inline serial
+        # execution instead of deadlocking on its own saturated pool.
+        # (Process workers never reach this path: their runtime check
+        # happens in the parent, see ProcessPoolRuntime.map.)
+        self._local.worker = True
+        return fn(item)
+
+    def map(self, fn, items) -> list:
+        """Submit the whole batch, collect results in submission order.
+
+        Collection walks the futures in item order, so the exception
+        that propagates is always the earliest-submitted failure —
+        deterministic however the workers were scheduled.  Remaining
+        tasks run to completion in the background and the pool stays
+        usable.
+        """
+        items = list(items)
+        if self._in_worker() or len(items) <= 1:
+            # Nested fan-out, or nothing to overlap: run inline.
+            started = perf_counter()
+            results = [fn(item) for item in items]
+            self._account(len(items), started)
+            return results
+        pool = self._ensure_pool()
+        started = perf_counter()
+        futures: list[Future] = [
+            pool.submit(self._run, fn, item) for item in items
+        ]
+        results = [future.result() for future in futures]
+        self._account(len(items), started)
+        return results
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); the next map recreates it."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class ThreadPoolRuntime(_PoolRuntime):
+    """Thread-pool fan-out for the simulated-I/O-bound sites.
+
+    Tasks may be closures over live shared state (the executor's peer
+    snapshots, the view server's qualified updategram); results come
+    back in item order and a failing task propagates deterministically
+    (see :class:`_PoolRuntime`).
+    """
+
+    def __init__(self, workers: int = 4, obs: "_obs.Observability | None" = None):  # noqa: D107
+        super().__init__(workers, obs=obs)
+
+    def _create_pool(self):
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-runtime"
+        )
+
+
+class ProcessPoolRuntime(_PoolRuntime):
+    """Process-pool fan-out for CPU-bound, picklable work units.
+
+    The learner-scoring path ships module-level functions over
+    ``(learner, samples, labels)`` tuples, which pickle cleanly.  Sites
+    whose tasks are closures over live objects check
+    ``supports_closures`` and keep their serial path instead.
+    """
+
+    supports_closures = False
+
+    def __init__(self, workers: int = 2, obs: "_obs.Observability | None" = None):  # noqa: D107
+        super().__init__(workers, obs=obs)
+
+    def _create_pool(self):
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def map(self, fn, items) -> list:
+        """Like :meth:`_PoolRuntime.map`, submitting ``fn`` directly.
+
+        ``fn`` and every item must be picklable (the in-worker marker
+        trick is thread-local, so the parent submits ``fn`` as-is and
+        nested maps simply cannot occur across the process boundary).
+        """
+        items = list(items)
+        if len(items) <= 1:
+            started = perf_counter()
+            results = [fn(item) for item in items]
+            self._account(len(items), started)
+            return results
+        pool = self._ensure_pool()
+        started = perf_counter()
+        futures = [pool.submit(fn, item) for item in items]
+        results = [future.result() for future in futures]
+        self._account(len(items), started)
+        return results

@@ -22,6 +22,7 @@ miss that replaces a stale entry).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Hashable
 
@@ -29,7 +30,14 @@ from repro import obs as _obs
 
 
 class LRUQueryCache:
-    """A bounded least-recently-used cache with epoch validation."""
+    """A bounded least-recently-used cache with epoch validation.
+
+    Thread-safe (ISSUE 9): concurrent ``match_corpus`` workers share
+    one engine cache, and an unguarded get/put pair can
+    ``move_to_end``/``del`` a key another thread just evicted.  One
+    lock around each operation keeps the recency order and the
+    hit/miss/eviction counts exact under fan-out.
+    """
 
     def __init__(
         self,
@@ -39,6 +47,7 @@ class LRUQueryCache:
     ):  # noqa: D107
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, tuple[int, object]] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -53,35 +62,38 @@ class LRUQueryCache:
         An entry computed at a different epoch is treated as a miss and
         dropped (the index has changed under it).
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            self._m_misses.inc()
-            return None
-        if entry[0] != epoch:
-            del self._entries[key]
-            self.misses += 1
-            self._m_misses.inc()
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        self._m_hits.inc()
-        return entry[1]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                self._m_misses.inc()
+                return None
+            if entry[0] != epoch:
+                del self._entries[key]
+                self.misses += 1
+                self._m_misses.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._m_hits.inc()
+            return entry[1]
 
     def put(self, key: Hashable, epoch: int, value) -> None:
         """Store ``value`` for ``key`` at ``epoch``; evict LRU overflow."""
         if self.capacity <= 0:
             return
-        self._entries[key] = (epoch, value)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            self._m_evictions.inc()
+        with self._lock:
+            self._entries[key] = (epoch, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._m_evictions.inc()
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -36,6 +36,7 @@ in :mod:`repro.search.vectors` and the ``*_brute_force`` references in
 
 from __future__ import annotations
 
+import threading
 import time
 import typing
 from collections import Counter
@@ -118,6 +119,11 @@ class CorpusSearchEngine:
         self.sparse_weight = sparse_weight
         self.dense_weight = dense_weight
         self._synced_version = -1
+        # Concurrent match_corpus workers (ISSUE 9) query one shared
+        # engine; the lazy catch-up must not run twice nor expose
+        # half-built indexes to a reader that raced past the version
+        # check.
+        self._sync_lock = threading.Lock()
         # Constant per engine (one stats instance, one options object);
         # kept in cache keys so entries can never collide across engines
         # that might one day share a cache.
@@ -138,23 +144,24 @@ class CorpusSearchEngine:
         append the new signature/schema rows.
         """
         stats = self.stats
-        stats.ensure_built()
-        if self._synced_version == stats.version:
-            return
-        self._m_syncs.inc()
-        dirty_terms, new_rows, new_schemas = stats.drain_index_updates()
-        for term in dirty_terms:
-            self._terms.put(term, stats.profile_row_for(term))
-        for name, signature in new_rows:
-            self._signature_rows.append((name, signature))
-            self._signatures.add(len(self._signature_rows) - 1, signature)
-        for name, relation_terms, signature, profile in new_schemas:
-            self._schema_relation_terms[name] = relation_terms
-            self._schema_names.add(name, relation_terms)
-            self._schema_profiles.put(name, profile)
-            self._schema_dense.put(name, profile)
-            self._signature_schemas.setdefault(signature, []).append(name)
-        self._synced_version = stats.version
+        with self._sync_lock:
+            stats.ensure_built()
+            if self._synced_version == stats.version:
+                return
+            self._m_syncs.inc()
+            dirty_terms, new_rows, new_schemas = stats.drain_index_updates()
+            for term in dirty_terms:
+                self._terms.put(term, stats.profile_row_for(term))
+            for name, signature in new_rows:
+                self._signature_rows.append((name, signature))
+                self._signatures.add(len(self._signature_rows) - 1, signature)
+            for name, relation_terms, signature, profile in new_schemas:
+                self._schema_relation_terms[name] = relation_terms
+                self._schema_names.add(name, relation_terms)
+                self._schema_profiles.put(name, profile)
+                self._schema_dense.put(name, profile)
+                self._signature_schemas.setdefault(signature, []).append(name)
+            self._synced_version = stats.version
 
     def _fingerprint(self) -> tuple:
         return self._options_fingerprint

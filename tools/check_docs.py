@@ -40,6 +40,7 @@ EXECUTABLE_DOCS = (
     "docs/observability.md",
     "docs/search.md",
     "docs/storage.md",
+    "docs/parallelism.md",
 )
 
 
