@@ -11,14 +11,26 @@ histogram summaries accumulated by that module's workloads.  The
 registry is reset per module so each snapshot covers exactly one
 bench.  (Benches that build their own ``Observability`` instances —
 C15's isolated arms — don't show up here, by design.)
+
+Perf trajectory (ISSUE 10): each ``bench_cNN_*`` / ``bench_fNN_*``
+module additionally writes ``BENCH_<ID>.json`` to the **repo root** —
+the module's shown ResultTables (speedups, latencies, the asserted
+bars) plus the same metrics snapshot — so the performance story is a
+set of committed, diffable files trackable across PRs.  Render one
+with ``python -m repro.obs snapshot BENCH_C11.json``.
 """
 
 import json
 import os
+import re
 
 import pytest
 
 from repro import obs
+from repro.bench.runner import drain_shown_tables
+
+_BENCH_ID = re.compile(r"bench_([a-z]\d+)_")
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def pytest_configure(config):
@@ -32,15 +44,44 @@ def seed():
     return 1
 
 
+def _quick_flags() -> list[str]:
+    """The BENCH_*_QUICK knobs active for this run (workload context)."""
+    return sorted(
+        name for name, value in os.environ.items()
+        if name.startswith("BENCH_") and name.endswith("_QUICK")
+        and value not in ("", "0")
+    )
+
+
 @pytest.fixture(autouse=True, scope="module")
 def dump_metrics_snapshot(request):
-    """Reset the default registry per bench module, dump it afterwards."""
+    """Reset the default registry per bench module, dump it afterwards.
+
+    Also drains the shown-tables registry on both sides of the module:
+    before, so another module's tables are never misattributed; after,
+    into the module's ``BENCH_<ID>.json`` trajectory file.
+    """
     registry = obs.default().metrics
     registry.reset()
+    drain_shown_tables()
     yield
     out_dir = os.path.join(os.path.dirname(__file__), "out")
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"{request.module.__name__}.metrics.json")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(registry.to_json(indent=2))
+        handle.write("\n")
+    tables = drain_shown_tables()
+    match = _BENCH_ID.match(request.module.__name__)
+    if match is None:
+        return
+    summary = {
+        "bench": request.module.__name__,
+        "quick_flags": _quick_flags(),
+        "tables": [table.to_dict() for table in tables],
+        "metrics": registry.snapshot(),
+    }
+    trajectory = os.path.join(_REPO_ROOT, f"BENCH_{match.group(1).upper()}.json")
+    with open(trajectory, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True, default=str)
         handle.write("\n")

@@ -269,24 +269,30 @@ class CorpusMatchPipeline:
         serial path.
         """
         names = list(corpus.schemas)
-        if (
-            self.runtime.concurrent
-            and self.runtime.supports_closures
-            and len(names) > 1
+        # One covering span for the whole corpus: under a concurrent
+        # runtime the workers' match.source spans re-parent here (via
+        # the captured trace context) instead of becoming orphan roots.
+        with self.obs.tracer.span(
+            "match.corpus", sources=len(names), workers=self.runtime.workers
         ):
-            self._require_training()
-            self.meta.freeze_weights()
-            results = self.runtime.map(
-                lambda name: self.match_source(
-                    corpus.schemas[name], blocking=blocking
-                ),
-                names,
-            )
-            return dict(zip(names, results))
-        return {
-            name: self.match_source(schema, blocking=blocking)
-            for name, schema in corpus.schemas.items()
-        }
+            if (
+                self.runtime.concurrent
+                and self.runtime.supports_closures
+                and len(names) > 1
+            ):
+                self._require_training()
+                self.meta.freeze_weights()
+                results = self.runtime.map(
+                    lambda name: self.match_source(
+                        corpus.schemas[name], blocking=blocking
+                    ),
+                    names,
+                )
+                return dict(zip(names, results))
+            return {
+                name: self.match_source(schema, blocking=blocking)
+                for name, schema in corpus.schemas.items()
+            }
 
     # -- introspection ---------------------------------------------------------
     def stats_snapshot(self) -> dict:

@@ -38,12 +38,30 @@ per-shard ``storage.shard.rows.<i>`` gauges (namespaced
 ``storage.shard.rows.<name>.<i>`` when the engine is named, so several
 sharded engines can share one registry without colliding).
 
+The pipeline around the core (ISSUE 10):
+
+* :class:`~repro.obs.context.TraceContext` — the propagatable identity
+  of one open span.  The runtime pools capture the caller's context
+  (:meth:`~repro.obs.trace.Tracer.current_context`) and activate it on
+  every worker, so a parallel fan-out yields ONE trace instead of
+  orphan worker roots, and the simulated network stamps each message
+  with the emitting span's ids.
+* :mod:`repro.obs.profile` — folds completed span trees by path into
+  cumulative/self wall-time, call counts and per-path latency
+  quantiles (flame-graph-shaped, rendered as a sorted text report).
+* :mod:`repro.obs.export` — JSONL span/metrics exporters with a
+  stable schema (lossless round trips, pinned property-style) and
+  Prometheus text exposition; ``python -m repro.obs`` renders
+  snapshots, traces and profiles from the exported files.
+
 See ``docs/observability.md`` for the runnable walkthrough (trace one
-C14-style serve, print the span tree and the ``explain()`` report).
+C14-style serve, print the span tree and the ``explain()`` report,
+then follow one cross-peer parallel execution end to end).
 """
 
 from __future__ import annotations
 
+from repro.obs.context import TraceContext
 from repro.obs.metrics import (
     DEFAULT_BUCKETS_COUNT,
     DEFAULT_BUCKETS_MS,
@@ -82,16 +100,17 @@ class Observability:
     def explain(self) -> str:
         """Human-readable report: the metrics, then the last trace tree."""
         sections = [self.metrics.explain()]
-        if self.tracer.roots:
+        last = self.tracer.last_root()
+        if last is not None:
             sections.append("last trace:")
-            sections.append(self.tracer.render())
+            sections.append(self.tracer.render(last))
         return "\n".join(sections)
 
     def snapshot(self) -> dict:
         """Metrics snapshot plus retained trace trees, as plain dicts."""
         return {
             "metrics": self.metrics.snapshot(),
-            "traces": [root.to_dict() for root in self.tracer.roots],
+            "traces": [root.to_dict() for root in self.tracer.root_list()],
         }
 
 
@@ -113,6 +132,7 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "Span",
+    "TraceContext",
     "Tracer",
     "default",
 ]

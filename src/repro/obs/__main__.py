@@ -1,0 +1,120 @@
+"""``python -m repro.obs`` — render exported observability data.
+
+Subcommands, each reading files written by :mod:`repro.obs.export`
+(or, for ``snapshot``, the snapshot dicts the bench harness dumps):
+
+* ``snapshot <file>`` — a grouped ``explain()``-style metrics report.
+  Accepts a metrics JSONL export, a ``MetricsRegistry.snapshot()``
+  JSON dict, or a ``BENCH_C*.json`` trajectory file (its ``metrics``
+  key is used).
+* ``prom <file>`` — the metrics JSONL export in Prometheus text
+  exposition format.
+* ``traces <file>`` — the span JSONL export reassembled and rendered
+  as indented ASCII trees, one block per trace.
+* ``profile <file> [--sort cum|self|calls] [--limit N]`` — the span
+  export folded by path into the cumulative/self wall-time report
+  (:mod:`repro.obs.profile`).
+
+Exit status 0 on success, 1 on unreadable/unparsable input (message
+on stderr).  ``main(argv)`` is importable for in-process use — the
+docs walkthrough and the C19 gate call it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import (
+    assemble_traces,
+    prometheus_text,
+    read_records,
+    registry_from_records,
+    render_snapshot,
+    render_tree,
+)
+from repro.obs.profile import profile_spans, render_profile
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render exported repro.obs metrics and traces.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    snapshot = commands.add_parser(
+        "snapshot", help="grouped metrics report from an export or snapshot"
+    )
+    snapshot.add_argument("path", help="metrics JSONL, snapshot JSON, or BENCH_C*.json")
+
+    prom = commands.add_parser(
+        "prom", help="Prometheus text exposition of a metrics JSONL export"
+    )
+    prom.add_argument("path", help="metrics JSONL export")
+
+    traces = commands.add_parser(
+        "traces", help="render trace trees from a span JSONL export"
+    )
+    traces.add_argument("path", help="span JSONL export")
+    traces.add_argument("--limit", type=int, default=None,
+                        help="render at most N traces (default: all)")
+
+    profile = commands.add_parser(
+        "profile", help="fold a span JSONL export into a path profile"
+    )
+    profile.add_argument("path", help="span JSONL export")
+    profile.add_argument("--sort", choices=("cum", "self", "calls"),
+                         default="cum", help="row order (default: cum)")
+    profile.add_argument("--limit", type=int, default=None,
+                         help="show the top N paths (default: all)")
+    return parser
+
+
+def _load_snapshot(path: str) -> dict:
+    """A snapshot dict from any of the formats ``snapshot`` accepts."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        loaded = json.loads(text)
+    except json.JSONDecodeError:
+        loaded = None  # JSONL (one object per line), handled below
+    if isinstance(loaded, dict):
+        if "metrics" in loaded and isinstance(loaded["metrics"], dict):
+            return loaded["metrics"]  # BENCH_C*.json trajectory file
+        return loaded  # a MetricsRegistry.snapshot() dump
+    records = [json.loads(line) for line in text.splitlines() if line.strip()]
+    return registry_from_records(records).snapshot()
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "snapshot":
+            print(render_snapshot(_load_snapshot(args.path)))
+        elif args.command == "prom":
+            registry = registry_from_records(read_records(args.path))
+            print(prometheus_text(registry), end="")
+        elif args.command == "traces":
+            roots = assemble_traces(read_records(args.path), include_ids=True)
+            if args.limit is not None:
+                roots = roots[: args.limit]
+            blocks = []
+            for root in roots:
+                header = f"trace {root.get('trace_id', '?')}:"
+                blocks.append(f"{header}\n{render_tree(root)}")
+            print("\n\n".join(blocks) if blocks else "(no traces)")
+        elif args.command == "profile":
+            roots = assemble_traces(read_records(args.path))
+            table = profile_spans(roots)
+            print(render_profile(table, sort=args.sort, limit=args.limit))
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as error:
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

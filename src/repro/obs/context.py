@@ -1,0 +1,84 @@
+"""Trace context propagation across threads, processes and the wire.
+
+A :class:`TraceContext` is the portable identity of one open span:
+``(trace_id, span_id)`` plus — within the originating process — a
+reference to the live :class:`~repro.obs.trace.Span` object itself.
+The runtime pools (:mod:`repro.runtime.pools`) capture the caller's
+context before submitting a batch and *activate* it on every worker,
+so a span opened by a pool worker attaches to the caller's live span
+and one distributed execution stays one tree (fixing the ISSUE 9 wart
+where worker spans became orphan roots).
+
+Two degrees of fidelity, chosen automatically:
+
+* **Live attach** (same process) — the context carries the parent
+  :class:`Span`; a worker's root-level span appends itself directly to
+  the parent's children.  ``list.append`` is atomic under the GIL, so
+  concurrent workers attach race-free (the tracer materializes the
+  parent's child list once, at capture time).
+* **Wire form** (crossed a process/network boundary) — only the ids
+  survive.  A span opened under a wire context becomes a *fragment
+  root* carrying the originating ``trace_id``/``parent_id``; the
+  export layer (:mod:`repro.obs.export`) stitches fragments back into
+  one trace by id.  Pickling a context degrades it to wire form
+  automatically (``__reduce__`` drops the unpicklable live span), so
+  :class:`~repro.runtime.pools.ProcessPoolRuntime` ships contexts with
+  no special casing.
+
+Activation is scoped and thread-local:  ``with tracer.activate(ctx):``
+installs ``ctx`` as the thread's ambient parent for root-level spans
+and restores the previous ambient context on exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagatable identity of one open span (see module docstring)."""
+
+    trace_id: str
+    span_id: str
+    #: The live parent span, present only inside the originating
+    #: process; excluded from equality so a wire context round-tripped
+    #: through pickle still compares equal to its live original.
+    span: object | None = field(default=None, repr=False, compare=False)
+
+    def __reduce__(self):
+        # Crossing a process boundary drops the live span: workers in
+        # another interpreter can only ever hold the wire form.
+        return (TraceContext, (self.trace_id, self.span_id))
+
+    def wire(self) -> "TraceContext":
+        """This context without the live span reference (id-only form)."""
+        if self.span is None:
+            return self
+        return TraceContext(self.trace_id, self.span_id)
+
+
+class ContextActivation:
+    """Scoped installation of a context as a thread's ambient parent.
+
+    Returned by :meth:`~repro.obs.trace.Tracer.activate`; saves and
+    restores whatever ambient context the thread had, so activations
+    nest correctly (a worker running a nested fan-out inline keeps its
+    own context).
+    """
+
+    __slots__ = ("_local", "_context", "_previous")
+
+    def __init__(self, local, context: TraceContext | None):  # noqa: D107
+        self._local = local
+        self._context = context
+        self._previous = None
+
+    def __enter__(self) -> TraceContext | None:
+        self._previous = getattr(self._local, "context", None)
+        self._local.context = self._context
+        return self._context
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._local.context = self._previous
+        return False

@@ -25,9 +25,27 @@ Cost discipline:
   ``Tracer.roots`` up to ``max_roots`` (oldest dropped) so a
   long-running traced process cannot leak its whole history.
 
+Cross-thread and cross-process propagation (ISSUE 10): every span
+carries ``trace_id`` / ``span_id`` / ``parent_id`` — assigned
+*lazily*, on capture/stamp/export rather than on open, so the id
+machinery costs the traced hot loops nothing (the C15 gate holds with
+propagation on) — and
+:meth:`Tracer.current_context` captures the innermost open span as a
+:class:`~repro.obs.context.TraceContext` that
+:meth:`Tracer.activate` installs as another thread's ambient parent —
+the mechanism the runtime pools use to re-parent worker spans under
+the caller's span.  :meth:`Tracer.current_ids` is the cheap id-only
+hook the simulated network uses to stamp messages with the emitting
+span.  Root retention is safe under concurrent filing: closing spans
+file with a GIL-atomic ``deque.append`` and readers retry the copy,
+so workers on many threads can file fragment roots while another
+thread renders or exports.
+
 Rendering: :meth:`Tracer.render` draws an indented ASCII tree with
 per-span durations and attributes; :meth:`Tracer.to_json` exports the
-same trees as plain dicts.
+same trees as plain dicts.  The flat-record JSONL exporter and the
+path-folding profiler live in :mod:`repro.obs.export` and
+:mod:`repro.obs.profile`.
 """
 
 from __future__ import annotations
@@ -35,7 +53,10 @@ from __future__ import annotations
 import json
 import threading
 from collections import deque
+from itertools import count
 from time import perf_counter
+
+from repro.obs.context import ContextActivation, TraceContext
 
 
 class _NoopSpan:
@@ -57,6 +78,18 @@ class _NoopSpan:
 NOOP_SPAN = _NoopSpan()
 
 
+class _TracerLocal(threading.local):
+    """Per-thread tracer state with a class-level ambient default.
+
+    The class attribute makes ``local.context`` a plain (fast) read on
+    threads that never activated a context — ``getattr`` with a default
+    would pay the internal AttributeError on every new-trace root span,
+    which the C15 overhead gate charges.
+    """
+
+    context = None
+
+
 class Span:
     """One timed, attributed node in a trace tree.
 
@@ -66,19 +99,28 @@ class Span:
     fields, pops the stack, and files root spans on ``Tracer.roots``.
     """
 
-    __slots__ = ("name", "attrs", "error",
-                 "_tracer", "_children", "_started", "_duration")
+    __slots__ = ("name", "attrs", "error", "trace_id", "span_id", "parent_id",
+                 "_tracer", "_children", "_started", "_duration", "_is_root")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict):  # noqa: D107
         self.name = name
         self.attrs = attrs
         self.error = False
+        # Ids are lazy (the C15 gate rules the open/close path): roots
+        # get trace_id on __enter__, span_id/trace_id for nested spans
+        # are assigned only on capture, stamp or export; parent_id is
+        # stored only where the tree walk cannot recover it (spans
+        # parented across a thread/process hop).
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
         self._tracer = tracer
         # Lazily allocated on first child — most spans are leaves, and
         # the hot paths open thousands of them.
         self._children: list[Span] | None = None
         self._started = 0.0
         self._duration: float | None = None
+        self._is_root = False
 
     @property
     def children(self) -> tuple:
@@ -100,13 +142,40 @@ class Span:
         self.attrs.update(attrs)
 
     def __enter__(self) -> "Span":
-        stack = self._tracer._stack
+        tracer = self._tracer
+        stack = tracer._stack
         if stack:
+            # Same-thread nesting: the classic call-stack parent.  Ids
+            # stay unassigned — the C15 overhead gate rules this path,
+            # and most spans are never captured, stamped or exported.
+            # ``trace_id`` is recoverable from the stack root and the
+            # parent link from the tree walk (see ``Tracer.current_ids``
+            # and ``export.span_records``), so nothing is lost.
             parent = stack[-1]
             if parent._children is None:
                 parent._children = [self]
             else:
                 parent._children.append(self)
+        else:
+            context = tracer._local.context
+            if context is None:
+                # A brand-new trace on this thread; its trace_id is
+                # assigned on first capture/stamp/export.
+                self._is_root = True
+            else:
+                self.trace_id = context.trace_id
+                self.parent_id = context.span_id
+                self.span_id = tracer._next_span_id()
+                live = context.span
+                if live is not None:
+                    # Live attach: the capture site materialized the
+                    # parent's child list, and list.append is atomic
+                    # under the GIL, so concurrent workers are safe.
+                    live._children.append(self)
+                else:
+                    # Wire-only context (crossed a process boundary):
+                    # file a fragment root; the exporter links by ids.
+                    self._is_root = True
         stack.append(self)
         self._started = perf_counter()
         return self
@@ -119,8 +188,12 @@ class Span:
         stack = self._tracer._stack
         if stack and stack[-1] is self:
             stack.pop()
-        if not stack:
-            self._tracer._file_root(self)
+        if not stack and self._is_root:
+            # deque.append is atomic under the GIL (and maxlen evicts
+            # atomically), so filing needs no lock even when many pool
+            # workers file fragment roots at once; concurrent *readers*
+            # retry instead (see Tracer.root_list).
+            self._tracer.roots.append(self)
         return False  # propagate exceptions
 
     # -- export ------------------------------------------------------------
@@ -173,11 +246,19 @@ class Tracer:
     nesting, and with the parallel runtime (ISSUE 9) the call stacks
     are per-thread: a span opened inside a pool worker nests under
     whatever that *worker* has open, never under another thread's span,
-    so concurrent fan-out cannot corrupt a tree.  Worker spans with
-    nothing open on their thread become their own roots on the shared
-    ``roots`` deque (``deque.append`` is atomic under the GIL), which
-    ``tests/test_runtime.py`` stress-asserts: N threads × M nested
-    spans yield exactly N×M well-formed single-thread trees.
+    so concurrent fan-out cannot corrupt a tree.
+
+    **Cross-thread parenting is explicit** (ISSUE 10): a thread with an
+    *activated* :class:`~repro.obs.context.TraceContext` (see
+    :meth:`activate`) parents its root-level spans under the captured
+    span instead of opening a fresh trace — the runtime pools do this
+    for every worker, so a parallel fan-out yields one tree.  Worker
+    spans with neither an open span nor an activated context still
+    become their own roots, which ``tests/test_runtime.py``
+    stress-asserts.  Root filing stays a bare GIL-atomic deque append
+    (the C15 bar charges every root for it); renderers and exporters
+    read through retrying copies, so many threads may file fragment
+    roots while another renders, exports or clears.
     """
 
     def __init__(self, enabled: bool = False, max_roots: int = 64):  # noqa: D107
@@ -186,7 +267,11 @@ class Tracer:
         # deque(maxlen=...) makes root filing O(1) with automatic
         # oldest-first eviction — no per-span list shifting.
         self.roots: deque[Span] = deque(maxlen=max_roots)
-        self._local = threading.local()
+        self._local = _TracerLocal()
+        # itertools.count.__next__ is atomic under the GIL, so id
+        # assignment needs no lock even across pool workers.
+        self._span_ids = count(1)
+        self._trace_ids = count(1)
 
     @property
     def _stack(self) -> list:
@@ -195,6 +280,12 @@ class Tracer:
         if stack is None:
             stack = self._local.stack = []
         return stack
+
+    def _next_span_id(self) -> str:
+        return f"s{next(self._span_ids)}"
+
+    def _next_trace_id(self) -> str:
+        return f"t{next(self._trace_ids)}"
 
     def span(self, name: str, **attrs):
         """Open a span (context manager); shared no-op when disabled."""
@@ -206,16 +297,91 @@ class Tracer:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
 
+    # -- context propagation -----------------------------------------------
+    def current_context(self) -> TraceContext | None:
+        """Capture the innermost open span as a propagatable context.
+
+        ``None`` when tracing is disabled or nothing is open — callers
+        (the runtime pools) skip activation entirely in that case.
+        Falls through to the thread's own activated context, so a
+        worker capturing mid-fan-out hands nested workers the same
+        parent it was given.
+        """
+        if not self.enabled:
+            return None
+        stack = self._stack
+        if stack:
+            span = stack[-1]
+            self._ensure_ids(span, stack)
+            # Materialize the child list now, single-threaded, so the
+            # workers' live attaches are bare list.appends.
+            if span._children is None:
+                span._children = []
+            return TraceContext(span.trace_id, span.span_id, span)
+        return self._local.context
+
+    def _ensure_ids(self, span: Span, stack: list) -> None:
+        """Assign ``span``'s lazy ids (spans skip them on open)."""
+        if span.span_id is None:
+            span.span_id = self._next_span_id()
+        if span.trace_id is None:
+            root = stack[0]
+            if root.trace_id is None:
+                root.trace_id = self._next_trace_id()
+            span.trace_id = root.trace_id
+
+    def current_ids(self) -> tuple[str, str] | None:
+        """``(trace_id, span_id)`` of the ambient span, id-only.
+
+        The cheap per-event hook (no object allocation beyond the
+        tuple) the simulated network uses to stamp every message with
+        the span that emitted it.
+        """
+        stack = self._stack
+        if stack:
+            span = stack[-1]
+            if span.span_id is None or span.trace_id is None:
+                self._ensure_ids(span, stack)
+            return span.trace_id, span.span_id
+        context = self._local.context
+        if context is not None:
+            return context.trace_id, context.span_id
+        return None
+
+    def activate(self, context: TraceContext | None) -> ContextActivation:
+        """Scoped ambient parent for this thread's root-level spans.
+
+        ``with tracer.activate(ctx): ...`` — spans opened with nothing
+        on the thread's stack attach under ``ctx`` instead of starting
+        a new trace.  Activating ``None`` is a no-op scope.
+        """
+        return ContextActivation(self._local, context)
+
+    # -- root retention ------------------------------------------------------
+    # Filing is a bare (GIL-atomic) deque.append on the hot close path;
+    # readers absorb the concurrency instead.  Copying a deque while
+    # another thread appends raises RuntimeError, so the readers retry —
+    # the copy is at most ``max_roots`` elements, so a retry wins the
+    # race after a step or two (tests/test_runtime.py hammers this).
+
     def last_root(self) -> Span | None:
         """The most recently finished top-level span."""
-        return self.roots[-1] if self.roots else None
+        try:
+            return self.roots[-1]
+        except IndexError:
+            return None
+
+    def root_list(self) -> list[Span]:
+        """A consistent copy of the retained roots, oldest first."""
+        while True:
+            try:
+                return list(self.roots)
+            except RuntimeError:  # a root was filed mid-copy; retry
+                continue
 
     def clear(self) -> None:
         """Drop retained root spans (open spans are unaffected)."""
         self.roots.clear()
-
-    def _file_root(self, span: Span) -> None:
-        self.roots.append(span)
 
     # -- export ------------------------------------------------------------
     def render(self, span: Span | None = None) -> str:
@@ -228,5 +394,5 @@ class Tracer:
     def to_json(self, indent: int | None = None) -> str:
         """All retained root trees as JSON."""
         return json.dumps(
-            [root.to_dict() for root in self.roots], indent=indent
+            [root.to_dict() for root in self.root_list()], indent=indent
         )

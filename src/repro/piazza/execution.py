@@ -213,10 +213,22 @@ class DistributedExecutor:
 
         def _snapshot(item):
             owner, predicates = item
-            return [
-                (predicate, set(self._stored_tuples(predicate)))
-                for predicate in predicates
-            ]
+            # Same span name as the serial _charge_fetch path, opened on
+            # the worker thread: the runtime's captured context parents
+            # it under execute.fetch_batch (via the worker's
+            # runtime.task span), so the parallel tree reads like the
+            # serial one — one execute.fetch per remote peer.
+            with self.obs.tracer.span(
+                "execute.fetch", peer=owner, relations=len(predicates)
+            ) as span:
+                rows = [
+                    (predicate, set(self._stored_tuples(predicate)))
+                    for predicate in predicates
+                ]
+                span.annotate(
+                    payload=sum(len(tuples) for _, tuples in rows)
+                )
+            return rows
 
         with self.obs.tracer.span(
             "execute.fetch_batch", peers=len(remote), workers=self.runtime.workers

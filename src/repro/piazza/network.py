@@ -86,12 +86,21 @@ def schedule_makespan(costs: list[float], workers: int | None = None) -> float:
 
 @dataclass
 class Message:
-    """One simulated network message."""
+    """One simulated network message.
+
+    With tracing enabled, ``trace_id``/``span_id`` identify the span
+    that emitted the message (ISSUE 10's per-hop attribution: the
+    message log joins against a span export by id).  ``None`` when the
+    tracer is disabled — stamping must never change *what* is sent, so
+    traffic parity checks compare the cost-model fields only.
+    """
 
     sender: str
     receiver: str
     size: int
     kind: str = "data"
+    trace_id: str | None = None
+    span_id: str | None = None
 
 
 @dataclass
@@ -152,7 +161,13 @@ class SimulatedNetwork:
         """
         if sender == receiver:
             return 0.0
-        self.messages.append(Message(sender, receiver, size, kind))
+        message = Message(sender, receiver, size, kind)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            ids = tracer.current_ids()
+            if ids is not None:
+                message.trace_id, message.span_id = ids
+        self.messages.append(message)
         cost = self.latency(sender, receiver) + size * self.per_tuple_ms
         self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
         counter = self._kind_counters.get(kind)

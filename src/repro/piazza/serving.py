@@ -442,11 +442,18 @@ class ViewServer:
         """
 
         def _payload(peer):
-            return sum(
-                len(qualified.inserts.get(r, ()))
-                + len(qualified.deletes.get(r, ()))
-                for r in needed_by_peer[peer]
-            )
+            # Same span name as the serial propagation loop; the
+            # runtime re-parents it under serving.propagate_batch.
+            with self.obs.tracer.span(
+                "serving.propagate", peer=peer
+            ) as span:
+                payload = sum(
+                    len(qualified.inserts.get(r, ()))
+                    + len(qualified.deletes.get(r, ()))
+                    for r in needed_by_peer[peer]
+                )
+                span.annotate(payload=payload)
+            return payload
 
         with self.obs.tracer.span(
             "serving.propagate_batch",
@@ -481,8 +488,17 @@ class ViewServer:
         """
 
         def _maintain(vkey):
+            view = self._views[vkey]
             restricted = qualified.restrict(self._view_relations[vkey])
-            strategy, _delta = self._views[vkey].maintain(restricted)
+            # Mirror the serial path's per-view span (strategy
+            # annotated) so a parallel updategram's tree stays
+            # comparable; the runtime parents it under
+            # serving.maintain_batch.
+            with self.obs.tracer.span(
+                "serving.maintain", view=view.query.head.predicate
+            ) as span:
+                strategy, _delta = view.maintain(restricted)
+                span.annotate(strategy=strategy)
             return strategy
 
         with self.obs.tracer.span(

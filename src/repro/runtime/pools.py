@@ -50,6 +50,19 @@ Instrumentation (``repro.obs``): every ``map`` call counts its tasks
 (``runtime.batch.ms`` histogram) — the first metrics in the stack
 recorded from multiple threads, which is why instrument mutation is
 lock-protected (see :mod:`repro.obs.metrics`).
+
+Trace context propagation (ISSUE 10): when the runtime's tracer is
+enabled and the caller has a span open, ``map`` captures it as a
+:class:`~repro.obs.context.TraceContext` and activates it on every
+worker, wrapping each task in a ``runtime.task`` span — so a parallel
+fan-out stays ONE trace (worker spans re-parent under the caller's
+span instead of becoming orphan roots).  Thread pools attach to the
+live parent span; process pools ship the pickled (id-only) context
+and re-activate it on the worker process's default tracer, where any
+spans become linkable fragments of the same trace.  The runtime and
+the fan-out site must share one :class:`~repro.obs.Observability`
+(both default to :func:`repro.obs.default`, so they do unless a
+caller isolates one and not the other).
 """
 
 from __future__ import annotations
@@ -59,6 +72,20 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from time import perf_counter
 
 from repro import obs as _obs
+
+
+def _run_with_context(fn, context, item):
+    """Process-pool work unit: re-activate the shipped trace context.
+
+    Module-level so it pickles; ``context`` arrives in wire (id-only)
+    form — :class:`~repro.obs.context.TraceContext` drops its live
+    span reference when pickled.  Activation installs the ids on the
+    worker process's default tracer: free when that tracer is disabled
+    (the default), and producing linkable same-trace fragments when a
+    pool initializer enabled it.
+    """
+    with _obs.default().tracer.activate(context):
+        return fn(item)
 
 
 class ExecutionRuntime:
@@ -148,13 +175,23 @@ class _PoolRuntime(ExecutionRuntime):
     def _in_worker(self) -> bool:
         return getattr(self._local, "worker", False)
 
-    def _run(self, fn, item):
+    def _run(self, fn, item, context=None):
         # Marks the thread so a nested map() degrades to inline serial
         # execution instead of deadlocking on its own saturated pool.
         # (Process workers never reach this path: their runtime check
         # happens in the parent, see ProcessPoolRuntime.map.)
         self._local.worker = True
-        return fn(item)
+        if context is None:
+            return fn(item)
+        # Re-parent this worker's spans under the captured caller span
+        # and mark the hop with its own runtime.task span — the pool
+        # worker shows up in the trace like a network peer does.
+        tracer = self.obs.tracer
+        with tracer.activate(context):
+            with tracer.span(
+                "runtime.task", worker=threading.current_thread().name
+            ):
+                return fn(item)
 
     def map(self, fn, items) -> list:
         """Submit the whole batch, collect results in submission order.
@@ -173,9 +210,12 @@ class _PoolRuntime(ExecutionRuntime):
             self._account(len(items), started)
             return results
         pool = self._ensure_pool()
+        # None whenever tracing is off or nothing is open — workers
+        # then skip activation and spans entirely (the C15 bar).
+        context = self.obs.tracer.current_context()
         started = perf_counter()
         futures: list[Future] = [
-            pool.submit(self._run, fn, item) for item in items
+            pool.submit(self._run, fn, item, context) for item in items
         ]
         results = [future.result() for future in futures]
         self._account(len(items), started)
@@ -230,6 +270,9 @@ class ProcessPoolRuntime(_PoolRuntime):
         ``fn`` and every item must be picklable (the in-worker marker
         trick is thread-local, so the parent submits ``fn`` as-is and
         nested maps simply cannot occur across the process boundary).
+        With tracing on, the caller's context ships in wire (id-only)
+        form via :func:`_run_with_context` — pickling the context
+        drops its live span reference automatically.
         """
         items = list(items)
         if len(items) <= 1:
@@ -238,8 +281,15 @@ class ProcessPoolRuntime(_PoolRuntime):
             self._account(len(items), started)
             return results
         pool = self._ensure_pool()
+        context = self.obs.tracer.current_context()
         started = perf_counter()
-        futures = [pool.submit(fn, item) for item in items]
+        if context is None:
+            futures = [pool.submit(fn, item) for item in items]
+        else:
+            futures = [
+                pool.submit(_run_with_context, fn, context.wire(), item)
+                for item in items
+            ]
         results = [future.result() for future in futures]
         self._account(len(items), started)
         return results

@@ -330,33 +330,43 @@ class CorpusSearchEngine:
         cached = self.cache.get(key, self._synced_version)
         if cached is not None:
             return list(cached)
-        started = time.perf_counter()
-        exact = self._exact_matches(signature, exclude)
-        if exact:
-            self._m_exact_hits.inc(len(exact))
-        if strategy == "exact":
-            result = [(name, 1.0) for name in exact[:limit]]
-        elif strategy == "sparse":
-            result = self._schema_profiles.top_k(profile, limit, exclude=exclude)
-        elif strategy == "dense":
-            expanded = self._expand_profile(profile)
-            result = self._schema_dense.top_k(expanded, limit, exclude=exclude)
-        else:  # hybrid
-            depth = max(3 * limit, 10)
-            sparse_run = self._schema_profiles.top_k(profile, depth, exclude=exclude)
-            expanded = self._expand_profile(profile)
-            dense_run = self._schema_dense.top_k(expanded, depth, exclude=exclude)
-            fused = reciprocal_rank_fusion(
-                (sparse_run, dense_run),
-                k=self.rrf_k,
-                limit=limit,
-                weights=(self.sparse_weight, self.dense_weight),
+        # The first tracer span in the search layer: uncached tiered
+        # retrievals show up in traces (and the path profile) next to
+        # the fetch/propagation spans — a match_corpus worker's lookups
+        # re-parent under its match.source span automatically.
+        with self.obs.tracer.span(
+            "search.schemas", strategy=strategy, limit=limit
+        ) as span:
+            started = time.perf_counter()
+            exact = self._exact_matches(signature, exclude)
+            if exact:
+                self._m_exact_hits.inc(len(exact))
+            if strategy == "exact":
+                result = [(name, 1.0) for name in exact[:limit]]
+            elif strategy == "sparse":
+                result = self._schema_profiles.top_k(profile, limit, exclude=exclude)
+            elif strategy == "dense":
+                expanded = self._expand_profile(profile)
+                result = self._schema_dense.top_k(expanded, limit, exclude=exclude)
+            else:  # hybrid
+                depth = max(3 * limit, 10)
+                sparse_run = self._schema_profiles.top_k(profile, depth, exclude=exclude)
+                expanded = self._expand_profile(profile)
+                dense_run = self._schema_dense.top_k(expanded, depth, exclude=exclude)
+                fused = reciprocal_rank_fusion(
+                    (sparse_run, dense_run),
+                    k=self.rrf_k,
+                    limit=limit,
+                    weights=(self.sparse_weight, self.dense_weight),
+                )
+                pinned = [(name, 1.0) for name in exact]
+                pinned_names = set(exact)
+                result = pinned + [item for item in fused if item[0] not in pinned_names]
+                result = result[:limit]
+            self._m_strategy_ms[strategy].observe(
+                (time.perf_counter() - started) * 1000.0
             )
-            pinned = [(name, 1.0) for name in exact]
-            pinned_names = set(exact)
-            result = pinned + [item for item in fused if item[0] not in pinned_names]
-            result = result[:limit]
-        self._m_strategy_ms[strategy].observe((time.perf_counter() - started) * 1000.0)
+            span.annotate(exact_hits=len(exact), results=len(result))
         self.cache.put(key, self._synced_version, result)
         return list(result)
 

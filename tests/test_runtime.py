@@ -571,10 +571,10 @@ class TestObsThreadSafety:
                     assert tracer.current() is outer
 
         _hammer(self.THREADS, worker)
-        roots = list(tracer.roots)
+        roots = tracer.root_list()
         # Every worker span closed with nothing above it on *its own*
-        # thread, so each outer span is its own root — no cross-thread
-        # nesting, no lost trees.
+        # thread (no activated context), so each outer span is its own
+        # root — no cross-thread nesting, no lost trees.
         assert len(roots) == self.THREADS * spans_each
         for root in roots:
             _, index, step = root.name.split(".")
@@ -582,6 +582,41 @@ class TestObsThreadSafety:
                 f"inner.{index}.{step}.{level}" for level in range(depth)
             ]
             assert root.closed
+
+    def test_root_retention_safe_under_concurrent_filing(self):
+        # ISSUE 10's small fix: the bounded roots deque is filed from
+        # many threads while others render/export/clear — without the
+        # tracer's lock, iterating during an append raises and evicted
+        # roots can be observed mid-mutation.
+        tracer = Tracer(enabled=True, max_roots=8)
+        stop = threading.Event()
+        reader_errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    tracer.to_json()
+                    tracer.render()
+                    tracer.root_list()
+                    tracer.clear()
+                except Exception as exc:  # pragma: no cover - failure path
+                    reader_errors.append(exc)
+                    return
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        try:
+            def worker(index):
+                for step in range(500):
+                    with tracer.span(f"root.{index}.{step}"):
+                        pass
+
+            _hammer(self.THREADS, worker)
+        finally:
+            stop.set()
+            reader_thread.join()
+        assert not reader_errors
+        assert len(tracer.root_list()) <= 8
 
     def test_query_cache_consistent_under_contention(self):
         cache = LRUQueryCache(capacity=32)
@@ -618,3 +653,157 @@ class TestPluggability:
             executor = DistributedExecutor(pdms, runtime=runtime)
             server = ViewServer(executor)
             assert server.runtime is runtime
+
+
+# -- trace context propagation (ISSUE 10) -------------------------------------
+
+
+class TestTracePropagation:
+    """Worker spans re-parent under the caller's span — one tree per
+    fan-out, the orphan-root wart the runtime pools used to have."""
+
+    def test_parallel_execute_yields_one_tree_at_four_workers(self):
+        obs = _obs.Observability(tracing=True)
+        pdms, queries = _executor_workload()
+        pdms.obs = obs
+        network = SimulatedNetwork(obs=obs)
+        with ThreadPoolRuntime(workers=4, obs=obs) as runtime:
+            executor = DistributedExecutor(pdms, network, obs=obs,
+                                           runtime=runtime)
+            for query in queries:
+                executor.execute(query, "p0", {"max_depth": 40})
+        roots = obs.tracer.root_list()
+        # One executed query, one tree — the regression this PR fixes.
+        assert len(roots) == len(queries)
+        for root in roots:
+            assert root.name == "pdms.execute"
+            names = root.names()
+            assert "execute.fetch_batch" in names
+            assert "runtime.task" in names
+            # Per-peer fetch spans live inside the same tree.
+            assert names.count("execute.fetch") >= 2
+            batch = root.find("execute.fetch_batch")
+            fetches = [
+                node for node in batch.children
+                for _ in [node]
+                if node.find("execute.fetch") is not None
+            ]
+            assert fetches, "fetch spans re-parented under the batch span"
+
+    def test_parallel_trees_match_serial_shape(self):
+        pdms, queries = _executor_workload()
+
+        def names_under(runtime_factory, obs):
+            network = SimulatedNetwork(obs=obs)
+            pdms.obs = obs
+            with runtime_factory(obs) as runtime:
+                executor = DistributedExecutor(pdms, network, obs=obs,
+                                               runtime=runtime)
+                executor.execute(queries[0], "p0", {"max_depth": 40})
+            return sorted(obs.tracer.last_root().names())
+
+        serial_obs = _obs.Observability(tracing=True)
+        serial = names_under(lambda o: SerialRuntime(obs=o), serial_obs)
+        pooled_obs = _obs.Observability(tracing=True)
+        pooled = names_under(lambda o: ThreadPoolRuntime(workers=4, obs=o),
+                             pooled_obs)
+        # Same spans, modulo the concurrent path's own plumbing (the
+        # batch span and the pool's runtime.task wrappers).
+        plumbing = ("runtime.task", "execute.fetch_batch")
+        assert [n for n in pooled if n not in plumbing] == serial
+
+    def test_network_messages_stamped_with_trace_ids(self):
+        obs = _obs.Observability(tracing=True)
+        pdms, queries = _executor_workload(peers=8)
+        pdms.obs = obs
+        network = SimulatedNetwork(obs=obs)
+        with ThreadPoolRuntime(workers=4, obs=obs) as runtime:
+            executor = DistributedExecutor(pdms, network, obs=obs,
+                                           runtime=runtime)
+            executor.execute(queries[0], "p0", {"max_depth": 40})
+        root = obs.tracer.last_root()
+        assert network.messages, "workload sends traffic"
+        assert {m.trace_id for m in network.messages} == {root.trace_id}
+        assert all(m.span_id is not None for m in network.messages)
+
+    def test_untraced_messages_stay_unstamped(self):
+        pdms, queries = _executor_workload(peers=8)
+        network = SimulatedNetwork()
+        executor = DistributedExecutor(pdms, network)
+        executor.execute(queries[0], "p0", {"max_depth": 40})
+        assert network.messages
+        assert all(m.trace_id is None and m.span_id is None
+                   for m in network.messages)
+
+    def test_match_corpus_is_one_tree_under_thread_pool(self):
+        obs = _obs.Observability(tracing=True)
+        workload = synthetic_matching_workload(count=6, seed=11, domains=3)
+        with ThreadPoolRuntime(workers=4, obs=obs) as runtime:
+            pipeline = CorpusMatchPipeline(workload.mediated, obs=obs,
+                                           runtime=runtime)
+            for schema, mapping in workload.training:
+                pipeline.add_training_source(schema, mapping)
+            obs.tracer.clear()  # training traces aren't under test
+            pipeline.match_corpus(workload.corpus)
+        roots = obs.tracer.root_list()
+        assert len(roots) == 1
+        names = roots[0].names()
+        assert roots[0].name == "match.corpus"
+        assert names.count("match.source") == len(workload.corpus.schemas)
+
+    def test_view_server_updategram_is_one_tree(self):
+        obs = _obs.Observability(tracing=True)
+        pdms = random_tree_pdms(20, seed=5, courses=3, dataless_peers=4)
+        pdms.obs = obs
+        network = SimulatedNetwork(obs=obs)
+        with ThreadPoolRuntime(workers=4, obs=obs) as runtime:
+            executor = DistributedExecutor(pdms, network, obs=obs,
+                                           runtime=runtime)
+            server = ViewServer(executor,
+                                reformulation_options={"max_depth": 40})
+            golds = pdms.generator_info["golds"]
+            data_peers = sorted(
+                name for name, peer in pdms.peers.items() if peer.data
+            )[:4]
+            for name in data_peers:
+                server.register(
+                    name,
+                    f"q(?t) :- {name}.{golds[name]['course']}"
+                    "(?c, ?t, ?n, ?w, ?l, ?en, ?d)",
+                )
+            obs.tracer.clear()
+            for owner, gram in update_stream(pdms, 3, seed=6,
+                                             inserts_per_relation=2):
+                pdms.apply_updategram(owner, gram)
+        roots = obs.tracer.root_list()
+        # Exactly one tree per updategram: propagation and maintenance
+        # worker spans re-parent instead of becoming their own roots.
+        assert len(roots) == 3
+        for root in roots:
+            assert root.name == "serving.updategram"
+
+    def test_process_pool_context_pickles_to_wire_form(self):
+        obs = _obs.Observability(tracing=True)
+        with ProcessPoolRuntime(workers=2, obs=obs) as runtime:
+            with obs.tracer.span("outer"):
+                assert runtime.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        roots = obs.tracer.root_list()
+        assert len(roots) == 1 and roots[0].name == "outer"
+
+    def test_nested_map_inherits_context_inline(self):
+        obs = _obs.Observability(tracing=True)
+        with ThreadPoolRuntime(workers=2, obs=obs) as runtime:
+
+            def outer_task(index):
+                # Nested fan-out degrades inline on the worker thread;
+                # its spans nest under the worker's runtime.task span.
+                with obs.tracer.span(f"outer.{index}"):
+                    runtime.map(_square, [index, index + 1])
+                return index
+
+            with obs.tracer.span("fanout"):
+                runtime.map(outer_task, [0, 1])
+        root = obs.tracer.last_root()
+        names = root.names()
+        assert names.count("outer.0") == 1 and names.count("outer.1") == 1
+        assert len(obs.tracer.root_list()) == 1
